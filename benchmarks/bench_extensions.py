@@ -1,0 +1,82 @@
+"""Benchmarks for the post-paper extensions (§8 discussion items):
+
+* PoC minimisation quality across the full injected-bug population;
+* the correctness oracles' soundness on all seven engines (and their
+  sensitivity to an injected planner defect).
+"""
+
+import pytest
+
+from repro.core.logic import LogicOracle
+from repro.core.minimize import minimize_poc
+from repro.dialects import all_bugs, all_dialect_classes, dialect_by_name
+from repro.dialects.base import Dialect
+
+from _shared import _cached, emit, shape_line
+
+
+def test_minimization_quality(benchmark):
+    """Every injected PoC minimises without losing its crash identity, and
+    the corpus-wide reduction is substantial."""
+
+    def minimize_all():
+        dialects = {cls.name: cls() for cls in all_dialect_classes()}
+        total_before = total_after = 0
+        worst = ("", 0.0)
+        for bug in all_bugs():
+            result = minimize_poc(dialects[bug.dbms], bug.poc, max_attempts=250)
+            total_before += len(result.original)
+            total_after += len(result.minimized)
+            if result.reduction < worst[1]:
+                worst = (bug.bug_id, result.reduction)
+        return total_before, total_after, worst
+
+    before, after, worst = benchmark.pedantic(
+        lambda: _cached("extension_minimize_all", minimize_all),
+        rounds=1, iterations=1)
+    reduction = 1 - after / before
+    lines = ["Extension — PoC minimisation over all 132 injected bugs",
+             shape_line("total PoC characters before", "-", before, True),
+             shape_line("total PoC characters after", "-", after, True),
+             shape_line("aggregate reduction", "> 0%", f"{reduction:.1%}",
+                        reduction > 0),
+             shape_line("no PoC grew", ">= 0", worst, worst[1] >= 0)]
+    emit("extension_minimization", "\n".join(lines))
+    assert reduction > 0
+    assert worst[1] >= 0
+
+
+def test_logic_oracles_on_all_engines(benchmark):
+    """NoREC + TLP are silent on every simulated DBMS and catch the
+    injected 'UNKNOWN is TRUE' planner defect immediately."""
+    safe_predicates = ["c0 > 0", "c2 < 1", "c1 IS NULL",
+                       "c0 BETWEEN -1 AND 2", "c0 IN (1, NULL)"]
+
+    class FaultyDialect(Dialect):
+        name = "faulty-demo"
+
+        def make_config(self):
+            config = super().make_config()
+            config["faulty_where_null_as_true"] = "1"
+            return config
+
+    def run_all():
+        clean = {}
+        for cls in all_dialect_classes():
+            result = LogicOracle(cls()).run(predicates=safe_predicates)
+            clean[cls.name] = len(result.violations)
+        faulty = LogicOracle(FaultyDialect()).run(predicates=safe_predicates)
+        return clean, len(faulty.violations)
+
+    clean, faulty_violations = benchmark.pedantic(
+        lambda: _cached("extension_logic_all", run_all),
+        rounds=1, iterations=1)
+    lines = ["Extension — correctness oracles (NoREC + TLP, §8 discussion)"]
+    for name, violations in clean.items():
+        lines.append(shape_line(f"{name} logic violations", 0, violations,
+                                violations == 0))
+    lines.append(shape_line("injected planner defect caught", ">= 1",
+                            faulty_violations, faulty_violations >= 1))
+    emit("extension_logic_oracles", "\n".join(lines))
+    assert all(v == 0 for v in clean.values())
+    assert faulty_violations >= 1

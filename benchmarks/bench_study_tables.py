@@ -1,0 +1,121 @@
+"""Benchmarks regenerating the study artifacts: Table 1, Finding 1,
+Figure 1, Table 2/Finding 3, Finding 4, and the §5 root-cause split.
+
+Each benchmark recomputes its statistic from the raw 318-record corpus and
+prints a paper-vs-measured table.
+"""
+
+import pytest
+
+from repro.corpus import (
+    DBMS_COUNTS,
+    EXPRESSION_COUNT_DISTRIBUTION,
+    FUNCTION_TYPE_HISTOGRAM,
+    PREREQUISITE_COUNTS,
+    ROOT_CAUSE_COUNTS,
+    STAGE_COUNTS,
+    boundary_share,
+    count_by_dbms,
+    expression_count_distribution,
+    function_type_histogram,
+    load_corpus,
+    prerequisite_distribution,
+    root_cause_distribution,
+    stage_distribution,
+)
+
+from _shared import emit, shape_line
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return load_corpus()
+
+
+def test_table1_studied_bugs(benchmark, corpus):
+    """Table 1: studied bugs per DBMS (PostgreSQL 39, MySQL 10, MariaDB 269)."""
+    measured = benchmark(count_by_dbms, corpus)
+    lines = ["Table 1 — studied built-in SQL function bugs per DBMS"]
+    for dbms, paper in DBMS_COUNTS.items():
+        lines.append(shape_line(dbms, paper, measured.get(dbms, 0),
+                                measured.get(dbms) == paper))
+    lines.append(shape_line("total", 318, sum(measured.values()),
+                            sum(measured.values()) == 318))
+    emit("table1_studied_bugs", "\n".join(lines))
+    assert measured == DBMS_COUNTS
+
+
+def test_finding1_occurrence_stages(benchmark, corpus):
+    """Finding 1: 70.0% execute / 19.6% optimize / 10.4% parse (of 230)."""
+    measured = benchmark(stage_distribution, corpus)
+    total = sum(measured.values())
+    lines = ["Finding 1 — crash stages classified from backtraces"]
+    for stage, paper in STAGE_COUNTS.items():
+        lines.append(shape_line(
+            f"{stage} ({paper / 230:.1%} in paper)", paper,
+            measured.get(stage, 0), measured.get(stage) == paper,
+        ))
+    lines.append(shape_line("records with backtraces", 230, total, total == 230))
+    emit("finding1_stages", "\n".join(lines))
+    assert measured == STAGE_COUNTS
+
+
+def test_figure1_function_type_histogram(benchmark, corpus):
+    """Figure 1: occurrences and distinct functions per type (string 117/57,
+    aggregate 91, ... — 508 total)."""
+    rows = benchmark(function_type_histogram, corpus)
+    measured = {r.family: (r.occurrences, r.unique_functions) for r in rows}
+    lines = ["Figure 1 — bug-inducing function expressions by type "
+             "(occurrences / distinct functions)"]
+    for family, paper in FUNCTION_TYPE_HISTOGRAM.items():
+        got = measured.get(family, (0, 0))
+        lines.append(shape_line(family, f"{paper[0]}/{paper[1]}",
+                                f"{got[0]}/{got[1]}", got == paper))
+    total = sum(r.occurrences for r in rows)
+    lines.append(shape_line("total occurrences", 508, total, total == 508))
+    lines.append(shape_line("string+aggregate share > 40%", "40.9%",
+                            f"{(measured['string'][0] + measured['aggregate'][0]) / total:.1%}",
+                            (measured["string"][0] + measured["aggregate"][0]) / total > 0.40))
+    emit("figure1_function_types", "\n".join(lines))
+    assert measured == FUNCTION_TYPE_HISTOGRAM
+
+
+def test_table2_expression_counts(benchmark, corpus):
+    """Table 2 / Finding 3: function expressions per bug-inducing statement
+    (191/87/23/11/6; 87.5% contain at most two)."""
+    measured = benchmark(expression_count_distribution, corpus)
+    lines = ["Table 2 — function expressions per bug-inducing statement"]
+    for count, paper in EXPRESSION_COUNT_DISTRIBUTION.items():
+        label = f"{count} expression(s)" if count < 5 else ">=5 expressions"
+        lines.append(shape_line(label, paper, measured.get(count, 0),
+                                measured.get(count) == paper))
+    share = (measured.get(1, 0) + measured.get(2, 0)) / 318
+    lines.append(shape_line("Finding 3: share with <= 2", "87.5%",
+                            f"{share:.1%}", abs(share - 0.875) < 0.01))
+    emit("table2_expression_counts", "\n".join(lines))
+    assert measured == EXPRESSION_COUNT_DISTRIBUTION
+
+
+def test_finding4_prerequisites(benchmark, corpus):
+    """Finding 4: 151 table+data / 132 none / 35 empty table."""
+    measured = benchmark(prerequisite_distribution, corpus)
+    lines = ["Finding 4 — prerequisite statements of the PoCs"]
+    for kind, paper in PREREQUISITE_COUNTS.items():
+        lines.append(shape_line(kind, paper, measured.get(kind, 0),
+                                measured.get(kind) == paper))
+    emit("finding4_prerequisites", "\n".join(lines))
+    assert measured == PREREQUISITE_COUNTS
+
+
+def test_section5_root_causes(benchmark, corpus):
+    """§5: 94 literal / 74 casting / 110 nested / 40 other (87.4% boundary)."""
+    measured = benchmark(root_cause_distribution, corpus)
+    lines = ["Section 5 — root causes of the studied bugs"]
+    for cause, paper in ROOT_CAUSE_COUNTS.items():
+        lines.append(shape_line(cause, paper, measured.get(cause, 0),
+                                measured.get(cause) == paper))
+    share = boundary_share(corpus)
+    lines.append(shape_line("boundary-value share", "87.4%", f"{share:.1%}",
+                            abs(share - 0.874) < 0.002))
+    emit("section5_root_causes", "\n".join(lines))
+    assert measured == ROOT_CAUSE_COUNTS

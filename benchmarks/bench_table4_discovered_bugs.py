@@ -1,0 +1,114 @@
+"""Table 4 — the headline result: SOFT's discovery campaign over all seven
+DBMSs, with per-DBMS bug counts, crash classes, pattern attribution, and
+the §7.3 aggregate splits (56/28/48 by pattern family; crash-class totals;
+confirmed/fixed statuses; the 7-false-positive note).
+"""
+
+import pytest
+
+from repro.core.report import format_table4, table4_rows
+from repro.dialects import bugs_for, dialect_names, table4_totals
+
+from _shared import all_two_week_campaigns, emit, shape_line
+
+#: Table 4 per-DBMS bug counts
+PAPER_COUNTS = {
+    "postgresql": 1, "mysql": 16, "mariadb": 24, "clickhouse": 6,
+    "monetdb": 19, "duckdb": 21, "virtuoso": 45,
+}
+#: §7.3 crash-class totals (Table 4 row sums; see EXPERIMENTS.md on the
+#: paper's 12-vs-13 HBOF / 7-vs-6 SO prose discrepancy)
+PAPER_CRASHES = {"NPD": 61, "SEGV": 29, "HBOF": 13, "GBOF": 4, "UAF": 3,
+                 "SO": 6, "AF": 14, "DBZ": 2}
+PAPER_PATTERN_FAMILIES = {"P1": 56, "P2": 28, "P3": 48}
+
+
+@pytest.fixture(scope="module")
+def campaigns():
+    return all_two_week_campaigns()
+
+
+def test_table4_discovered_bugs(benchmark, campaigns):
+    results = benchmark.pedantic(lambda: campaigns, rounds=1, iterations=1)
+    lines = ["Table 4 — previously unknown bugs discovered by SOFT",
+             "(budget models the paper's two-week window; campaigns stop at "
+             "full recall)", ""]
+
+    measured_counts = {}
+    measured_crashes = {}
+    measured_patterns = {"P1": 0, "P2": 0, "P3": 0}
+    fixed = 0
+    for name, result in results.items():
+        attributed = [b for b in result.bugs if b.injected is not None]
+        measured_counts[name] = len(attributed)
+        for bug in attributed:
+            measured_crashes[bug.crash_code] = measured_crashes.get(bug.crash_code, 0) + 1
+            measured_patterns[bug.injected.pattern_family] += 1
+            if bug.injected.fixed:
+                fixed += 1
+
+    for name in dialect_names():
+        lines.append(shape_line(
+            f"{name} bugs", PAPER_COUNTS[name], measured_counts[name],
+            measured_counts[name] == PAPER_COUNTS[name],
+        ))
+    total = sum(measured_counts.values())
+    lines.append(shape_line("total bugs", 132, total, total == 132))
+    lines.append(shape_line("fixed", 97, fixed, fixed == 97))
+    lines.append("")
+    for code, paper in PAPER_CRASHES.items():
+        lines.append(shape_line(
+            f"crash class {code}", paper, measured_crashes.get(code, 0),
+            measured_crashes.get(code, 0) == paper,
+        ))
+    lines.append("")
+    for family, paper in PAPER_PATTERN_FAMILIES.items():
+        lines.append(shape_line(
+            f"pattern family {family}.x", paper, measured_patterns[family],
+            measured_patterns[family] == paper,
+        ))
+    fps = sum(len(r.false_positives) for r in results.values())
+    lines.append("")
+    lines.append(shape_line("false positives (resource kills)", 7, fps,
+                            abs(fps - 7) <= 30))
+    queries = sum(r.queries_executed for r in results.values())
+    lines.append(f"  total statements executed: {queries}")
+    lines.append("")
+    lines.append(format_table4(table4_rows(list(results.values()))))
+    emit("table4_discovered_bugs", "\n".join(lines))
+
+    assert total == 132, f"expected full recall of 132 bugs, found {total}"
+    assert measured_counts == PAPER_COUNTS
+    assert fixed == 97
+
+
+def test_table4_pattern_attribution_consistency(benchmark, campaigns):
+    """The pattern that *discovered* each bug lies in the same pattern
+    family the registry expected for at least 80% of the bugs (exact-pattern
+    agreement is not guaranteed: several triggers are reachable by more
+    than one pattern, as in the real tool)."""
+
+    def measure():
+        agree = family_agree = total = 0
+        for result in campaigns.values():
+            for bug in result.bugs:
+                if bug.injected is None or bug.pattern == "seed":
+                    continue
+                total += 1
+                if bug.pattern == bug.injected.pattern:
+                    agree += 1
+                if bug.pattern.split(".")[0] == bug.injected.pattern_family:
+                    family_agree += 1
+        return agree, family_agree, total
+
+    agree, family_agree, total = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = ["Table 4 — discovery-pattern attribution",
+             shape_line("bugs discovered by pattern generation", 132, total,
+                        total >= 120),
+             shape_line("exact pattern agreement", "(not claimed)",
+                        f"{agree}/{total}", True),
+             shape_line("pattern-family agreement >= 80%", ">=80%",
+                        f"{family_agree / max(total, 1):.1%}",
+                        family_agree / max(total, 1) >= 0.8)]
+    emit("table4_pattern_attribution", "\n".join(lines))
+    assert family_agree / max(total, 1) >= 0.8

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Mini Tables 5/6: SOFT vs SQUIRREL / SQLancer / SQLsmith.
+
+Runs the four tools against the commonly supported simulated DBMSs under a
+shared query budget and prints triggered-function counts, branch coverage
+of the SQL-function components, and unique bugs found.
+
+    python examples/compare_tools.py [budget]
+"""
+
+import sys
+
+from repro.analysis import run_comparison
+
+
+def main() -> int:
+    budget = int(sys.argv[1]) if len(sys.argv) > 1 else 3_000
+    print(f"Running 4 tools x 5 DBMSs at {budget} statements each "
+          "(coverage-instrumented; this takes a couple of minutes)...\n")
+    table = run_comparison(budget=budget, enable_coverage=True)
+
+    print(table.format("triggered_functions",
+                       "== Table 5: built-in SQL functions triggered =="))
+    print()
+    print(table.format("branch_coverage",
+                       "== Table 6: branches covered in SQL function components =="))
+    print()
+    print(table.format("bugs_found",
+                       "== unique SQL function bugs found =="))
+    print()
+    for baseline in ("squirrel", "sqlancer", "sqlsmith"):
+        inc_fn = table.increment_over(baseline, "triggered_functions")
+        inc_br = table.increment_over(baseline, "branch_coverage")
+        print(f"SOFT's increment over {baseline:<9}: "
+              f"+{inc_fn} functions, +{inc_br} branches "
+              "(on commonly supported DBMSs)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

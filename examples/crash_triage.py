@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Crash triage walkthrough: reproduce the paper's §7.4 case studies.
+
+Executes the six headline proof-of-concept statements (Listings 1 and
+6-11) against their simulated DBMSs, shows the server dying and being
+restarted (the Docker-container workflow), and prints the triage line the
+paper reports for each.
+
+    python examples/crash_triage.py
+"""
+
+from repro import dialect_by_name
+from repro.engine import ServerCrashed
+
+CASES = [
+    ("clickhouse", "SELECT toDecimalString('110'::Decimal256(45), *);",
+     "Listing 1 — the bug the ClickHouse CTO ordered fixed immediately"),
+    ("mysql",
+     "SELECT AVG(1.29999999999999999999999999999999999999999999);",
+     "Case 1 (Listing 6) — global buffer overflow via a boundary literal"),
+    ("virtuoso", "SELECT CONTAINS('x', 'x', *);",
+     "Case 2 (Listing 7) — segmentation violation on the '*' argument"),
+    ("postgresql", "SELECT JSONB_OBJECT_AGG('a', '$[0]');",
+     "Case 3 (Listing 8) — heap overflow via boundary type casting "
+     "(CVE-2023-5868 analogue)"),
+    ("duckdb", "SELECT ARRAY_SORT((SELECT [1] UNION SELECT [2]));",
+     "Case 4 (Listing 9) — stack overflow via UNION-unified nesting"),
+    ("mariadb", "SELECT JSON_LENGTH(REPEAT('[1,', 100), '$[2][1]');",
+     "Case 5 (Listing 10) — global overflow via a nested REPEAT result"),
+    ("mariadb", "SELECT ST_ASTEXT(INET6_ATON('255.255.255.255'));",
+     "Case 6 (Listing 11) — segmentation violation via nested functions"),
+]
+
+
+def main() -> int:
+    servers = {}
+    for dialect_name, sql, headline in CASES:
+        server = servers.get(dialect_name)
+        if server is None or not server.alive:
+            server = dialect_by_name(dialect_name).create_server()
+            servers[dialect_name] = server
+        connection = server.connect()
+        print(f"\n{headline}")
+        print(f"  {dialect_name}> {sql}")
+        try:
+            connection.execute(sql)
+            print("  !! no crash — unexpected")
+        except ServerCrashed as crashed:
+            crash = crashed.crash
+            print(f"  ** server process died: {crash.describe()}")
+            print(f"     stage={crash.stage}  class={crash.code}")
+            if crash.backtrace:
+                innermost = " <- ".join(reversed(crash.backtrace[-3:]))
+                print(f"     backtrace (innermost first): {innermost}")
+            server.restart()
+            probe = server.connect().execute("SELECT 1;")
+            print(f"     restarted container, probe SELECT 1 -> "
+                  f"{probe.rows[0][0].render()}")
+    print("\nAll case-study crashes reproduced.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Plug your own DBMS into SOFT.
+
+SOFT only needs three things from a target: a function inventory with
+documentation, a regression test suite, and a way to execute SQL and
+observe crashes.  This example defines **TinyDB** — a fresh dialect with
+two deliberately flawed functions — and lets SOFT find both bugs.
+
+This is the integration path a downstream user would take to point the
+harness at a real system (by implementing a Dialect whose connection layer
+speaks to a live server instead of the in-process engine).
+
+    python examples/custom_dialect.py
+"""
+
+from repro.core import Campaign, render_bug_report
+from repro.dialects.base import Dialect
+from repro.dialects.flaws import install_flaw, trig_empty_string, trig_wide_number
+from repro.engine.functions import FunctionRegistry
+from repro.engine.functions.helpers import need_int, need_string, out_string
+
+
+class TinyDBDialect(Dialect):
+    """A small bespoke engine with two injected boundary-condition bugs."""
+
+    name = "tinydb"
+    version = "0.1"
+
+    def customize_registry(self, registry: FunctionRegistry) -> None:
+        define = registry.define
+
+        @define("shout", "string", min_args=1, max_args=1,
+                signature="SHOUT(str)", doc="Upper-case with an exclamation.",
+                examples=["SHOUT('hi')"])
+        def fn_shout(ctx, args):
+            if args[0].is_null:
+                from repro.engine.values import NULL
+
+                return NULL
+            return out_string(need_string(args[0], "shout").upper() + "!", "shout")
+
+        @define("clamp", "math", min_args=3, max_args=3,
+                signature="CLAMP(x, lo, hi)", doc="Clamp x into [lo, hi].",
+                examples=["CLAMP(5, 1, 3)"])
+        def fn_clamp(ctx, args):
+            from repro.engine.values import NULL, SQLInteger
+
+            if any(a.is_null for a in args):
+                return NULL
+            x = need_int(args[0], "clamp")
+            lo = need_int(args[1], "clamp")
+            hi = need_int(args[2], "clamp")
+            return SQLInteger(min(max(x, lo), hi))
+
+    def inject_bugs(self, registry: FunctionRegistry) -> None:
+        # SHOUT mishandles the empty string (a P1.2-class flaw) ...
+        install_flaw(registry, "shout", trig_empty_string(0), "NPD")
+        # ... and CLAMP walks a digit table out of bounds for wide numbers
+        install_flaw(registry, "clamp", trig_wide_number(18, 0), "SEGV")
+
+
+def main() -> int:
+    dialect = TinyDBDialect()
+    print(f"TinyDB exposes {len(dialect.registry)} functions "
+          f"({len(dialect.test_suite())} regression queries).")
+
+    print("Fuzzing TinyDB with SOFT (15k statements)...")
+    result = Campaign(dialect, budget=15_000).run()
+
+    print(f"\nSOFT triggered {len(result.triggered_functions)} functions and "
+          f"found {len(result.bugs)} unique crashes:")
+    for bug in result.bugs:
+        print(f"  {bug.crash_code:<5} {bug.function:<8} via {bug.pattern}: {bug.sql}")
+
+    wanted = {("shout", "NPD"), ("clamp", "SEGV")}
+    found = {(b.function, b.crash_code) for b in result.bugs}
+    assert wanted <= found, f"missed: {wanted - found}"
+    print("\nBoth injected TinyDB bugs were found.")
+
+    print("\nReport for the SHOUT bug:")
+    shout_bug = next(b for b in result.bugs if b.function == "shout")
+    print(render_bug_report(shout_bug, version=dialect.version))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

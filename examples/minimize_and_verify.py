@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Triage pipeline: fuzz → minimise → verify logic soundness.
+
+1. Run a short SOFT campaign against MariaDB.
+2. Delta-debug every discovered PoC to its minimal form (the shape the
+   paper's listings have).
+3. Run the §8 correctness oracles (NoREC + TLP) to confirm the simulated
+   engine has no *logic* bugs on top of its crash bugs — and demonstrate
+   the oracles catching an injected "UNKNOWN is TRUE" planner defect.
+
+    python examples/minimize_and_verify.py
+"""
+
+from repro.core import Campaign, LogicOracle, minimize_poc
+from repro.dialects import dialect_by_name
+from repro.dialects.base import Dialect
+
+
+def main() -> int:
+    dialect = dialect_by_name("mariadb")
+    print("Step 1 — fuzzing mariadb (12k statements)...")
+    result = Campaign(dialect, budget=12_000).run()
+    print(f"  {len(result.bugs)} unique crashes found\n")
+
+    print("Step 2 — minimising every PoC:")
+    for bug in result.bugs[:8]:
+        minimized = minimize_poc(dialect, bug.sql, max_attempts=400)
+        print(f"  [{bug.crash_code}] {bug.function}")
+        print(f"     before ({len(minimized.original):>3} chars): {minimized.original}")
+        print(f"     after  ({len(minimized.minimized):>3} chars): {minimized.minimized}")
+
+    print("\nStep 3 — correctness oracles (NoREC + TLP):")
+    clean = LogicOracle(dialect).run(
+        predicates=["c0 > 0", "c1 IS NULL", "c2 BETWEEN -1 AND 1",
+                    "c0 IN (1, NULL)"]
+    )
+    print(f"  mariadb: {clean.checks} checks, "
+          f"{len(clean.violations)} violations (expected 0)")
+
+    class FaultyDialect(Dialect):
+        name = "faulty-demo"
+
+        def make_config(self):
+            config = super().make_config()
+            config["faulty_where_null_as_true"] = "1"
+            return config
+
+    buggy = LogicOracle(FaultyDialect()).run(
+        predicates=["c0 > 0", "c0 IN (1, NULL)"]
+    )
+    print(f"  faulty-demo: {len(buggy.violations)} violations (injected "
+          "'UNKNOWN treated as TRUE' planner defect)")
+    for violation in buggy.violations[:3]:
+        print(f"     {violation}")
+    assert clean.ok and not buggy.ok
+    print("\nPipeline complete.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

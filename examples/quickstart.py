@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Quickstart: fuzz a simulated DBMS with SOFT and triage what it finds.
+
+Runs a small boundary-argument campaign against the simulated DuckDB
+dialect (21 injected bugs), prints each discovered bug, and renders one
+disclosure-ready report.
+
+    python examples/quickstart.py [dialect] [budget]
+"""
+
+import sys
+
+from repro import render_bug_report, run_campaign
+
+
+def main() -> int:
+    dialect = sys.argv[1] if len(sys.argv) > 1 else "duckdb"
+    budget = int(sys.argv[2]) if len(sys.argv) > 2 else 10_000
+
+    print(f"Fuzzing {dialect} with a budget of {budget} statements...")
+    result = run_campaign(dialect, budget=budget)
+
+    print(f"\n  seeds collected:      {result.seeds_collected}")
+    print(f"  statements executed:  {result.queries_executed}")
+    print(f"  functions triggered:  {len(result.triggered_functions)}")
+    print(f"  outcomes:             {result.outcomes}")
+    print(f"  unique bugs found:    {len(result.bugs)}")
+    print(f"  false positives:      {len(result.false_positives)}")
+
+    print("\nDiscovered bugs (deduplicated by function x crash class):")
+    for bug in result.bugs:
+        status = ""
+        if bug.injected is not None:
+            status = " [fixed]" if bug.injected.fixed else " [confirmed]"
+        print(f"  {bug.crash_code:<5} {bug.function:<18} via {bug.pattern:<5}"
+              f"{status}  {bug.sql}")
+
+    if result.bugs:
+        print("\n" + "=" * 70)
+        print("Example disclosure report for the first discovery:")
+        print("=" * 70)
+        print(render_bug_report(result.bugs[0]))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""SOFT: boundary-argument testing for built-in SQL functions.
+
+Reproduction of *Understanding and Detecting SQL Function Bugs: Using
+Simple Boundary Arguments to Trigger Hundreds of DBMS Bugs* (EuroSys'25).
+
+Quickstart::
+
+    from repro import run_campaign
+
+    result = run_campaign("duckdb", budget=50_000)
+    for bug in result.bugs:
+        print(bug.function, bug.crash_code, bug.sql)
+
+Package map:
+
+* :mod:`repro.sqlast` — SQL lexer/parser/printer and AST utilities.
+* :mod:`repro.engine` — the simulated DBMS substrate (values, casting,
+  memory model, executor, coverage).
+* :mod:`repro.dialects` — seven simulated DBMSs with 132 injected bugs.
+* :mod:`repro.core` — SOFT itself (collection, patterns, runner, oracle).
+* :mod:`repro.baselines` — SQLsmith / SQLancer / SQUIRREL strategy models.
+* :mod:`repro.corpus` — the 318-bug study corpus and its analysis.
+"""
+
+from .core import (
+    BUDGET_24_HOURS,
+    BUDGET_TWO_WEEKS,
+    Campaign,
+    CampaignResult,
+    DiscoveredBug,
+    PatternEngine,
+    Runner,
+    SeedCollector,
+    boundary_literals,
+    render_bug_report,
+    run_campaign,
+)
+from .dialects import (
+    Dialect,
+    InjectedBug,
+    all_bugs,
+    all_dialect_classes,
+    bugs_for,
+    dialect_by_name,
+    dialect_names,
+)
+from .engine import Connection, Server, ServerCrashed, SQLError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BUDGET_24_HOURS", "BUDGET_TWO_WEEKS", "Campaign", "CampaignResult",
+    "Connection", "Dialect", "DiscoveredBug", "InjectedBug", "PatternEngine",
+    "Runner", "SQLError", "SeedCollector", "Server", "ServerCrashed",
+    "__version__", "all_bugs", "all_dialect_classes", "boundary_literals",
+    "bugs_for", "dialect_by_name", "dialect_names", "render_bug_report",
+    "run_campaign",
+]

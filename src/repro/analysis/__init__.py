@@ -1,0 +1,17 @@
+"""Cross-cutting result aggregation used by the benchmarks."""
+
+from .comparison import (
+    TABLE5_DIALECTS,
+    TOOL_SUPPORT,
+    ComparisonCell,
+    ComparisonTable,
+    run_comparison,
+)
+
+__all__ = [
+    "TABLE5_DIALECTS",
+    "TOOL_SUPPORT",
+    "ComparisonCell",
+    "ComparisonTable",
+    "run_comparison",
+]

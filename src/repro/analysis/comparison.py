@@ -1,0 +1,143 @@
+"""Tool-comparison harness behind Tables 5 and 6 and §7.5.
+
+Runs SOFT and the three baselines against the commonly supported dialects
+under the same query budget, with identical measurement (triggered
+functions via the engine's instrumentation; branches via the arc-coverage
+tracker), and assembles the tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..baselines import SQLancerPQS, SQLsmith, Squirrel, run_tool
+from ..core.campaign import Campaign
+from ..dialects import dialect_by_name
+
+#: dialect columns of Tables 5/6, in paper order
+TABLE5_DIALECTS = ("postgresql", "mysql", "mariadb", "clickhouse", "monetdb")
+
+#: which tools support which dialects (§7.5)
+TOOL_SUPPORT = {
+    "squirrel": ("postgresql", "mysql", "mariadb"),
+    "sqlancer": ("postgresql", "mysql", "mariadb", "clickhouse"),
+    "sqlsmith": ("postgresql", "monetdb"),
+    "soft": TABLE5_DIALECTS,
+}
+
+_TOOL_CLASSES = {
+    "squirrel": Squirrel,
+    "sqlancer": SQLancerPQS,
+    "sqlsmith": SQLsmith,
+}
+
+
+@dataclass
+class ComparisonCell:
+    """One tool × dialect measurement."""
+
+    tool: str
+    dialect: str
+    supported: bool
+    triggered_functions: int = 0
+    branch_coverage: int = 0
+    bugs_found: int = 0
+    queries: int = 0
+
+
+@dataclass
+class ComparisonTable:
+    cells: List[ComparisonCell] = field(default_factory=list)
+
+    def cell(self, tool: str, dialect: str) -> Optional[ComparisonCell]:
+        for cell in self.cells:
+            if cell.tool == tool and cell.dialect == dialect:
+                return cell
+        return None
+
+    def total(self, tool: str, metric: str) -> int:
+        return sum(
+            getattr(cell, metric)
+            for cell in self.cells
+            if cell.tool == tool and cell.supported
+        )
+
+    def increment_over(self, baseline: str, metric: str) -> int:
+        """SOFT's absolute gain over *baseline* on commonly-supported
+        dialects (the Tables 5/6 "Increment" row)."""
+        common = TOOL_SUPPORT[baseline]
+        soft_total = sum(
+            getattr(cell, metric)
+            for cell in self.cells
+            if cell.tool == "soft" and cell.dialect in common
+        )
+        base_total = sum(
+            getattr(cell, metric)
+            for cell in self.cells
+            if cell.tool == baseline and cell.dialect in common and cell.supported
+        )
+        return soft_total - base_total
+
+    def format(self, metric: str, title: str) -> str:
+        tools = ("squirrel", "sqlancer", "sqlsmith", "soft")
+        lines = [title, f"{'DBMS':<12} " + " ".join(f"{t:>10}" for t in tools)]
+        for dialect in TABLE5_DIALECTS:
+            row = [f"{dialect:<12}"]
+            for tool in tools:
+                cell = self.cell(tool, dialect)
+                if cell is None or not cell.supported:
+                    row.append(f"{'-':>10}")
+                else:
+                    row.append(f"{getattr(cell, metric):>10}")
+            lines.append(" ".join(row))
+        totals = ["Total       "] + [
+            f"{self.total(t, metric):>10}" for t in tools
+        ]
+        lines.append(" ".join(totals))
+        return "\n".join(lines)
+
+
+def run_comparison(
+    budget: int = 8_000,
+    enable_coverage: bool = True,
+    dialects: Sequence[str] = TABLE5_DIALECTS,
+    seed: int = 0,
+) -> ComparisonTable:
+    """Run the four tools across *dialects* under a shared budget."""
+    table = ComparisonTable()
+    for dialect_name in dialects:
+        for tool_name, dialect_list in TOOL_SUPPORT.items():
+            supported = dialect_name in dialect_list
+            cell = ComparisonCell(tool_name, dialect_name, supported)
+            if supported:
+                if tool_name == "soft":
+                    result = Campaign(
+                        dialect_by_name(dialect_name),
+                        budget=budget,
+                        enable_coverage=enable_coverage,
+                        seed=seed,
+                    ).run()
+                    cell.triggered_functions = len(result.triggered_functions)
+                    cell.branch_coverage = result.branch_coverage
+                    cell.bugs_found = sum(
+                        1 for b in result.bugs if b.injected is not None
+                    )
+                    cell.queries = result.queries_executed
+                else:
+                    tool = _TOOL_CLASSES[tool_name]()
+                    result = run_tool(
+                        tool,
+                        dialect_name,
+                        budget=budget,
+                        enable_coverage=enable_coverage,
+                        seed=seed,
+                    )
+                    cell.triggered_functions = len(result.triggered_functions)
+                    cell.branch_coverage = result.branch_coverage
+                    cell.bugs_found = sum(
+                        1 for b in result.bugs if b.injected is not None
+                    )
+                    cell.queries = result.queries_executed
+            table.cells.append(cell)
+    return table

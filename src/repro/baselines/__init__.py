@@ -1,0 +1,18 @@
+"""Baseline DBMS-testing tools re-implemented for the §7.5 comparison."""
+
+from .base import BaselineTool, ToolResult, run_tool
+from .sqlancer import SQLancerPQS
+from .sqlsmith import SQLsmith
+from .squirrel import Squirrel
+
+ALL_TOOLS = (Squirrel, SQLancerPQS, SQLsmith)
+
+__all__ = [
+    "ALL_TOOLS",
+    "BaselineTool",
+    "SQLancerPQS",
+    "SQLsmith",
+    "Squirrel",
+    "ToolResult",
+    "run_tool",
+]

@@ -1,0 +1,182 @@
+"""Command-line interface: ``soft <command>``.
+
+Commands:
+
+* ``soft fuzz <dialect> [--budget N] [--coverage]`` — run a SOFT campaign
+  and print the discovered bugs as disclosure-ready reports.
+* ``soft dialects`` — list the simulated DBMSs and their inventories.
+* ``soft study`` — print the bug-study summary (Findings 1-4).
+* ``soft compare [--budget N]`` — the Tables 5/6 tool comparison.
+* ``soft poc <dialect>`` — print every injected bug's PoC statement.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="soft",
+        description="Boundary-argument fuzzing for built-in SQL functions "
+        "(EuroSys'25 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_fuzz = sub.add_parser("fuzz", help="run a SOFT campaign")
+    p_fuzz.add_argument("dialect", help="target dialect name")
+    p_fuzz.add_argument("--budget", type=int, default=20_000,
+                        help="query budget (default: 20000 ≈ '24 hours')")
+    p_fuzz.add_argument("--coverage", action="store_true",
+                        help="track branch coverage (slower)")
+    p_fuzz.add_argument("--seed", type=int, default=0)
+    p_fuzz.add_argument("--reports", action="store_true",
+                        help="print full bug reports instead of one-liners")
+
+    sub.add_parser("dialects", help="list simulated DBMSs")
+    sub.add_parser("study", help="print the 318-bug study summary")
+
+    p_cmp = sub.add_parser("compare", help="tool comparison (Tables 5/6)")
+    p_cmp.add_argument("--budget", type=int, default=4_000)
+
+    p_poc = sub.add_parser("poc", help="print injected-bug PoCs")
+    p_poc.add_argument("dialect", help="target dialect name")
+
+    p_min = sub.add_parser("minimize", help="delta-debug a crashing statement")
+    p_min.add_argument("dialect", help="target dialect name")
+    p_min.add_argument("sql", help="the crashing SQL statement")
+
+    p_logic = sub.add_parser("logic", help="run the NoREC/TLP logic oracles")
+    p_logic.add_argument("dialect", help="target dialect name")
+    p_logic.add_argument("--rounds", type=int, default=40)
+
+    args = parser.parse_args(argv)
+    if args.command == "fuzz":
+        return _cmd_fuzz(args)
+    if args.command == "dialects":
+        return _cmd_dialects()
+    if args.command == "study":
+        return _cmd_study()
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "poc":
+        return _cmd_poc(args)
+    if args.command == "minimize":
+        return _cmd_minimize(args)
+    if args.command == "logic":
+        return _cmd_logic(args)
+    return 2  # pragma: no cover
+
+
+def _cmd_fuzz(args) -> int:
+    from .core import render_bug_report, run_campaign
+
+    result = run_campaign(
+        args.dialect,
+        budget=args.budget,
+        enable_coverage=args.coverage,
+        seed=args.seed,
+    )
+    print(
+        f"{result.dialect}: {result.queries_executed} queries, "
+        f"{len(result.bugs)} unique bugs, "
+        f"{len(result.triggered_functions)} functions triggered"
+        + (f", {result.branch_coverage} branches" if args.coverage else "")
+    )
+    for bug in result.bugs:
+        if args.reports:
+            print("\n" + "=" * 70)
+            print(render_bug_report(bug))
+        else:
+            print(f"  [{bug.crash_code}] {bug.function} via {bug.pattern}: {bug.sql}")
+    if result.false_positives:
+        print(f"  ({len(result.false_positives)} false positives from resource kills)")
+    return 0
+
+
+def _cmd_dialects() -> int:
+    from .dialects import all_dialect_classes, bugs_for
+
+    for cls in all_dialect_classes():
+        dialect = cls()
+        bugs = bugs_for(dialect.name)
+        print(
+            f"{dialect.name:<12} v{dialect.version:<10} "
+            f"{len(dialect.registry):>4} functions, {len(bugs):>3} injected bugs"
+        )
+    return 0
+
+
+def _cmd_study() -> int:
+    from .corpus import summarize
+
+    s = summarize()
+    print(f"Studied bugs: {s.total}  ({s.by_dbms})")
+    print(f"Backtraces: {s.with_backtrace}; stages: {s.stages}")
+    print(f"Expressions per statement: {dict(sorted(s.expression_counts.items()))}")
+    print(f"Prerequisites: {s.prerequisites}")
+    print(f"Root causes: {s.root_causes}")
+    print(f"Boundary-value share: {s.boundary_share:.1%}")
+    print("Function types (occurrences / distinct):")
+    for row in s.type_histogram:
+        print(f"  {row.family:<12} {row.occurrences:>4} / {row.unique_functions}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from .analysis import run_comparison
+
+    table = run_comparison(budget=args.budget)
+    print(table.format("triggered_functions", "Triggered built-in SQL functions"))
+    print()
+    print(table.format("branch_coverage", "Covered branches in function components"))
+    print()
+    print(table.format("bugs_found", "Unique SQL function bugs"))
+    return 0
+
+
+def _cmd_poc(args) -> int:
+    from .dialects import bugs_for
+
+    for bug in bugs_for(args.dialect.lower()):
+        status = "fixed" if bug.fixed else "confirmed"
+        print(f"-- {bug.bug_id} [{bug.crash}] via {bug.pattern} ({status})")
+        print(bug.poc)
+    return 0
+
+
+def _cmd_minimize(args) -> int:
+    from .core import minimize_poc
+    from .dialects import dialect_by_name
+
+    dialect = dialect_by_name(args.dialect)
+    try:
+        result = minimize_poc(dialect, args.sql)
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 1
+    print(f"before ({len(result.original)} chars): {result.original}")
+    print(f"after  ({len(result.minimized)} chars): {result.minimized}")
+    print(f"({result.attempts} candidate executions, "
+          f"{result.reduction:.0%} smaller)")
+    return 0
+
+
+def _cmd_logic(args) -> int:
+    from .core import LogicOracle
+    from .dialects import dialect_by_name
+
+    oracle = LogicOracle(dialect_by_name(args.dialect))
+    result = oracle.run(rounds=args.rounds)
+    print(f"{args.dialect}: {result.checks} oracle checks, "
+          f"{result.errors} rejected predicates, "
+          f"{len(result.violations)} violations")
+    for violation in result.violations:
+        print(f"  {violation}")
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

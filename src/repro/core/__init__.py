@@ -1,0 +1,41 @@
+"""SOFT — the paper's primary contribution.
+
+Seed collection from docs and regression suites, the ten
+boundary-value-generation patterns, the execution runner, the crash oracle,
+and campaign orchestration.
+"""
+
+from .campaign import (
+    BUDGET_24_HOURS,
+    BUDGET_TWO_WEEKS,
+    Campaign,
+    CampaignResult,
+    run_campaign,
+)
+from .clauses import ClauseBoundaryGenerator
+from .collect import Seed, SeedCollector
+from .literals import boundary_literals, boundary_repeat_counts
+from .logic import LogicCheckResult, LogicOracle, LogicViolation, check_norec, check_tlp
+from .minimize import MinimizationResult, Minimizer, minimize_poc
+from .oracle import CrashOracle, DiscoveredBug
+from .patterns import CAST_TARGETS, GeneratedCase, PatternEngine
+from .report import (
+    Table4Row,
+    feedback_summary,
+    format_table4,
+    render_bug_report,
+    table4_rows,
+)
+from .runner import Outcome, Runner
+
+__all__ = [
+    "BUDGET_24_HOURS", "BUDGET_TWO_WEEKS", "CAST_TARGETS", "Campaign",
+    "CampaignResult", "ClauseBoundaryGenerator", "CrashOracle",
+    "DiscoveredBug", "GeneratedCase",
+    "LogicCheckResult", "LogicOracle", "LogicViolation",
+    "MinimizationResult", "Minimizer", "Outcome", "PatternEngine", "Runner",
+    "Seed", "SeedCollector", "Table4Row", "boundary_literals",
+    "boundary_repeat_counts", "check_norec", "check_tlp",
+    "feedback_summary", "format_table4", "minimize_poc",
+    "render_bug_report", "run_campaign", "table4_rows",
+]

@@ -1,0 +1,162 @@
+"""Campaign orchestration: SOFT end-to-end against one dialect.
+
+A campaign runs the three SOFT steps (§7.1) under a *query budget* — our
+deterministic stand-in for the paper's wall-clock budgets ("24 hours",
+"two weeks" — see DESIGN.md's substitution table):
+
+1. collect seeds from the dialect's documentation and regression suite,
+2. generate boundary-argument statements with the ten patterns,
+3. execute them, deduplicating crashes through the oracle.
+
+The seeds themselves run first: they establish baseline function coverage
+(and regression suites are supposed to pass — a crashing seed would be a
+pre-existing bug, attributed to the pseudo-pattern ``"seed"``).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from ..dialects import dialect_by_name
+from ..dialects.base import Dialect
+from .collect import Seed, SeedCollector
+from .oracle import CrashOracle, DiscoveredBug
+from .patterns import GeneratedCase, PatternEngine
+from .runner import Outcome, Runner
+
+#: query budgets standing in for the paper's time budgets
+BUDGET_24_HOURS = 20_000
+BUDGET_TWO_WEEKS = 300_000
+
+
+@dataclass
+class CampaignResult:
+    """Everything the benchmarks need from one campaign."""
+
+    dialect: str
+    queries_executed: int = 0
+    seeds_collected: int = 0
+    bugs: List[DiscoveredBug] = field(default_factory=list)
+    false_positives: List[str] = field(default_factory=list)
+    triggered_functions: Set[str] = field(default_factory=set)
+    branch_coverage: int = 0
+    outcomes: dict = field(default_factory=dict)  # kind -> count
+    elapsed_seconds: float = 0.0
+
+    @property
+    def bug_count(self) -> int:
+        return len(self.bugs)
+
+    def bugs_by(self, attr: str) -> dict:
+        out: dict = {}
+        for bug in self.bugs:
+            key = getattr(bug, attr)
+            out[key] = out.get(key, 0) + 1
+        return out
+
+
+class Campaign:
+    """One SOFT campaign over one dialect."""
+
+    def __init__(
+        self,
+        dialect: Dialect,
+        budget: int = BUDGET_24_HOURS,
+        enable_coverage: bool = False,
+        seed: int = 0,
+        max_partners: int = 48,
+        stop_when_all_found: bool = False,
+    ) -> None:
+        self.dialect = dialect
+        self.budget = budget
+        self.enable_coverage = enable_coverage
+        self.rng = random.Random(seed)
+        self.max_partners = max_partners
+        self.stop_when_all_found = stop_when_all_found
+
+    # ------------------------------------------------------------------
+    def run(self) -> CampaignResult:
+        started = time.monotonic()
+        result = CampaignResult(dialect=self.dialect.name)
+        runner = Runner(self.dialect, enable_coverage=self.enable_coverage)
+        oracle = CrashOracle(self.dialect.name)
+        expected = getattr(self.dialect, "bugs", [])
+
+        collector = SeedCollector(self.dialect)
+        seeds = collector.collect()
+        result.seeds_collected = len(seeds)
+
+        # step 0: replay the regression-suite seeds, observing each
+        # function's result type (used to order partner enumeration)
+        return_types = {}
+        for seed_obj in seeds:
+            if runner.executed >= self.budget:
+                break
+            outcome = runner.run(f"SELECT {seed_obj.sql};")
+            self._record(result, oracle, outcome, "seed", runner)
+            if outcome.result_type and seed_obj.function not in return_types:
+                return_types[seed_obj.function] = outcome.result_type
+
+        engine = PatternEngine(
+            seeds,
+            rng=self.rng,
+            max_partners=self.max_partners,
+            return_types=return_types,
+        )
+        for case in engine.generate_all():
+            if runner.executed >= self.budget:
+                break
+            outcome = runner.run(case.sql)
+            self._record(result, oracle, outcome, case.pattern, runner)
+            if (
+                self.stop_when_all_found
+                and expected
+                and oracle.recall_against(expected) >= 1.0
+            ):
+                break
+
+        result.queries_executed = runner.executed
+        result.bugs = list(oracle.bugs)
+        result.false_positives = list(oracle.false_positives)
+        result.triggered_functions = runner.triggered_functions
+        result.branch_coverage = runner.branch_coverage
+        result.elapsed_seconds = time.monotonic() - started
+        return result
+
+    # ------------------------------------------------------------------
+    def _record(
+        self,
+        result: CampaignResult,
+        oracle: CrashOracle,
+        outcome: Outcome,
+        pattern: str,
+        runner: Runner,
+    ) -> None:
+        result.outcomes[outcome.kind] = result.outcomes.get(outcome.kind, 0) + 1
+        if outcome.kind == "crash" and outcome.crash is not None:
+            oracle.observe_crash(
+                outcome.crash, outcome.sql, pattern, runner.executed
+            )
+        elif outcome.kind == "resource_kill":
+            oracle.observe_resource_kill(outcome.sql, outcome.message)
+
+
+def run_campaign(
+    dialect_name: str,
+    budget: int = BUDGET_24_HOURS,
+    enable_coverage: bool = False,
+    seed: int = 0,
+    stop_when_all_found: bool = False,
+) -> CampaignResult:
+    """Convenience wrapper: run SOFT against a dialect by name."""
+    dialect = dialect_by_name(dialect_name)
+    return Campaign(
+        dialect,
+        budget=budget,
+        enable_coverage=enable_coverage,
+        seed=seed,
+        stop_when_all_found=stop_when_all_found,
+    ).run()

@@ -1,0 +1,97 @@
+"""Boundary values beyond function arguments — the §8 integration sketch.
+
+The discussion section proposes feeding SOFT's boundary-value pool into the
+*clause* positions grammar-based tools already know how to construct:
+data-sensitive operations such as ``WHERE`` comparisons, ``ORDER BY`` keys,
+``LIMIT``/``OFFSET`` amounts, and inserted row values.  This module
+implements that integration: given a table schema, it produces structurally
+fixed statements whose value slots are filled from Pattern 1.1's pool.
+
+Usage mirrors the paper's sketch — a grammar-based frontend builds the
+statement skeletons, SOFT fills in the custom values::
+
+    generator = ClauseBoundaryGenerator(table="t", columns=["c0", "c1"])
+    for sql in generator.generate():
+        runner.run(sql)
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, List, Sequence
+
+from ..sqlast import Expr, to_sql
+from .literals import boundary_literals
+
+#: clause skeletons; ``{col}`` is a column slot, ``{bound}`` a value slot
+_SKELETONS = (
+    "SELECT {col} FROM {table} WHERE {col} = {bound};",
+    "SELECT {col} FROM {table} WHERE {col} > {bound};",
+    "SELECT {col} FROM {table} WHERE {col} BETWEEN {bound} AND {bound2};",
+    "SELECT {col} FROM {table} WHERE {col} IN ({bound}, {bound2});",
+    "SELECT {col} FROM {table} ORDER BY {col} LIMIT {ibound};",
+    "SELECT {col} FROM {table} ORDER BY {bound_expr} DESC;",
+    "SELECT DISTINCT {col} FROM {table} WHERE {col} <> {bound};",
+    "SELECT {col}, COUNT(*) FROM {table} GROUP BY {col} HAVING COUNT(*) > {ibound};",
+    "INSERT INTO {table} ({col}) VALUES ({bound});",
+    "UPDATE {table} SET {col} = {bound} WHERE {col} = {bound2};",
+    "DELETE FROM {table} WHERE {col} = {bound};",
+)
+
+
+@dataclass
+class ClauseBoundaryGenerator:
+    """Fill clause-position value slots with the boundary pool."""
+
+    table: str
+    columns: Sequence[str]
+    max_cases: int = 2_000
+
+    def boundary_texts(self) -> List[str]:
+        out: List[str] = []
+        for literal in boundary_literals():
+            text = to_sql(literal)
+            if text == "*":
+                continue  # '*' is not valid in comparison positions
+            out.append(text)
+        return out
+
+    def generate(self) -> Iterator[str]:
+        """Yield boundary-filled clause statements (round-robin over
+        skeletons so a budget samples every clause kind)."""
+        bounds = self.boundary_texts()
+        integer_bounds = [b for b in bounds if b.lstrip("-(").rstrip(")").isdigit()]
+        streams = [
+            self._fill(skeleton, bounds, integer_bounds)
+            for skeleton in _SKELETONS
+        ]
+        emitted = 0
+        pending = list(streams)
+        while pending and emitted < self.max_cases:
+            still = []
+            for stream in pending:
+                batch = list(itertools.islice(stream, 1))
+                if batch:
+                    still.append(stream)
+                    yield batch[0]
+                    emitted += 1
+                    if emitted >= self.max_cases:
+                        return
+            pending = still
+
+    def _fill(
+        self, skeleton: str, bounds: List[str], integer_bounds: List[str]
+    ) -> Iterator[str]:
+        for column in self.columns:
+            for index, bound in enumerate(bounds):
+                bound2 = bounds[(index + 1) % len(bounds)]
+                ibound = integer_bounds[index % len(integer_bounds)]
+                yield skeleton.format(
+                    table=self.table,
+                    col=column,
+                    bound=bound,
+                    bound2=bound2,
+                    ibound=ibound,
+                    bound_expr=f"COALESCE({column}, {bound})",
+                )

@@ -1,0 +1,165 @@
+"""Function-expression collection (SOFT step 1, §7.1).
+
+SOFT acquires its initial function expressions from two sources, exactly as
+the paper describes:
+
+1. **Documentation scan** — every SQL function *name* in the dialect's
+   function reference.
+2. **Test-suite scan** — SQL queries from the dialect's regression suite are
+   scanned for ``name(...)`` shapes: we walk all parenthesis pairs and, when
+   the token before ``(`` is a known function name, lift the expression.
+
+The paren-pair scan intentionally does not require the whole query to parse
+(real regression suites contain dialect syntax our parser does not model);
+each lifted expression is then parsed on its own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..dialects.base import Dialect
+from ..sqlast import FuncCall, ParseError, parse_expression, to_sql, tokenize
+from ..sqlast.lexer import LexError
+from ..sqlast.tokens import Token, TokenKind
+from ..sqlast.visitor import count_function_calls
+
+
+@dataclass
+class Seed:
+    """One collected function expression."""
+
+    function: str           # lower-case function name
+    family: str             # function family per the dialect's docs
+    expression: FuncCall    # parsed expression (never mutated; clone first)
+    source: str             # originating query or "documentation"
+
+    @property
+    def sql(self) -> str:
+        return to_sql(self.expression)
+
+    @property
+    def call_count(self) -> int:
+        return count_function_calls(self.expression)
+
+
+class SeedCollector:
+    """Collects per-function seed expressions for one dialect."""
+
+    def __init__(self, dialect: Dialect, max_seeds_per_function: int = 3) -> None:
+        self.dialect = dialect
+        self.max_seeds_per_function = max_seeds_per_function
+
+    # ------------------------------------------------------------------
+    def collect(self) -> List[Seed]:
+        """Run both collection steps and return the deduplicated seeds."""
+        known = self._known_functions()
+        seeds: Dict[str, List[Seed]] = {name: [] for name in known}
+        seen_sql: Set[str] = set()
+        for query in self.dialect.test_suite():
+            for expr in self.scan_query(query, known):
+                name = expr.name.lower()
+                bucket = seeds.setdefault(name, [])
+                if len(bucket) >= self.max_seeds_per_function:
+                    continue
+                sql = to_sql(expr)
+                if sql in seen_sql:
+                    continue
+                seen_sql.add(sql)
+                bucket.append(
+                    Seed(name, self._family_of(name), expr, source=query)
+                )
+        # documentation fallback: a function never seen in the suite still
+        # gets a minimal synthetic seed so SOFT can exercise it
+        for name in known:
+            if not seeds.get(name):
+                synthetic = self._synthetic_seed(name)
+                if synthetic is not None:
+                    seeds[name] = [synthetic]
+        return [seed for bucket in seeds.values() for seed in bucket]
+
+    # ------------------------------------------------------------------
+    def _known_functions(self) -> Set[str]:
+        return {entry.name for entry in self.dialect.documentation()}
+
+    def _family_of(self, name: str) -> str:
+        try:
+            return self.dialect.registry.lookup(name).family
+        except Exception:
+            return "unknown"
+
+    # ------------------------------------------------------------------
+    def scan_query(self, query: str, known: Set[str]) -> List[FuncCall]:
+        """Lift ``name(...)`` expressions from a query via paren scanning."""
+        try:
+            tokens = tokenize(query)
+        except LexError:
+            return []
+        out: List[FuncCall] = []
+        for idx, token in enumerate(tokens):
+            if not token.is_op("("):
+                continue
+            if idx == 0:
+                continue
+            previous = tokens[idx - 1]
+            if previous.kind is not TokenKind.IDENT:
+                continue
+            if previous.text.lower() not in known:
+                continue
+            close = self._matching_paren(tokens, idx)
+            if close is None:
+                continue
+            text = query[previous.pos : self._token_end(query, tokens[close])]
+            expr = self._parse_call(text)
+            if expr is not None:
+                out.append(expr)
+        return out
+
+    @staticmethod
+    def _matching_paren(tokens: Sequence[Token], open_idx: int) -> Optional[int]:
+        depth = 0
+        for idx in range(open_idx, len(tokens)):
+            if tokens[idx].is_op("("):
+                depth += 1
+            elif tokens[idx].is_op(")"):
+                depth -= 1
+                if depth == 0:
+                    return idx
+        return None
+
+    @staticmethod
+    def _token_end(query: str, token: Token) -> int:
+        return token.pos + 1  # ')' is a single character
+
+    @staticmethod
+    def _parse_call(text: str) -> Optional[FuncCall]:
+        try:
+            expr = parse_expression(text)
+        except (ParseError, LexError, RecursionError):
+            return None
+        return expr if isinstance(expr, FuncCall) else None
+
+    # ------------------------------------------------------------------
+    def _synthetic_seed(self, name: str) -> Optional[Seed]:
+        """Build a minimal call for functions absent from the suite."""
+        try:
+            definition = self.dialect.registry.lookup(name)
+        except Exception:
+            return None
+        from ..sqlast import IntegerLit, StringLit
+
+        family_defaults = {
+            "string": StringLit("abc"),
+            "json": StringLit('{"a": 1}'),
+            "xml": StringLit("<a><b>x</b></a>"),
+            "date": StringLit("2020-05-06"),
+            "spatial": StringLit("POINT(1 2)"),
+            "inet": StringLit("127.0.0.1"),
+        }
+        default = family_defaults.get(definition.family, IntegerLit("1"))
+        import copy
+
+        args = [copy.deepcopy(default) for _ in range(definition.min_args)]
+        expr = FuncCall(name.upper(), args)
+        return Seed(name, definition.family, expr, source="documentation")

@@ -1,0 +1,52 @@
+"""Boundary literal pool — Pattern 1.1 (§6).
+
+The pool is exactly the paper's recipe::
+
+    bound → ±0.99999…, ±99999…, '', NULL, *
+
+with digit lengths *enumerated* rather than maximal: "merely attempting
+extremely large values is insufficient, as they might be rejected during
+the parsing stage … enumerating values with different digit lengths is a
+more suitable approach".
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..sqlast import DecimalLit, Expr, IntegerLit, NullLit, Star, StringLit, UnaryOp
+
+#: digit lengths enumerated for boundary numerics (paper §6: different
+#: digit lengths, because every dialect caps decimals differently)
+DIGIT_LENGTHS = (1, 5, 10, 16, 20, 31, 40, 46, 65, 80)
+
+
+def boundary_literals(digit_lengths=DIGIT_LENGTHS) -> List[Expr]:
+    """The Pattern 1.1 pool, as fresh AST nodes (callers may splice them
+    directly; generation clones seeds, not the pool)."""
+    # the cheap, famous boundary values lead the pool so bounded budgets
+    # try them for every argument before walking the digit-length ladder
+    pool: List[Expr] = [
+        StringLit(""),
+        NullLit(),
+        Star(),
+        IntegerLit("0"),
+    ]
+    for length in digit_lengths:
+        nines = "9" * length
+        pool.append(IntegerLit(nines))
+        pool.append(UnaryOp("-", IntegerLit(nines)))
+        pool.append(DecimalLit("0." + nines))
+        pool.append(UnaryOp("-", DecimalLit("0." + nines)))
+        pool.append(DecimalLit("1." + nines))
+    return pool
+
+
+#: repetition counts used by Pattern 3.1 (``REPEAT(prefix, bound)``); the
+#: last one intentionally blows the memory limit — the source of the
+#: paper's 7 false positives ("REPEAT('a', 9999999999)").
+REPEAT_BOUNDS = (9, 99, 999, 99999, 9999999999)
+
+
+def boundary_repeat_counts() -> List[int]:
+    return list(REPEAT_BOUNDS)

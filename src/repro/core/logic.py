@@ -1,0 +1,174 @@
+"""Correctness (logic-bug) oracles — the §8 "Correctness Bugs" extension.
+
+The paper's discussion section proposes extending SOFT beyond crashes with
+metamorphic oracles in the style of TLP (Rigger & Su, OOPSLA'20) and NoREC
+(Rigger & Su, ESEC/FSE'20).  This module implements both over the engine:
+
+* **NoREC** — for a predicate *p* over table *t*, the *optimized* filtered
+  count ``SELECT COUNT(*) FROM t WHERE p`` must equal the *non-optimizing*
+  reformulation's count: ``SELECT p FROM t`` evaluated row-by-row and
+  counted where strictly TRUE.
+
+* **TLP** — ternary logic partitioning: *t*'s rows split exactly into the
+  three partitions ``WHERE p``, ``WHERE NOT p``, and ``WHERE p IS NULL``;
+  the partition sizes must sum to ``COUNT(*)``.
+
+Against the reference engine both oracles are silent (asserted by the test
+suite); the classic logic defect "UNKNOWN treated as TRUE" — injectable via
+the ``faulty_where_null_as_true`` configuration hook — is caught by both.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from ..dialects.base import Dialect
+from ..engine.connection import Connection, ServerCrashed
+from ..engine.errors import SQLError
+
+
+@dataclass
+class LogicViolation:
+    """One metamorphic-oracle violation."""
+
+    oracle: str        # "norec" | "tlp"
+    predicate: str
+    expected: int
+    observed: int
+    detail: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"[{self.oracle}] {self.predicate!r}: expected {self.expected}, "
+                f"observed {self.observed} {self.detail}")
+
+
+@dataclass
+class LogicCheckResult:
+    checks: int = 0
+    errors: int = 0       # predicates the DBMS rejected (not violations)
+    violations: List[LogicViolation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+# ---------------------------------------------------------------------------
+# individual oracles
+# ---------------------------------------------------------------------------
+def check_norec(
+    connection: Connection, table: str, predicate: str
+) -> Optional[LogicViolation]:
+    """NoREC: optimized filtered count == unoptimized evaluation count."""
+    optimized = connection.execute(
+        f"SELECT COUNT(*) FROM {table} WHERE {predicate};"
+    ).scalar()
+    projected = connection.execute(f"SELECT ({predicate}) FROM {table};")
+    unoptimized = sum(
+        1
+        for row in projected.rows
+        if not row[0].is_null and row[0].as_bool()
+    )
+    if optimized.render() != str(unoptimized):
+        return LogicViolation(
+            "norec", predicate, expected=unoptimized,
+            observed=int(optimized.render()),
+            detail="(optimized WHERE vs row-by-row evaluation)",
+        )
+    return None
+
+
+def check_tlp(
+    connection: Connection, table: str, predicate: str
+) -> Optional[LogicViolation]:
+    """TLP: |p| + |NOT p| + |p IS NULL| == |t|."""
+    total = int(connection.execute(f"SELECT COUNT(*) FROM {table};").scalar().render())
+    true_part = int(connection.execute(
+        f"SELECT COUNT(*) FROM {table} WHERE {predicate};"
+    ).scalar().render())
+    false_part = int(connection.execute(
+        f"SELECT COUNT(*) FROM {table} WHERE NOT ({predicate});"
+    ).scalar().render())
+    null_part = int(connection.execute(
+        f"SELECT COUNT(*) FROM {table} WHERE ({predicate}) IS NULL;"
+    ).scalar().render())
+    partitioned = true_part + false_part + null_part
+    if partitioned != total:
+        return LogicViolation(
+            "tlp", predicate, expected=total, observed=partitioned,
+            detail=f"(TRUE {true_part} + FALSE {false_part} + NULL {null_part})",
+        )
+    return None
+
+
+# ---------------------------------------------------------------------------
+# predicate generation and the checking loop
+# ---------------------------------------------------------------------------
+def default_predicates(rng: random.Random, count: int = 40) -> List[str]:
+    """Predicates over the oracle table's columns (c0 INT, c1 VARCHAR,
+    c2 DECIMAL), biased toward NULL-producing comparisons — the inputs
+    that separate two- from three-valued logic."""
+    out: List[str] = []
+    columns = ("c0", "c1", "c2")
+    ops = ("=", "<", ">", "<=", ">=", "<>")
+    for _ in range(count):
+        roll = rng.random()
+        column = rng.choice(columns)
+        if roll < 0.35:
+            out.append(f"{column} {rng.choice(ops)} {rng.randint(-3, 3)}")
+        elif roll < 0.55:
+            out.append(f"{column} IS NULL" if rng.random() < 0.5
+                       else f"{column} IS NOT NULL")
+        elif roll < 0.7:
+            out.append(f"{column} IN ({rng.randint(0, 2)}, NULL)")
+        elif roll < 0.85:
+            out.append(f"LENGTH(COALESCE(c1, '')) {rng.choice(ops)} {rng.randint(0, 3)}")
+        else:
+            out.append(f"{column} BETWEEN {rng.randint(-2, 0)} AND {rng.randint(0, 3)}")
+    return out
+
+
+class LogicOracle:
+    """Run the NoREC and TLP oracles against one dialect."""
+
+    TABLE_SETUP = (
+        "DROP TABLE IF EXISTS logic_t;",
+        "CREATE TABLE logic_t (c0 INT, c1 VARCHAR(16), c2 DECIMAL(8, 2));",
+        "INSERT INTO logic_t VALUES (1, 'a', 0.5), (2, NULL, -1.25), "
+        "(NULL, 'b', 2.0), (0, '', NULL), (-1, 'cc', 0);",
+    )
+
+    def __init__(self, dialect: Dialect, seed: int = 0) -> None:
+        self.dialect = dialect
+        self.rng = random.Random(seed)
+
+    def run(
+        self,
+        rounds: int = 40,
+        predicates: Optional[Sequence[str]] = None,
+    ) -> LogicCheckResult:
+        connection = self.dialect.create_server().connect()
+        for statement in self.TABLE_SETUP:
+            connection.execute(statement)
+        result = LogicCheckResult()
+        candidates = list(predicates) if predicates is not None else \
+            default_predicates(self.rng, rounds)
+        for predicate in candidates:
+            for oracle in (check_norec, check_tlp):
+                result.checks += 1
+                try:
+                    violation = oracle(connection, "logic_t", predicate)
+                except SQLError:
+                    result.errors += 1
+                    continue
+                except ServerCrashed:
+                    result.errors += 1
+                    connection = self.dialect.create_server().connect()
+                    for statement in self.TABLE_SETUP:
+                        connection.execute(statement)
+                    continue
+                if violation is not None:
+                    result.violations.append(violation)
+        return result

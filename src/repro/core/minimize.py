@@ -1,0 +1,315 @@
+"""Proof-of-concept minimisation (delta debugging over the AST).
+
+Disclosure-ready reports carry *minimal* PoCs — the paper's listings are
+all one-liners.  The minimiser takes a crashing statement and greedily
+shrinks it while preserving the crash identity (same function, same crash
+class), using AST-level reductions rather than textual chunking:
+
+* drop trailing/optional arguments of function calls;
+* replace a nested call with each of its own arguments ("hoist");
+* replace argument subtrees with simple literals (1, 'a', NULL, '');
+* shrink wide numeric literals and long strings toward the shortest
+  reproducer (binary search on digit/character count);
+* shrink REPEAT counts toward the smallest crashing repetition;
+* unwrap casts;
+* drop SELECT-level baggage (other select items).
+
+The reduction loop is a fixpoint: passes repeat until no pass shrinks the
+statement further.  Every candidate runs against a fresh server, so
+minimisation is immune to crash-induced state loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from ..dialects.base import Dialect
+from ..engine.connection import ServerCrashed
+from ..engine.errors import SQLError
+from ..sqlast import (
+    Cast,
+    DecimalLit,
+    Expr,
+    FuncCall,
+    IntegerLit,
+    NullLit,
+    ParseError,
+    Select,
+    StringLit,
+    parse_statement,
+    to_sql,
+)
+from ..sqlast.visitor import clone, replace_node, walk
+
+
+@dataclass
+class CrashIdentity:
+    """What must stay invariant across reductions."""
+
+    function: str
+    crash_code: str
+
+
+@dataclass
+class MinimizationResult:
+    original: str
+    minimized: str
+    attempts: int
+    successes: int
+
+    @property
+    def reduction(self) -> float:
+        if not self.original:
+            return 0.0
+        return 1.0 - len(self.minimized) / len(self.original)
+
+
+class Minimizer:
+    """Shrinks a crashing statement for one dialect."""
+
+    def __init__(self, dialect: Dialect, max_attempts: int = 2_000) -> None:
+        self.dialect = dialect
+        self.max_attempts = max_attempts
+        self.attempts = 0
+        self.successes = 0
+
+    # ------------------------------------------------------------------
+    def crash_identity(self, sql: str) -> Optional[CrashIdentity]:
+        """Execute *sql* on a fresh server; return its crash identity."""
+        connection = self.dialect.create_server().connect()
+        try:
+            connection.execute(sql)
+            return None
+        except SQLError:
+            return None
+        except ServerCrashed as crashed:
+            return CrashIdentity(
+                crashed.crash.function or "unknown", crashed.crash.code
+            )
+        except RecursionError:
+            return None
+
+    def minimize(self, sql: str) -> MinimizationResult:
+        """Shrink *sql* while preserving its crash identity."""
+        identity = self.crash_identity(sql)
+        if identity is None:
+            raise ValueError(f"statement does not crash the server: {sql!r}")
+        current = parse_statement(sql)
+        changed = True
+        while changed and self.attempts < self.max_attempts:
+            changed = False
+            for reduction in (
+                self._drop_select_items,
+                self._hoist_nested_calls,
+                self._drop_optional_args,
+                self._simplify_subtrees,
+                self._unwrap_casts,
+                self._shrink_literals,
+            ):
+                reduced = reduction(current, identity)
+                if reduced is not None:
+                    current = reduced
+                    changed = True
+        return MinimizationResult(
+            original=sql,
+            minimized=to_sql(current) + ";",
+            attempts=self.attempts,
+            successes=self.successes,
+        )
+
+    # ------------------------------------------------------------------
+    def _still_crashes(self, stmt, identity: CrashIdentity) -> bool:
+        self.attempts += 1
+        if self.attempts > self.max_attempts:
+            return False
+        try:
+            sql = to_sql(stmt) + ";"
+            parse_statement(sql)
+        except (ParseError, TypeError):
+            return False
+        found = self.crash_identity(sql)
+        ok = (
+            found is not None
+            and found.function == identity.function
+            and found.crash_code == identity.crash_code
+        )
+        if ok:
+            self.successes += 1
+        return ok
+
+    # -- reductions ---------------------------------------------------------
+    def _drop_select_items(self, stmt, identity):
+        """SELECT a, crash(), b -> SELECT crash()."""
+        if not isinstance(stmt, Select) or len(stmt.items) <= 1:
+            return None
+        for index in range(len(stmt.items)):
+            candidate = clone(stmt)
+            candidate.items = [
+                item for i, item in enumerate(candidate.items) if i != index
+            ]
+            if self._still_crashes(candidate, identity):
+                return candidate
+        return None
+
+    def _hoist_nested_calls(self, stmt, identity):
+        """F(G(x)) -> F(x) when the crash survives without the wrapper."""
+        for node in walk(stmt):
+            if not isinstance(node, FuncCall):
+                continue
+            for arg_index, arg in enumerate(node.args):
+                if not isinstance(arg, FuncCall) or not arg.args:
+                    continue
+                for inner in arg.args:
+                    candidate = clone(stmt)
+                    # find the corresponding nodes in the clone by path
+                    target = self._find_twin(stmt, candidate, arg)
+                    twin_inner = self._find_twin(stmt, candidate, inner)
+                    if target is None or twin_inner is None:
+                        continue
+                    replace_node(candidate, target, clone(twin_inner))
+                    if self._still_crashes(candidate, identity):
+                        return candidate
+        return None
+
+    def _drop_optional_args(self, stmt, identity):
+        """F(a, b, c) -> F(a, b) when the tail argument is not needed."""
+        for node in walk(stmt):
+            if not isinstance(node, FuncCall) or len(node.args) <= 1:
+                continue
+            candidate = clone(stmt)
+            twin = self._find_twin(stmt, candidate, node)
+            if twin is None:
+                continue
+            twin.args = twin.args[:-1]
+            if self._still_crashes(candidate, identity):
+                return candidate
+        return None
+
+    def _simplify_subtrees(self, stmt, identity):
+        """Replace non-trivial argument subtrees with atomic literals."""
+        atoms: Tuple[Expr, ...] = (
+            IntegerLit("1"), StringLit("a"), NullLit(), StringLit(""),
+        )
+        for node in walk(stmt):
+            if not isinstance(node, FuncCall):
+                continue
+            for arg in node.args:
+                if isinstance(arg, (IntegerLit, StringLit, NullLit)):
+                    continue
+                for atom in atoms:
+                    candidate = clone(stmt)
+                    twin = self._find_twin(stmt, candidate, arg)
+                    if twin is None:
+                        continue
+                    replace_node(candidate, twin, clone(atom))
+                    if self._still_crashes(candidate, identity):
+                        return candidate
+        return None
+
+    def _unwrap_casts(self, stmt, identity):
+        for node in walk(stmt):
+            if not isinstance(node, Cast):
+                continue
+            candidate = clone(stmt)
+            twin = self._find_twin(stmt, candidate, node)
+            if twin is None:
+                continue
+            replace_node(candidate, twin, clone(twin.operand))
+            if self._still_crashes(candidate, identity):
+                return candidate
+        return None
+
+    def _shrink_literals(self, stmt, identity):
+        """Binary-search long strings / wide numbers to the shortest
+        still-crashing form."""
+        for node in walk(stmt):
+            if isinstance(node, StringLit) and len(node.value) > 4:
+                shrunk = self._shrink_text(
+                    stmt, node, identity,
+                    lambda twin, size: setattr(twin, "value", twin.value[:size]),
+                    len(node.value),
+                )
+                if shrunk is not None:
+                    return shrunk
+            if isinstance(node, IntegerLit) and len(node.text) > 2 \
+                    and not node.text.lower().startswith("0x"):
+                shrunk = self._shrink_text(
+                    stmt, node, identity,
+                    lambda twin, size: setattr(twin, "text", twin.text[:size] or "9"),
+                    len(node.text),
+                )
+                if shrunk is not None:
+                    return shrunk
+                shrunk = self._shrink_integer_value(stmt, node, identity)
+                if shrunk is not None:
+                    return shrunk
+            if isinstance(node, DecimalLit) and len(node.text) > 4:
+                shrunk = self._shrink_text(
+                    stmt, node, identity,
+                    lambda twin, size: setattr(
+                        twin, "text",
+                        twin.text[:max(size, 3)] if "." in twin.text[:max(size, 3)]
+                        else twin.text[:max(size, 3)] + ".9",
+                    ),
+                    len(node.text),
+                )
+                if shrunk is not None:
+                    return shrunk
+        return None
+
+    def _shrink_integer_value(self, stmt, node, identity):
+        """Binary-search an integer toward the smallest crashing value
+        (e.g. REPEAT counts shrink to just past the buggy threshold)."""
+        try:
+            value = node.value
+        except ValueError:
+            return None
+        if value <= 2:
+            return None
+        best = None
+        low, high = 1, value - 1
+        while low <= high:
+            mid = (low + high) // 2
+            candidate = clone(stmt)
+            twin = self._find_twin(stmt, candidate, node)
+            if twin is None:
+                return None
+            twin.text = str(mid)
+            if self._still_crashes(candidate, identity):
+                best = candidate
+                high = mid - 1
+            else:
+                low = mid + 1
+        return best
+
+    def _shrink_text(self, stmt, node, identity, apply_cut, length):
+        best = None
+        low, high = 1, length - 1
+        while low <= high:
+            mid = (low + high) // 2
+            candidate = clone(stmt)
+            twin = self._find_twin(stmt, candidate, node)
+            if twin is None:
+                return None
+            apply_cut(twin, mid)
+            if self._still_crashes(candidate, identity):
+                best = candidate
+                high = mid - 1
+            else:
+                low = mid + 1
+        return best
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _find_twin(original, cloned, target):
+        """Locate the clone's node occupying *target*'s preorder slot."""
+        for orig_node, clone_node in zip(walk(original), walk(cloned)):
+            if orig_node is target:
+                return clone_node
+        return None
+
+
+def minimize_poc(dialect: Dialect, sql: str, max_attempts: int = 2_000) -> MinimizationResult:
+    """Convenience wrapper around :class:`Minimizer`."""
+    return Minimizer(dialect, max_attempts=max_attempts).minimize(sql)

@@ -1,0 +1,112 @@
+"""Crash oracle: deduplication and attribution of observed crashes.
+
+A crash is identified by ``(crashing function, crash class)`` within one
+DBMS — the same granularity developers use when marking reports as
+duplicates.  When the repository's injected-bug registry knows the identity,
+the discovery is attributed to it (this is how the benchmarks check recall
+against Table 4); unknown identities are still recorded, so the oracle works
+unchanged against user-supplied dialects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..dialects.bugs import InjectedBug, find_bug
+from ..engine.errors import CrashSignal
+
+
+@dataclass
+class DiscoveredBug:
+    """One deduplicated crash discovery."""
+
+    dbms: str
+    function: str            # crashing built-in function
+    crash_code: str          # NPD | SEGV | ...
+    pattern: str             # pattern of the generated statement ("seed" if none)
+    sql: str                 # the triggering statement
+    stage: str               # parse | optimize | execute
+    backtrace: List[str]
+    message: str
+    query_index: int         # how many statements had run when it surfaced
+    injected: Optional[InjectedBug] = None
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.function, self.crash_code)
+
+    @property
+    def family(self) -> str:
+        if self.injected is not None:
+            return self.injected.family
+        return "unknown"
+
+
+class CrashOracle:
+    """Deduplicates crashes and tracks false positives for one dialect."""
+
+    def __init__(self, dbms: str) -> None:
+        self.dbms = dbms
+        self.bugs: List[DiscoveredBug] = []
+        self.false_positives: List[str] = []
+        self._seen: Set[Tuple[str, str]] = set()
+        self._fp_seen: Set[str] = set()
+
+    # ------------------------------------------------------------------
+    def observe_crash(
+        self,
+        crash: CrashSignal,
+        sql: str,
+        pattern: str,
+        query_index: int,
+    ) -> Optional[DiscoveredBug]:
+        """Record a crash; returns the discovery when it is new."""
+        function = (crash.function or "unknown").lower()
+        key = (function, crash.code)
+        if key in self._seen:
+            return None
+        self._seen.add(key)
+        discovery = DiscoveredBug(
+            dbms=self.dbms,
+            function=function,
+            crash_code=crash.code,
+            pattern=pattern,
+            sql=sql,
+            stage=crash.stage or "execute",
+            backtrace=list(crash.backtrace),
+            message=crash.message,
+            query_index=query_index,
+            injected=find_bug(self.dbms, function, crash.code),
+        )
+        self.bugs.append(discovery)
+        return discovery
+
+    def observe_resource_kill(self, sql: str, message: str = "") -> bool:
+        """Record a forcibly-terminated query (false-positive candidate).
+
+        Deduplicated by the normalised kill reason: one runaway argument
+        pattern ("REPEAT('a', 9999999999) exceeds the memory limit") is one
+        false positive no matter how many functions it was fed to — which
+        is how the paper counts its 7 FPs.
+        """
+        import re as _re
+
+        reason = _re.sub(r"\d+", "N", message or sql.split("(", 1)[0]).lower()
+        if reason in self._fp_seen:
+            return False
+        self._fp_seen.add(reason)
+        self.false_positives.append(sql)
+        return True
+
+    # ------------------------------------------------------------------
+    @property
+    def attributed(self) -> List[DiscoveredBug]:
+        return [b for b in self.bugs if b.injected is not None]
+
+    def recall_against(self, expected: List[InjectedBug]) -> float:
+        """Fraction of *expected* injected bugs discovered so far."""
+        if not expected:
+            return 1.0
+        found = {b.injected.bug_id for b in self.attributed}
+        return sum(1 for bug in expected if bug.bug_id in found) / len(expected)

@@ -1,0 +1,166 @@
+"""Bug reporting and result aggregation (Table 4 / Figure 2 surfaces).
+
+Renders discovered bugs as disclosure-ready reports (title, version, crash
+class, PoC, backtrace), rolls campaigns up into the paper's Table 4 row
+format, and produces the confirmed/fixed feedback summary behind Figure 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..dialects import all_bugs, dialect_by_name
+from ..engine.errors import CRASH_CLASSES
+from .campaign import CampaignResult
+from .oracle import DiscoveredBug
+
+
+def render_bug_report(bug: DiscoveredBug, version: Optional[str] = None) -> str:
+    """A disclosure-ready textual bug report for one discovery."""
+    if version is None:
+        try:
+            version = dialect_by_name(bug.dbms).version
+        except KeyError:
+            version = "unknown"
+    crash_label = CRASH_CLASSES[bug.crash_code].label
+    lines = [
+        f"Title: {crash_label} in {bug.function.upper()} ({bug.dbms} {version})",
+        f"Severity: crash ({bug.crash_code})",
+        f"Found by: SOFT pattern {bug.pattern}",
+        f"Stage: {bug.stage}",
+        "",
+        "Proof of concept:",
+        f"    {bug.sql}",
+        "",
+        f"Crash message: {bug.message}",
+    ]
+    if bug.backtrace:
+        lines.append("")
+        lines.append("Backtrace (innermost last):")
+        lines.extend(f"    #{i} {frame}" for i, frame in enumerate(bug.backtrace))
+    if bug.injected is not None:
+        status = "fixed" if bug.injected.fixed else "confirmed"
+        lines.append("")
+        lines.append(f"Vendor status: {status} ({bug.injected.bug_id})")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Table 4 aggregation
+# ---------------------------------------------------------------------------
+@dataclass
+class Table4Row:
+    """One row of Table 4: DBMS × function type."""
+
+    dbms: str
+    family: str
+    count: int
+    bug_types: Dict[str, int]
+    patterns: Dict[str, int]
+    confirmed: int
+    fixed: int
+
+    def bug_type_text(self) -> str:
+        return ", ".join(f"{k}({v})" for k, v in sorted(self.bug_types.items()))
+
+    def pattern_text(self) -> str:
+        return ", ".join(f"{k}({v})" for k, v in sorted(self.patterns.items()))
+
+    def status_text(self) -> str:
+        if self.fixed == self.count and self.confirmed == self.count:
+            return f"{self.count} Confirmed & Fixed"
+        parts = [f"{self.confirmed} Confirmed"]
+        if self.fixed:
+            parts.append(f"{self.fixed} Fixed")
+        return ", ".join(parts)
+
+
+def table4_rows(results: Sequence[CampaignResult]) -> List[Table4Row]:
+    """Aggregate campaign discoveries into Table 4's row structure."""
+    cells: Dict[Tuple[str, str], List[DiscoveredBug]] = {}
+    for result in results:
+        for bug in result.bugs:
+            if bug.injected is None:
+                continue
+            cells.setdefault((bug.dbms, bug.family), []).append(bug)
+    rows: List[Table4Row] = []
+    for (dbms, family), bugs in sorted(cells.items()):
+        bug_types: Dict[str, int] = {}
+        patterns: Dict[str, int] = {}
+        fixed = 0
+        for bug in bugs:
+            bug_types[bug.crash_code] = bug_types.get(bug.crash_code, 0) + 1
+            pattern = bug.injected.pattern if bug.injected else bug.pattern
+            patterns[pattern] = patterns.get(pattern, 0) + 1
+            if bug.injected and bug.injected.fixed:
+                fixed += 1
+        rows.append(
+            Table4Row(
+                dbms=dbms,
+                family=family,
+                count=len(bugs),
+                bug_types=bug_types,
+                patterns=patterns,
+                confirmed=len(bugs),
+                fixed=fixed,
+            )
+        )
+    return rows
+
+
+def format_table4(rows: Sequence[Table4Row]) -> str:
+    header = f"{'DBMS':<12} {'Function Type':<16} {'Bug Type':<34} {'Patterns':<34} Status"
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.dbms:<12} {row.family + f' ({row.count})':<16} "
+            f"{row.bug_type_text():<34} {row.pattern_text():<34} {row.status_text()}"
+        )
+    total = sum(r.count for r in rows)
+    fixed = sum(r.fixed for r in rows)
+    patterns: Dict[str, int] = {}
+    for row in rows:
+        for pattern, count in row.patterns.items():
+            fam = pattern.split(".")[0]
+            patterns[fam] = patterns.get(fam, 0) + count
+    pattern_text = ", ".join(f"{k}.x({v})" for k, v in sorted(patterns.items()))
+    lines.append("-" * len(header))
+    lines.append(
+        f"{'Total':<12} {'-':<16} {str(total) + ' Bugs':<34} "
+        f"{pattern_text:<34} {total} Confirmed, {fixed} Fixed"
+    )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Figure 2: developer feedback roll-up
+# ---------------------------------------------------------------------------
+def feedback_summary(results: Sequence[CampaignResult]) -> Dict[str, object]:
+    """Confirmed/fixed disclosure numbers (the data behind Figure 2)."""
+    discovered = [b for r in results for b in r.bugs if b.injected is not None]
+    confirmed = len(discovered)
+    fixed = sum(1 for b in discovered if b.injected.fixed)
+    highlights = []
+    for bug in discovered:
+        if bug.injected.bug_id == "CLICKHOUSE-STRI-001":
+            highlights.append(
+                "ClickHouse CTO: \"We must fix it immediately or get rid of "
+                "this function.\" (toDecimalString)"
+            )
+        if bug.dbms == "mariadb" and bug.injected.fixed:
+            highlights.append(
+                f"MariaDB hid {bug.injected.bug_id} from public view for "
+                "security reasons"
+            )
+        if bug.dbms == "postgresql":
+            highlights.append(
+                "PostgreSQL asked for the report to go directly to the "
+                "security team"
+            )
+    return {
+        "reported": confirmed,
+        "confirmed": confirmed,
+        "fixed": fixed,
+        "highlights": sorted(set(highlights)),
+    }

@@ -1,0 +1,98 @@
+"""Test-case execution against a simulated DBMS (SOFT step 3, §7.1).
+
+The runner owns a server process and a client connection, executes generated
+statements, classifies the outcome, and restarts the server after a crash —
+the in-process equivalent of the paper's Docker-container workflow.
+
+Outcome classes:
+
+* ``ok`` — statement executed, result returned.
+* ``error`` — the DBMS rejected the statement with a handled SQL error.
+* ``resource_kill`` — the statement was forcibly terminated by a resource
+  limit (e.g. ``REPEAT('a', 9999999999)``).  These are the paper's false
+  positives (§7.3: 7 FPs); the oracle tracks them separately.
+* ``crash`` — the server process died: an SQL function bug was triggered.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from ..dialects.base import Dialect
+from ..engine.connection import Connection, Server, ServerCrashed
+from ..engine.coverage import CoverageTracker
+from ..engine.errors import CrashSignal, ResourceError, SQLError
+
+
+@dataclass
+class Outcome:
+    """Classification of one executed statement."""
+
+    kind: str                      # ok | error | resource_kill | crash
+    sql: str
+    message: str = ""
+    crash: Optional[CrashSignal] = None
+    result_type: Optional[str] = None  # type of the first result cell
+
+    @property
+    def is_crash(self) -> bool:
+        return self.kind == "crash"
+
+
+class Runner:
+    """Executes statements against one dialect with restart-on-crash."""
+
+    def __init__(
+        self,
+        dialect: Dialect,
+        enable_coverage: bool = False,
+    ) -> None:
+        self.dialect = dialect
+        self.server: Server = dialect.create_server()
+        self.coverage: Optional[CoverageTracker] = None
+        if enable_coverage:
+            self.coverage = CoverageTracker()
+            self.server.ctx.coverage = self.coverage
+        self.connection: Connection = self.server.connect()
+        self.executed = 0
+        self.restarts = 0
+
+    # ------------------------------------------------------------------
+    def run(self, sql: str) -> Outcome:
+        """Execute *sql* and classify the outcome."""
+        self.executed += 1
+        try:
+            result = self.connection.execute(sql)
+            result_type = None
+            if result.rows and result.rows[0]:
+                result_type = result.rows[0][0].type_name
+            return Outcome("ok", sql, result_type=result_type)
+        except ResourceError as exc:
+            return Outcome("resource_kill", sql, message=exc.message)
+        except SQLError as exc:
+            return Outcome("error", sql, message=exc.message)
+        except ServerCrashed as exc:
+            self._restart()
+            return Outcome("crash", sql, message=str(exc), crash=exc.crash)
+        except RecursionError:
+            # treat interpreter-level recursion like a resource kill
+            self._restart()
+            return Outcome("resource_kill", sql, message="interpreter recursion limit")
+
+    def _restart(self) -> None:
+        self.restarts += 1
+        self.server.restart(keep_coverage=True)
+        if self.coverage is not None:
+            self.server.ctx.coverage = self.coverage
+        self.connection = self.server.connect()
+
+    # ------------------------------------------------------------------
+    @property
+    def triggered_functions(self):
+        return set(self.server.ctx.triggered_functions)
+
+    @property
+    def branch_coverage(self) -> int:
+        return self.coverage.branch_count if self.coverage else 0

@@ -1,0 +1,37 @@
+"""The 318-bug study corpus and its analysis pipeline (paper §3-§5)."""
+
+from .data import (
+    DBMS_COUNTS,
+    EXPRESSION_COUNT_DISTRIBUTION,
+    FUNCTION_TYPE_HISTOGRAM,
+    PREREQUISITE_COUNTS,
+    ROOT_CAUSE_COUNTS,
+    STAGE_COUNTS,
+    SYNTHESIZED,
+    StudiedBug,
+    build_corpus,
+    load_corpus,
+)
+from .study import (
+    StudySummary,
+    boundary_share,
+    classify_stage,
+    count_by_dbms,
+    expression_count_distribution,
+    extract_function_calls,
+    function_type_histogram,
+    prerequisite_distribution,
+    root_cause_distribution,
+    stage_distribution,
+    summarize,
+)
+
+__all__ = [
+    "DBMS_COUNTS", "EXPRESSION_COUNT_DISTRIBUTION",
+    "FUNCTION_TYPE_HISTOGRAM", "PREREQUISITE_COUNTS", "ROOT_CAUSE_COUNTS",
+    "STAGE_COUNTS", "SYNTHESIZED", "StudiedBug", "StudySummary",
+    "boundary_share", "build_corpus", "classify_stage", "count_by_dbms",
+    "expression_count_distribution", "extract_function_calls",
+    "function_type_histogram", "load_corpus", "prerequisite_distribution",
+    "root_cause_distribution", "stage_distribution", "summarize",
+]

@@ -1,0 +1,81 @@
+"""Corpus serialisation: export/import the 318 records as JSON.
+
+Downstream studies will want the raw records rather than our Python
+objects; the JSON form is also how a real tracker scrape would be archived
+alongside the paper.  Round-tripping is exact (asserted in the tests).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import List, Sequence, Union
+
+from .data import StudiedBug, load_corpus
+
+SCHEMA_VERSION = 1
+
+
+def corpus_to_dicts(bugs: Sequence[StudiedBug]) -> List[dict]:
+    return [
+        {
+            "bug_id": bug.bug_id,
+            "dbms": bug.dbms,
+            "title": bug.title,
+            "poc": list(bug.poc),
+            "has_backtrace": bug.has_backtrace,
+            "backtrace": list(bug.backtrace),
+            "root_cause": bug.root_cause,
+            "literal_subclass": bug.literal_subclass,
+            "fixed": bug.fixed,
+        }
+        for bug in bugs
+    ]
+
+
+def corpus_from_dicts(records: Sequence[dict]) -> List[StudiedBug]:
+    out: List[StudiedBug] = []
+    for record in records:
+        out.append(
+            StudiedBug(
+                bug_id=record["bug_id"],
+                dbms=record["dbms"],
+                title=record["title"],
+                poc=tuple(record["poc"]),
+                has_backtrace=record["has_backtrace"],
+                backtrace=tuple(record["backtrace"]),
+                root_cause=record["root_cause"],
+                literal_subclass=record.get("literal_subclass", ""),
+                fixed=record.get("fixed", True),
+            )
+        )
+    return out
+
+
+def export_corpus(
+    path: Union[str, pathlib.Path], bugs: Sequence[StudiedBug] = None
+) -> int:
+    """Write the corpus to *path* as JSON; returns the record count."""
+    if bugs is None:
+        bugs = load_corpus()
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "synthesized": True,
+        "record_count": len(bugs),
+        "records": corpus_to_dicts(bugs),
+    }
+    pathlib.Path(path).write_text(json.dumps(payload, indent=1))
+    return len(bugs)
+
+
+def import_corpus(path: Union[str, pathlib.Path]) -> List[StudiedBug]:
+    """Load a corpus JSON file written by :func:`export_corpus`."""
+    payload = json.loads(pathlib.Path(path).read_text())
+    if payload.get("schema_version") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported corpus schema {payload.get('schema_version')!r}"
+        )
+    records = corpus_from_dicts(payload["records"])
+    if len(records) != payload.get("record_count"):
+        raise ValueError("corpus record count mismatch")
+    return records

@@ -1,0 +1,224 @@
+"""Analysis pipeline over the study corpus (§4 and §5).
+
+Every statistic is *recomputed from the raw records* the way the paper
+processed scraped bug reports:
+
+* stages are classified from backtrace symbol names (Finding 1);
+* function expressions are lifted from the PoC SQL with the same
+  paren-scanning extraction SOFT uses, then classified by type (Figure 1);
+* expression counts are counted on the parsed statements (Table 2);
+* prerequisites are inferred from the PoC's statement shapes (Finding 4).
+
+Only the root-cause label is read from the record — in the paper that
+classification was the authors' manual analysis of each report and patch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..sqlast import FuncCall, ParseError, parse_statements
+from ..sqlast.visitor import find_function_calls
+from .data import (
+    FUNCTION_FAMILY,
+    LITERAL_SUBCLASS_COUNTS,
+    ROOT_CAUSE_COUNTS,
+    StudiedBug,
+    load_corpus,
+)
+
+
+# ---------------------------------------------------------------------------
+# Table 1
+# ---------------------------------------------------------------------------
+def count_by_dbms(bugs: Sequence[StudiedBug]) -> Dict[str, int]:
+    out: Dict[str, int] = {}
+    for bug in bugs:
+        out[bug.dbms] = out.get(bug.dbms, 0) + 1
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Finding 1: occurrence stages from backtraces
+# ---------------------------------------------------------------------------
+_STAGE_PREFIXES = {
+    "parse": ("sql_yyparse", "parse_", "lex_", "st_select_lex", "negate_"),
+    "optimize": ("optimize_", "fold_", "remove_eq", "subquery_planner",
+                 "preprocess_"),
+    "execute": ("item_", "evaluate_", "execsimple", "do_select", "end_send",
+                "copy_fields"),
+}
+
+
+def classify_stage(backtrace: Sequence[str]) -> Optional[str]:
+    """Classify the crash stage from backtrace symbols (innermost last)."""
+    for symbol in reversed(list(backtrace)):
+        lowered = symbol.lower()
+        for stage, prefixes in _STAGE_PREFIXES.items():
+            if lowered.startswith(prefixes):
+                return stage
+    return None
+
+
+def stage_distribution(bugs: Sequence[StudiedBug]) -> Dict[str, int]:
+    """Stage histogram over records with identifiable backtraces."""
+    out = {"execute": 0, "optimize": 0, "parse": 0}
+    for bug in bugs:
+        if not bug.has_backtrace:
+            continue
+        stage = classify_stage(bug.backtrace)
+        if stage is not None:
+            out[stage] += 1
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 1: function-type histogram from PoCs
+# ---------------------------------------------------------------------------
+def extract_function_calls(statement: str) -> List[FuncCall]:
+    """All function expressions in a statement (parser-based lift)."""
+    try:
+        parsed = parse_statements(statement)
+    except (ParseError, RecursionError):
+        return []
+    out: List[FuncCall] = []
+    for stmt in parsed:
+        out.extend(find_function_calls(stmt))
+    return out
+
+
+def classify_function(name: str) -> str:
+    """Function type per the corpus' documentation mapping."""
+    return FUNCTION_FAMILY.get(name.lower(), "other")
+
+
+@dataclass
+class TypeHistogramRow:
+    family: str
+    occurrences: int
+    unique_functions: int
+
+
+def function_type_histogram(bugs: Sequence[StudiedBug]) -> List[TypeHistogramRow]:
+    """Figure 1: occurrences and distinct functions per type, recomputed
+    from the bug-inducing statements."""
+    occurrences: Dict[str, int] = {}
+    unique: Dict[str, set] = {}
+    for bug in bugs:
+        for call in extract_function_calls(bug.bug_inducing_statement):
+            family = classify_function(call.name)
+            occurrences[family] = occurrences.get(family, 0) + 1
+            unique.setdefault(family, set()).add(call.name.lower())
+    rows = [
+        TypeHistogramRow(family, occurrences[family], len(unique[family]))
+        for family in occurrences
+    ]
+    rows.sort(key=lambda r: -r.occurrences)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Table 2 / Finding 3: expression counts
+# ---------------------------------------------------------------------------
+def expression_count_distribution(bugs: Sequence[StudiedBug]) -> Dict[int, int]:
+    """Histogram of function-expression counts per bug-inducing statement
+    (counts of 5+ are bucketed at 5, as in Table 2)."""
+    out: Dict[int, int] = {}
+    for bug in bugs:
+        count = len(extract_function_calls(bug.bug_inducing_statement))
+        bucket = min(count, 5)
+        out[bucket] = out.get(bucket, 0) + 1
+    return out
+
+
+def share_with_at_most_two(bugs: Sequence[StudiedBug]) -> float:
+    """Finding 3: fraction of statements with ≤ 2 function expressions."""
+    dist = expression_count_distribution(bugs)
+    at_most_two = dist.get(1, 0) + dist.get(2, 0) + dist.get(0, 0)
+    return at_most_two / max(len(bugs), 1)
+
+
+# ---------------------------------------------------------------------------
+# Finding 4: prerequisites inferred from PoC shapes
+# ---------------------------------------------------------------------------
+def classify_prerequisites(bug: StudiedBug) -> str:
+    has_create = any(
+        s.lstrip().upper().startswith("CREATE TABLE") for s in bug.poc
+    )
+    has_insert = any(
+        s.lstrip().upper().startswith("INSERT") for s in bug.poc
+    )
+    if has_create and has_insert:
+        return "table_and_data"
+    if has_create:
+        return "empty_table"
+    return "none"
+
+
+def prerequisite_distribution(bugs: Sequence[StudiedBug]) -> Dict[str, int]:
+    out: Dict[str, int] = {}
+    for bug in bugs:
+        kind = classify_prerequisites(bug)
+        out[kind] = out.get(kind, 0) + 1
+    return out
+
+
+# ---------------------------------------------------------------------------
+# §5: root causes
+# ---------------------------------------------------------------------------
+def root_cause_distribution(bugs: Sequence[StudiedBug]) -> Dict[str, int]:
+    out: Dict[str, int] = {}
+    for bug in bugs:
+        out[bug.root_cause] = out.get(bug.root_cause, 0) + 1
+    return out
+
+
+def boundary_share(bugs: Sequence[StudiedBug]) -> float:
+    """Headline number: fraction caused by boundary values (87.4%)."""
+    boundary = sum(
+        1
+        for bug in bugs
+        if bug.root_cause.startswith("boundary_")
+    )
+    return boundary / max(len(bugs), 1)
+
+
+def literal_subclass_distribution(bugs: Sequence[StudiedBug]) -> Dict[str, int]:
+    out: Dict[str, int] = {}
+    for bug in bugs:
+        if bug.root_cause == "boundary_literal":
+            out[bug.literal_subclass] = out.get(bug.literal_subclass, 0) + 1
+    return out
+
+
+# ---------------------------------------------------------------------------
+# one-call summary
+# ---------------------------------------------------------------------------
+@dataclass
+class StudySummary:
+    total: int
+    by_dbms: Dict[str, int]
+    stages: Dict[str, int]
+    with_backtrace: int
+    type_histogram: List[TypeHistogramRow]
+    expression_counts: Dict[int, int]
+    prerequisites: Dict[str, int]
+    root_causes: Dict[str, int]
+    boundary_share: float
+
+
+def summarize(bugs: Optional[Sequence[StudiedBug]] = None) -> StudySummary:
+    if bugs is None:
+        bugs = load_corpus()
+    return StudySummary(
+        total=len(bugs),
+        by_dbms=count_by_dbms(bugs),
+        stages=stage_distribution(bugs),
+        with_backtrace=sum(1 for b in bugs if b.has_backtrace),
+        type_histogram=function_type_histogram(bugs),
+        expression_counts=expression_count_distribution(bugs),
+        prerequisites=prerequisite_distribution(bugs),
+        root_causes=root_cause_distribution(bugs),
+        boundary_share=boundary_share(bugs),
+    )

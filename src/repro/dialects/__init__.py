@@ -1,0 +1,53 @@
+"""The seven simulated DBMS dialects and their injected-bug registry."""
+
+from typing import Dict, List, Type
+
+from .base import Dialect, DocEntry
+from .bugs import InjectedBug, all_bugs, bugs_for, find_bug, table4_totals
+
+
+def all_dialect_classes() -> List[Type[Dialect]]:
+    """The seven dialects, in the paper's Table 4 order."""
+    from .clickhouse import ClickHouseDialect
+    from .duckdb import DuckDBDialect
+    from .mariadb import MariaDBDialect
+    from .monetdb import MonetDBDialect
+    from .mysql import MySQLDialect
+    from .postgres import PostgreSQLDialect
+    from .virtuoso import VirtuosoDialect
+
+    return [
+        PostgreSQLDialect,
+        MySQLDialect,
+        MariaDBDialect,
+        ClickHouseDialect,
+        MonetDBDialect,
+        DuckDBDialect,
+        VirtuosoDialect,
+    ]
+
+
+def dialect_by_name(name: str) -> Dialect:
+    """Instantiate a dialect by its name (e.g. ``"mysql"``)."""
+    for cls in all_dialect_classes():
+        if cls.name == name.lower():
+            return cls()
+    raise KeyError(f"unknown dialect {name!r}")
+
+
+def dialect_names() -> List[str]:
+    return [cls.name for cls in all_dialect_classes()]
+
+
+__all__ = [
+    "Dialect",
+    "DocEntry",
+    "InjectedBug",
+    "all_bugs",
+    "all_dialect_classes",
+    "bugs_for",
+    "dialect_by_name",
+    "dialect_names",
+    "find_bug",
+    "table4_totals",
+]

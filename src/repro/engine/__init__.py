@@ -1,0 +1,77 @@
+"""Simulated DBMS engine substrate.
+
+The engine provides everything a dialect needs to behave like a small DBMS:
+a value/type system, casting, a simulated process-memory model, the
+three-stage query pipeline (parse → optimize → execute), a catalog, a
+built-in function library, coverage instrumentation, and a client-facing
+connection that reports crashes the way a dead server process does.
+"""
+
+from .casting import TypeLimits, cast_value
+from .catalog import Database, Table
+from .connection import Connection, ConnectionClosed, Server, ServerCrashed
+from .context import ExecutionContext
+from .coverage import CoverageTracker
+from .errors import (
+    CRASH_CLASSES,
+    AssertionFailure,
+    CrashSignal,
+    DivideByZeroCrash,
+    DivisionByZeroError_,
+    FeatureError,
+    GlobalBufferOverflow,
+    HeapBufferOverflow,
+    NameError_,
+    NullPointerDereference,
+    ResourceError,
+    SegmentationViolation,
+    SQLError,
+    StackOverflow,
+    SyntaxError_,
+    TypeError_,
+    UseAfterFree,
+    ValueError_,
+)
+from .executor import Executor, Result
+from .functions import FunctionDef, FunctionRegistry, build_base_registry
+from .memory import Buffer, CallStack, GlobalBuffer, Heap, Pointer, sql_assert
+from .values import (
+    FALSE,
+    NULL,
+    TRUE,
+    SQLArray,
+    SQLBoolean,
+    SQLBytes,
+    SQLDate,
+    SQLDateTime,
+    SQLDecimal,
+    SQLDouble,
+    SQLGeometry,
+    SQLInet,
+    SQLInteger,
+    SQLInterval,
+    SQLJson,
+    SQLMap,
+    SQLNull,
+    SQLRow,
+    SQLString,
+    SQLTime,
+    SQLValue,
+    SQLXml,
+)
+
+__all__ = [
+    "AssertionFailure", "Buffer", "CallStack", "CRASH_CLASSES", "CrashSignal",
+    "Connection", "ConnectionClosed", "CoverageTracker", "Database",
+    "DivideByZeroCrash", "DivisionByZeroError_", "ExecutionContext",
+    "Executor", "FALSE", "FeatureError", "FunctionDef", "FunctionRegistry",
+    "GlobalBuffer", "GlobalBufferOverflow", "Heap", "HeapBufferOverflow",
+    "NameError_", "NULL", "NullPointerDereference", "Pointer", "ResourceError",
+    "Result", "SegmentationViolation", "Server", "ServerCrashed", "SQLArray",
+    "SQLBoolean", "SQLBytes", "SQLDate", "SQLDateTime", "SQLDecimal",
+    "SQLDouble", "SQLError", "SQLGeometry", "SQLInet", "SQLInteger",
+    "SQLInterval", "SQLJson", "SQLMap", "SQLNull", "SQLRow", "SQLString",
+    "SQLTime", "SQLValue", "SQLXml", "StackOverflow", "SyntaxError_", "Table",
+    "TRUE", "TypeError_", "TypeLimits", "UseAfterFree", "ValueError_",
+    "build_base_registry", "cast_value", "sql_assert",
+]

@@ -1,0 +1,84 @@
+"""Catalog: databases, tables, and rows for the simulated engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..sqlast import ColumnDef, TypeName
+from .errors import NameError_, ValueError_
+from .values import SQLValue
+
+
+@dataclass
+class Column:
+    name: str
+    type_name: TypeName
+    not_null: bool = False
+
+
+class Table:
+    """An in-memory heap table."""
+
+    def __init__(self, name: str, columns: List[Column]) -> None:
+        self.name = name
+        self.columns = columns
+        self.rows: List[List[SQLValue]] = []
+
+    def column_index(self, name: str) -> int:
+        key = name.lower()
+        for idx, column in enumerate(self.columns):
+            if column.name.lower() == key:
+                return idx
+        raise NameError_(f"unknown column {name!r} in table {self.name!r}")
+
+    def insert_row(self, values: List[SQLValue]) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError_(
+                f"row has {len(values)} values for {len(self.columns)} columns"
+            )
+        for column, value in zip(self.columns, values):
+            if column.not_null and value.is_null:
+                raise ValueError_(f"column {column.name!r} is NOT NULL")
+        self.rows.append(list(values))
+
+
+class Database:
+    """A single-schema database instance."""
+
+    def __init__(self, name: str = "main") -> None:
+        self.name = name
+        self.tables: Dict[str, Table] = {}
+
+    def create_table(
+        self, name: str, columns: List[ColumnDef], if_not_exists: bool = False
+    ) -> Table:
+        key = name.lower()
+        if key in self.tables:
+            if if_not_exists:
+                return self.tables[key]
+            raise NameError_(f"table {name!r} already exists")
+        cols = [
+            Column(c.name, c.type_name, not_null="NOT NULL" in c.constraints)
+            for c in columns
+        ]
+        table = Table(name, cols)
+        self.tables[key] = table
+        return table
+
+    def drop_table(self, name: str, if_exists: bool = False) -> None:
+        key = name.lower()
+        if key not in self.tables:
+            if if_exists:
+                return
+            raise NameError_(f"unknown table {name!r}")
+        del self.tables[key]
+
+    def get_table(self, name: str) -> Table:
+        table = self.tables.get(name.lower())
+        if table is None:
+            raise NameError_(f"unknown table {name!r}")
+        return table
+
+    def reset(self) -> None:
+        self.tables.clear()

@@ -1,0 +1,122 @@
+"""Client-facing connection and simulated server-process model.
+
+The paper's harness talks to DBMSs through their Python clients and treats
+"the server died" as the bug signal.  We model the same contract:
+
+* :class:`Server` owns the process state (execution context, catalog).  A
+  :class:`CrashSignal` escaping the query pipeline kills the process.
+* :class:`Connection.execute` returns a :class:`Result`, raises
+  :class:`repro.engine.errors.SQLError` for handled errors, or raises
+  :class:`ServerCrashed` (carrying the crash) when the process dies.
+* After a crash every call raises :class:`ConnectionClosed` until the
+  harness calls :meth:`Server.restart` — the Docker-restart analogue.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, List, Optional
+
+from ..sqlast import ParseError, parse_statements
+from ..sqlast import nodes as n
+from .catalog import Database
+from .errors import CrashSignal, SQLError, SyntaxError_
+from .executor import Executor, Result
+from .optimizer import optimize_statement
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..dialects.base import Dialect
+    from .context import ExecutionContext
+
+
+class ServerCrashed(Exception):
+    """The simulated server process aborted while executing a statement."""
+
+    def __init__(self, crash: CrashSignal, sql: str) -> None:
+        super().__init__(crash.describe())
+        self.crash = crash
+        self.sql = sql
+
+
+class ConnectionClosed(Exception):
+    """The server is down (a previous statement crashed it)."""
+
+
+class Server:
+    """One simulated DBMS server process."""
+
+    def __init__(self, dialect: "Dialect") -> None:
+        self.dialect = dialect
+        self.database = Database()
+        self.ctx: "ExecutionContext" = dialect.make_context()
+        self.alive = True
+        self.crash_count = 0
+        self.queries_executed = 0
+
+    def restart(self, keep_coverage: bool = True) -> None:
+        """Restart the process: fresh memory and catalog, same binary."""
+        coverage = self.ctx.coverage if keep_coverage else None
+        triggered = set(self.ctx.triggered_functions)
+        stats = self.ctx.stats
+        self.ctx = self.dialect.make_context()
+        self.ctx.coverage = coverage
+        # function-trigger/coverage metrics are campaign-level, keep them
+        self.ctx.triggered_functions |= triggered
+        self.ctx.stats.update(stats)
+        self.database = Database()
+        self.alive = True
+
+    def connect(self) -> "Connection":
+        return Connection(self)
+
+
+class Connection:
+    """A client connection to a :class:`Server`."""
+
+    def __init__(self, server: Server) -> None:
+        self.server = server
+
+    # ------------------------------------------------------------------
+    def execute(self, sql: str) -> Result:
+        """Execute all statements in *sql*; returns the last result."""
+        server = self.server
+        if not server.alive:
+            raise ConnectionClosed("server is not running")
+        ctx = server.ctx
+        ctx.reset_query_state()
+        server.queries_executed += 1
+        ctx.stats["queries"] += 1
+        try:
+            statements = self._parse(sql)
+            result = Result()
+            executor = Executor(ctx, server.database)
+            for stmt in statements:
+                optimized = optimize_statement(ctx, stmt)
+                ctx.stage = "execute"
+                result = executor.execute(optimized)
+            return result
+        except CrashSignal as crash:
+            if crash.stage is None:
+                crash.stage = ctx.stage
+            if crash.function is None:
+                crash.function = ctx.current_function
+            server.alive = False
+            server.crash_count += 1
+            raise ServerCrashed(crash, sql) from None
+
+    def _parse(self, sql: str) -> List[n.Statement]:
+        ctx = self.server.ctx
+        ctx.stage = "parse"
+        try:
+            statements = parse_statements(sql)
+        except ParseError as exc:
+            raise SyntaxError_(str(exc)) from None
+        except RecursionError:
+            raise SyntaxError_("statement too deeply nested") from None
+        hook = getattr(self.server.dialect, "parse_hook", None)
+        if hook is not None:
+            hook(ctx, sql, statements)
+        return statements
+
+    def close(self) -> None:  # symmetry with DB-API clients
+        pass

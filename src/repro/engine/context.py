@@ -1,0 +1,75 @@
+"""Per-connection execution context for the simulated engines.
+
+The context bundles the process-level resources (heap, stack), the dialect's
+limits and configuration, the function registry, and the instrumentation
+channels (triggered-function set, coverage tracker).  One context lives for
+the lifetime of a simulated server process: a crash kills the process and
+the next connection gets a fresh context.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Set
+
+from .casting import TypeLimits
+from .memory import CallStack, Heap
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sqlast import TypeName
+    from .coverage import CoverageTracker
+    from .functions.registry import FunctionRegistry
+    from .values import SQLValue
+
+CastOverride = Callable[["ExecutionContext", "SQLValue", "TypeName"], Optional["SQLValue"]]
+
+
+class ExecutionContext:
+    """Mutable state for one simulated server process."""
+
+    def __init__(
+        self,
+        registry: "FunctionRegistry",
+        limits: Optional[TypeLimits] = None,
+        config: Optional[Dict[str, str]] = None,
+        stack_depth: int = 256,
+        seed: int = 0,
+    ) -> None:
+        self.registry = registry
+        self.limits = limits if limits is not None else TypeLimits()
+        self.config: Dict[str, str] = dict(config or {})
+        self.heap = Heap()
+        self.stack = CallStack(max_depth=stack_depth)
+        self.rng = random.Random(seed)
+        #: processing stage for crash attribution: parse | optimize | execute
+        self.stage = "execute"
+        #: names of built-in functions whose implementation actually ran
+        self.triggered_functions: Set[str] = set()
+        #: miscellaneous counters (queries, rows, casts, ...)
+        self.stats: Counter = Counter()
+        #: per-family cast overrides installed by dialects (flawed paths)
+        self.cast_overrides: Dict[str, CastOverride] = {}
+        #: optional coverage tracker (installed by the harness)
+        self.coverage: Optional["CoverageTracker"] = None
+        #: callback used by the evaluator to run scalar subqueries
+        self.execute_subquery: Optional[Callable] = None
+        #: name of the function currently being evaluated (crash attribution)
+        self.current_function: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    def note_function(self, name: str) -> None:
+        self.triggered_functions.add(name.lower())
+        self.stats["function_calls"] += 1
+
+    def reset_query_state(self) -> None:
+        """Per-query cleanup (stack unwinds, stage resets)."""
+        self.stack.reset()
+        self.stage = "execute"
+        self.current_function = None
+
+    def get_config(self, name: str, default: str = "") -> str:
+        return self.config.get(name.lower(), default)
+
+    def set_config(self, name: str, value: str) -> None:
+        self.config[name.lower()] = value

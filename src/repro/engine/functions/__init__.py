@@ -1,0 +1,51 @@
+"""Shared reference implementations of built-in SQL functions.
+
+:func:`build_base_registry` assembles the full (correct) function library;
+each dialect copies it, renames/removes functions to match its inventory,
+and patches in its injected bugs.
+"""
+
+from .registry import FAMILIES, FunctionDef, FunctionRegistry
+from .aggregate_fns import register_aggregate
+from .array_fns import register_array
+from .date_fns import register_date
+from .json_fns import register_json
+from .map_fns import register_map
+from .math_fns import register_math
+from .misc_fns import (
+    register_casting,
+    register_condition,
+    register_inet,
+    register_sequence,
+    register_system,
+)
+from .spatial_fns import register_spatial
+from .string_fns import register_string
+from .xml_fns import register_xml
+
+__all__ = [
+    "FAMILIES",
+    "FunctionDef",
+    "FunctionRegistry",
+    "build_base_registry",
+]
+
+
+def build_base_registry() -> FunctionRegistry:
+    """The complete reference function library (every family)."""
+    registry = FunctionRegistry()
+    register_string(registry)
+    register_math(registry)
+    register_aggregate(registry)
+    register_date(registry)
+    register_json(registry)
+    register_xml(registry)
+    register_array(registry)
+    register_map(registry)
+    register_spatial(registry)
+    register_inet(registry)
+    register_condition(registry)
+    register_casting(registry)
+    register_system(registry)
+    register_sequence(registry)
+    return registry

@@ -1,0 +1,393 @@
+"""Reference implementations of the date/time function family."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..casting import parse_date_text, parse_datetime_text
+from ..context import ExecutionContext
+from ..errors import TypeError_, ValueError_
+from ..values import (
+    NULL,
+    SQLDate,
+    SQLDateTime,
+    SQLInteger,
+    SQLInterval,
+    SQLRow,
+    SQLString,
+    SQLTime,
+    SQLValue,
+    days_from_civil,
+    days_in_month,
+    is_leap_year,
+)
+from .helpers import need_int, need_string, null_propagating, out_int, out_string
+from .registry import FunctionRegistry
+
+#: a fixed "current" timestamp keeps every run deterministic
+FIXED_NOW = SQLDateTime(SQLDate(2024, 6, 15), SQLTime(12, 30, 45))
+
+_DAY_NAMES = ("Monday", "Tuesday", "Wednesday", "Thursday",
+              "Friday", "Saturday", "Sunday")
+_MONTH_NAMES = ("January", "February", "March", "April", "May", "June",
+                "July", "August", "September", "October", "November", "December")
+
+
+def need_date(value: SQLValue, name: str) -> SQLDate:
+    if isinstance(value, SQLDate):
+        return value
+    if isinstance(value, SQLDateTime):
+        return value.date
+    if isinstance(value, SQLString):
+        return parse_date_text(value.value)
+    raise TypeError_(f"{name.upper()}: {value.type_name} where a date is expected")
+
+
+def need_datetime(value: SQLValue, name: str) -> SQLDateTime:
+    if isinstance(value, SQLDateTime):
+        return value
+    if isinstance(value, SQLDate):
+        return SQLDateTime(value, SQLTime(0, 0, 0))
+    if isinstance(value, SQLString):
+        return parse_datetime_text(value.value)
+    raise TypeError_(f"{name.upper()}: {value.type_name} where a datetime is expected")
+
+
+def _need_time(value: SQLValue, name: str) -> SQLTime:
+    """Accept TIME, DATETIME, or a time/datetime string."""
+    from ..casting import parse_time_text
+
+    if isinstance(value, SQLTime):
+        return value
+    if isinstance(value, SQLDateTime):
+        return value.time
+    if isinstance(value, SQLString) and ":" in value.value and "-" not in value.value:
+        return parse_time_text(value.value)
+    return need_datetime(value, name).time
+
+
+def register_date(reg: FunctionRegistry) -> None:
+    define = reg.define
+
+    @define("now", "date", min_args=0, max_args=0, pure=False,
+            signature="NOW()", doc="Current timestamp (fixed for determinism).",
+            examples=["NOW()"])
+    def fn_now(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        return FIXED_NOW
+
+    reg.alias("now", "current_timestamp", "sysdate")
+
+    @define("current_date", "date", min_args=0, max_args=0, pure=False,
+            signature="CURRENT_DATE()", doc="Current date.",
+            examples=["CURRENT_DATE()"])
+    def fn_current_date(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        return FIXED_NOW.date
+
+    reg.alias("current_date", "curdate", "today")
+
+    @define("date", "date", min_args=1, max_args=1,
+            signature="DATE(expr)", doc="Date part of the argument.",
+            examples=["DATE('2020-01-02')"])
+    @null_propagating("date")
+    def fn_date(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        return need_date(args[0], "date")
+
+    @define("timestamp", "date", min_args=1, max_args=1,
+            signature="TIMESTAMP(expr)", doc="Datetime value of the argument.",
+            examples=["TIMESTAMP('2020-01-02 03:04:05')"])
+    @null_propagating("timestamp")
+    def fn_timestamp(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        return need_datetime(args[0], "timestamp")
+
+    @define("year", "date", min_args=1, max_args=1,
+            signature="YEAR(date)", doc="Year of the date.",
+            examples=["YEAR('2020-05-06')"])
+    @null_propagating("year")
+    def fn_year(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        return out_int(need_date(args[0], "year").year)
+
+    @define("month", "date", min_args=1, max_args=1,
+            signature="MONTH(date)", doc="Month (1-12).",
+            examples=["MONTH('2020-05-06')"])
+    @null_propagating("month")
+    def fn_month(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        return out_int(need_date(args[0], "month").month)
+
+    @define("day", "date", min_args=1, max_args=1,
+            signature="DAY(date)", doc="Day of month.",
+            examples=["DAY('2020-05-06')"])
+    @null_propagating("day")
+    def fn_day(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        return out_int(need_date(args[0], "day").day)
+
+    reg.alias("day", "dayofmonth")
+
+    @define("dayofweek", "date", min_args=1, max_args=1,
+            signature="DAYOFWEEK(date)", doc="1 = Sunday ... 7 = Saturday.",
+            examples=["DAYOFWEEK('2020-05-06')"])
+    @null_propagating("dayofweek")
+    def fn_dayofweek(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        days = need_date(args[0], "dayofweek").to_days()
+        return out_int(((days + 4) % 7) + 1)  # epoch 1970-01-01 was Thursday
+
+    @define("weekday", "date", min_args=1, max_args=1,
+            signature="WEEKDAY(date)", doc="0 = Monday ... 6 = Sunday.",
+            examples=["WEEKDAY('2020-05-06')"])
+    @null_propagating("weekday")
+    def fn_weekday(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        days = need_date(args[0], "weekday").to_days()
+        return out_int((days + 3) % 7)
+
+    @define("dayname", "date", min_args=1, max_args=1,
+            signature="DAYNAME(date)", doc="English weekday name.",
+            examples=["DAYNAME('2020-05-06')"])
+    @null_propagating("dayname")
+    def fn_dayname(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        days = need_date(args[0], "dayname").to_days()
+        return out_string(_DAY_NAMES[(days + 3) % 7], "dayname")
+
+    @define("monthname", "date", min_args=1, max_args=1,
+            signature="MONTHNAME(date)", doc="English month name.",
+            examples=["MONTHNAME('2020-05-06')"])
+    @null_propagating("monthname")
+    def fn_monthname(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        return out_string(_MONTH_NAMES[need_date(args[0], "monthname").month - 1], "monthname")
+
+    @define("dayofyear", "date", min_args=1, max_args=1,
+            signature="DAYOFYEAR(date)", doc="Day within the year (1-366).",
+            examples=["DAYOFYEAR('2020-05-06')"])
+    @null_propagating("dayofyear")
+    def fn_dayofyear(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        date = need_date(args[0], "dayofyear")
+        return out_int(date.to_days() - days_from_civil(date.year, 1, 1) + 1)
+
+    @define("quarter", "date", min_args=1, max_args=1,
+            signature="QUARTER(date)", doc="Quarter (1-4).",
+            examples=["QUARTER('2020-05-06')"])
+    @null_propagating("quarter")
+    def fn_quarter(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        return out_int((need_date(args[0], "quarter").month - 1) // 3 + 1)
+
+    @define("week", "date", min_args=1, max_args=2,
+            signature="WEEK(date)", doc="Week number (0-53).",
+            examples=["WEEK('2020-05-06')"])
+    @null_propagating("week")
+    def fn_week(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        date = need_date(args[0], "week")
+        jan1 = days_from_civil(date.year, 1, 1)
+        return out_int((date.to_days() - jan1 + ((jan1 + 3) % 7)) // 7)
+
+    reg.alias("week", "weekofyear")
+
+    @define("hour", "date", min_args=1, max_args=1,
+            signature="HOUR(time)", doc="Hour of the time.",
+            examples=["HOUR('12:30:45')"])
+    @null_propagating("hour")
+    def fn_hour(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        return out_int(_need_time(args[0], "hour").hour)
+
+    @define("minute", "date", min_args=1, max_args=1,
+            signature="MINUTE(time)", doc="Minute of the time.",
+            examples=["MINUTE('12:30:45')"])
+    @null_propagating("minute")
+    def fn_minute(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        return out_int(_need_time(args[0], "minute").minute)
+
+    @define("second", "date", min_args=1, max_args=1,
+            signature="SECOND(time)", doc="Second of the time.",
+            examples=["SECOND('12:30:45')"])
+    @null_propagating("second")
+    def fn_second(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        return out_int(_need_time(args[0], "second").second)
+
+    @define("extract", "date", min_args=1, max_args=2,
+            signature="EXTRACT(unit FROM expr)",
+            doc="Extract a named field from a temporal value.",
+            examples=["EXTRACT('year', '2020-05-06')"])
+    @null_propagating("extract")
+    def fn_extract(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        if len(args) == 1 and isinstance(args[0], SQLRow):
+            args = list(args[0].items)
+        if len(args) != 2:
+            raise TypeError_("EXTRACT expects a unit and a value")
+        unit = need_string(args[0], "extract").lower()
+        value = need_datetime(args[1], "extract")
+        fields = {
+            "year": value.date.year, "month": value.date.month,
+            "day": value.date.day, "hour": value.time.hour,
+            "minute": value.time.minute, "second": value.time.second,
+            "quarter": (value.date.month - 1) // 3 + 1,
+            "dow": (value.date.to_days() + 4) % 7,
+            "doy": value.date.to_days() - days_from_civil(value.date.year, 1, 1) + 1,
+            "epoch": value.date.to_days() * 86400
+            + value.time.total_microseconds() // 1_000_000,
+        }
+        if unit not in fields:
+            raise ValueError_(f"EXTRACT: unknown field {unit!r}")
+        return out_int(fields[unit])
+
+    @define("datediff", "date", min_args=2, max_args=2,
+            signature="DATEDIFF(a, b)", doc="a - b in days.",
+            examples=["DATEDIFF('2020-05-06', '2020-05-01')"])
+    @null_propagating("datediff")
+    def fn_datediff(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        a = need_date(args[0], "datediff")
+        b = need_date(args[1], "datediff")
+        return out_int(a.to_days() - b.to_days())
+
+    @define("date_add", "date", min_args=2, max_args=2,
+            signature="DATE_ADD(date, interval)", doc="Add an interval to a date.",
+            examples=["DATE_ADD('2020-05-06', INTERVAL 3 DAY)"])
+    @null_propagating("date_add")
+    def fn_date_add(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        from ..evaluator import apply_binary
+
+        base: SQLValue = need_date(args[0], "date_add")
+        delta = args[1]
+        if isinstance(delta, SQLInteger):
+            delta = SQLInterval(days=delta.value)
+        if not isinstance(delta, SQLInterval):
+            raise TypeError_("DATE_ADD expects an interval")
+        return apply_binary(ctx, "+", base, delta)
+
+    reg.alias("date_add", "adddate")
+
+    @define("date_sub", "date", min_args=2, max_args=2,
+            signature="DATE_SUB(date, interval)", doc="Subtract an interval.",
+            examples=["DATE_SUB('2020-05-06', INTERVAL 3 DAY)"])
+    @null_propagating("date_sub")
+    def fn_date_sub(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        from ..evaluator import apply_binary
+
+        base: SQLValue = need_date(args[0], "date_sub")
+        delta = args[1]
+        if isinstance(delta, SQLInteger):
+            delta = SQLInterval(days=delta.value)
+        if not isinstance(delta, SQLInterval):
+            raise TypeError_("DATE_SUB expects an interval")
+        return apply_binary(ctx, "-", base, delta)
+
+    reg.alias("date_sub", "subdate")
+
+    @define("last_day", "date", min_args=1, max_args=1,
+            signature="LAST_DAY(date)", doc="Last day of the month.",
+            examples=["LAST_DAY('2020-02-10')"])
+    @null_propagating("last_day")
+    def fn_last_day(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        date = need_date(args[0], "last_day")
+        return SQLDate(date.year, date.month, days_in_month(date.year, date.month))
+
+    @define("makedate", "date", min_args=2, max_args=2,
+            signature="MAKEDATE(year, dayofyear)", doc="Date from year and day.",
+            examples=["MAKEDATE(2020, 100)"])
+    @null_propagating("makedate")
+    def fn_makedate(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        year = need_int(args[0], "makedate")
+        doy = need_int(args[1], "makedate")
+        if doy < 1:
+            return NULL
+        if not 0 <= year <= 9999:
+            raise ValueError_(f"MAKEDATE year {year} out of range")
+        return SQLDate.from_days(days_from_civil(year, 1, 1) + doy - 1)
+
+    @define("to_days", "date", min_args=1, max_args=1,
+            signature="TO_DAYS(date)", doc="Days since year 0.",
+            examples=["TO_DAYS('2020-05-06')"])
+    @null_propagating("to_days")
+    def fn_to_days(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        date = need_date(args[0], "to_days")
+        return out_int(date.to_days() - days_from_civil(0, 1, 1))
+
+    @define("from_days", "date", min_args=1, max_args=1,
+            signature="FROM_DAYS(n)", doc="Date from days since year 0.",
+            examples=["FROM_DAYS(738000)"])
+    @null_propagating("from_days")
+    def fn_from_days(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        n = need_int(args[0], "from_days")
+        return SQLDate.from_days(n + days_from_civil(0, 1, 1))
+
+    @define("unix_timestamp", "date", min_args=0, max_args=1, pure=False,
+            signature="UNIX_TIMESTAMP([datetime])", doc="Seconds since the epoch.",
+            examples=["UNIX_TIMESTAMP('2020-05-06 00:00:00')"])
+    def fn_unix_timestamp(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        target = need_datetime(args[0], "unix_timestamp") if args and not args[0].is_null else FIXED_NOW
+        seconds = target.date.to_days() * 86400 + target.time.total_microseconds() // 1_000_000
+        return out_int(seconds)
+
+    @define("from_unixtime", "date", min_args=1, max_args=1,
+            signature="FROM_UNIXTIME(seconds)", doc="Datetime from epoch seconds.",
+            examples=["FROM_UNIXTIME(1588723200)"])
+    @null_propagating("from_unixtime")
+    def fn_from_unixtime(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        seconds = need_int(args[0], "from_unixtime")
+        days, rem = divmod(seconds, 86400)
+        hour, rem = divmod(rem, 3600)
+        minute, second = divmod(rem, 60)
+        return SQLDateTime(SQLDate.from_days(days), SQLTime(hour, minute, second))
+
+    @define("date_format", "date", min_args=2, max_args=2,
+            signature="DATE_FORMAT(date, format)",
+            doc="Format a date with %Y/%m/%d/%H/%i/%s specifiers.",
+            examples=["DATE_FORMAT('2020-05-06', '%Y-%m')"])
+    @null_propagating("date_format")
+    def fn_date_format(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        value = need_datetime(args[0], "date_format")
+        fmt = need_string(args[1], "date_format")
+        out: List[str] = []
+        i = 0
+        while i < len(fmt):
+            ch = fmt[i]
+            if ch == "%" and i + 1 < len(fmt):
+                spec = fmt[i + 1]
+                mapping = {
+                    "Y": f"{value.date.year:04d}",
+                    "y": f"{value.date.year % 100:02d}",
+                    "m": f"{value.date.month:02d}",
+                    "c": str(value.date.month),
+                    "d": f"{value.date.day:02d}",
+                    "e": str(value.date.day),
+                    "H": f"{value.time.hour:02d}",
+                    "i": f"{value.time.minute:02d}",
+                    "s": f"{value.time.second:02d}",
+                    "M": _MONTH_NAMES[value.date.month - 1],
+                    "W": _DAY_NAMES[(value.date.to_days() + 3) % 7],
+                    "%": "%",
+                }
+                out.append(mapping.get(spec, "%" + spec))
+                i += 2
+            else:
+                out.append(ch)
+                i += 1
+        return out_string("".join(out), "date_format")
+
+    @define("str_to_date", "date", min_args=2, max_args=2,
+            signature="STR_TO_DATE(str, format)", doc="Parse a date (subset of %Y-%m-%d).",
+            examples=["STR_TO_DATE('2020-05-06', '%Y-%m-%d')"])
+    @null_propagating("str_to_date")
+    def fn_str_to_date(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        text = need_string(args[0], "str_to_date")
+        try:
+            return parse_date_text(text)
+        except ValueError_:
+            return NULL
+
+    @define("maketime", "date", min_args=3, max_args=3,
+            signature="MAKETIME(h, m, s)", doc="Time from components.",
+            examples=["MAKETIME(10, 30, 0)"])
+    @null_propagating("maketime")
+    def fn_maketime(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        hour = need_int(args[0], "maketime")
+        minute = need_int(args[1], "maketime")
+        second = need_int(args[2], "maketime")
+        if not (0 <= hour < 24 and 0 <= minute < 60 and 0 <= second < 60):
+            return NULL
+        return SQLTime(hour, minute, second)
+
+    @define("is_leap_year", "date", min_args=1, max_args=1,
+            signature="IS_LEAP_YEAR(year)", doc="Leap-year test.",
+            examples=["IS_LEAP_YEAR(2024)"])
+    @null_propagating("is_leap_year")
+    def fn_is_leap_year(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        from .helpers import out_bool
+
+        return out_bool(is_leap_year(need_int(args[0], "is_leap_year")))

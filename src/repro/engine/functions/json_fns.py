@@ -1,0 +1,353 @@
+"""Reference implementations of the JSON function family (plus MariaDB-style
+dynamic columns, whose PoCs appear throughout the paper's study)."""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from ..context import ExecutionContext
+from ..errors import TypeError_, ValueError_
+from ..json_impl import (
+    eval_json_path,
+    json_depth,
+    json_parse,
+    json_serialize,
+    parse_json_path,
+)
+from ..values import (
+    NULL,
+    SQLJson,
+    SQLMap,
+    SQLString,
+    SQLValue,
+)
+from .helpers import need_int, need_json, need_string, null_propagating, out_bool, out_int, out_string
+from .registry import FunctionRegistry
+
+
+def _doc_of(ctx: ExecutionContext, value: SQLValue, name: str) -> Any:
+    return need_json(ctx, value, name)
+
+
+def register_json(reg: FunctionRegistry) -> None:
+    define = reg.define
+
+    @define("json_valid", "json", min_args=1, max_args=1,
+            signature="JSON_VALID(str)", doc="True when the string parses as JSON.",
+            examples=["JSON_VALID('{\"a\": 1}')"])
+    @null_propagating("json_valid")
+    def fn_json_valid(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        if isinstance(args[0], SQLJson):
+            return out_bool(True)
+        try:
+            json_parse(need_string(args[0], "json_valid"), stack=ctx.stack,
+                       max_depth=ctx.limits.json_max_depth, function="json_valid")
+            return out_bool(True)
+        except ValueError_:
+            return out_bool(False)
+
+    @define("json_length", "json", min_args=1, max_args=2,
+            signature="JSON_LENGTH(json[, path])",
+            doc="Number of elements at the document root or path.",
+            examples=["JSON_LENGTH('[1, 2, 3]')", "JSON_LENGTH('{\"a\": 1}', '$.a')"])
+    @null_propagating("json_length")
+    def fn_json_length(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        document = _doc_of(ctx, args[0], "json_length")
+        if len(args) > 1:
+            steps = parse_json_path(need_string(args[1], "json_length"))
+            matches = eval_json_path(document, steps)
+            if not matches:
+                return NULL
+            document = matches[0]
+        if isinstance(document, (list, dict)):
+            return out_int(len(document))
+        return out_int(1)
+
+    @define("json_depth", "json", min_args=1, max_args=1,
+            signature="JSON_DEPTH(json)", doc="Maximum nesting depth.",
+            examples=["JSON_DEPTH('[[1]]')"])
+    @null_propagating("json_depth")
+    def fn_json_depth(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        return out_int(json_depth(_doc_of(ctx, args[0], "json_depth")))
+
+    @define("json_type", "json", min_args=1, max_args=1,
+            signature="JSON_TYPE(json)", doc="Type name of the root value.",
+            examples=["JSON_TYPE('[1]')"])
+    @null_propagating("json_type")
+    def fn_json_type(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        document = _doc_of(ctx, args[0], "json_type")
+        if document is None:
+            return out_string("NULL", "json_type")
+        if document is True or document is False:
+            return out_string("BOOLEAN", "json_type")
+        if isinstance(document, int):
+            return out_string("INTEGER", "json_type")
+        if isinstance(document, float):
+            return out_string("DOUBLE", "json_type")
+        if isinstance(document, str):
+            return out_string("STRING", "json_type")
+        if isinstance(document, list):
+            return out_string("ARRAY", "json_type")
+        return out_string("OBJECT", "json_type")
+
+    @define("json_extract", "json", min_args=2,
+            signature="JSON_EXTRACT(json, path, ...)",
+            doc="Extract values at the given paths.",
+            examples=["JSON_EXTRACT('{\"a\": [1, 2]}', '$.a[1]')"])
+    @null_propagating("json_extract")
+    def fn_json_extract(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        document = _doc_of(ctx, args[0], "json_extract")
+        results: List[Any] = []
+        for path_arg in args[1:]:
+            steps = parse_json_path(need_string(path_arg, "json_extract"))
+            results.extend(eval_json_path(document, steps))
+        if not results:
+            return NULL
+        if len(results) == 1 and len(args) == 2:
+            return SQLJson(results[0])
+        return SQLJson(results)
+
+    reg.alias("json_extract", "json_query", "json_value")
+
+    @define("json_keys", "json", min_args=1, max_args=2,
+            signature="JSON_KEYS(json[, path])", doc="Keys of the object.",
+            examples=["JSON_KEYS('{\"a\": 1, \"b\": 2}')",
+                      "JSON_KEYS('{\"a\": {\"b\": 1}}', '$.a')"])
+    @null_propagating("json_keys")
+    def fn_json_keys(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        document = _doc_of(ctx, args[0], "json_keys")
+        if len(args) > 1:
+            steps = parse_json_path(need_string(args[1], "json_keys"))
+            matches = eval_json_path(document, steps)
+            if not matches:
+                return NULL
+            document = matches[0]
+        if not isinstance(document, dict):
+            return NULL
+        return SQLJson(list(document.keys()))
+
+    @define("json_array", "json", min_args=0,
+            signature="JSON_ARRAY(v, ...)", doc="Build a JSON array.",
+            examples=["JSON_ARRAY(1, 'a', NULL)"])
+    def fn_json_array(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        from ..casting import _json_doc
+        from .helpers import reject_star
+
+        reject_star(args, "json_array")
+        return SQLJson([_json_doc(ctx, a) for a in args])
+
+    @define("json_object", "json", min_args=0,
+            signature="JSON_OBJECT(k, v, ...)", doc="Build a JSON object.",
+            examples=["JSON_OBJECT('a', 1)"])
+    def fn_json_object(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        from ..casting import _json_doc
+        from .helpers import reject_star
+
+        reject_star(args, "json_object")
+        if len(args) % 2:
+            raise TypeError_("JSON_OBJECT expects an even number of arguments")
+        document = {}
+        for key, value in zip(args[::2], args[1::2]):
+            if key.is_null:
+                raise ValueError_("JSON_OBJECT key must not be NULL")
+            document[key.render()] = _json_doc(ctx, value)
+        return SQLJson(document)
+
+    @define("json_quote", "json", min_args=1, max_args=1,
+            signature="JSON_QUOTE(str)", doc="Quote a string as a JSON literal.",
+            examples=["JSON_QUOTE('a\"b')"])
+    @null_propagating("json_quote")
+    def fn_json_quote(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        return out_string(json_serialize(need_string(args[0], "json_quote")), "json_quote")
+
+    @define("json_unquote", "json", min_args=1, max_args=1,
+            signature="JSON_UNQUOTE(json)", doc="Unquote a JSON string value.",
+            examples=["JSON_UNQUOTE('\"abc\"')"])
+    @null_propagating("json_unquote")
+    def fn_json_unquote(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        if isinstance(args[0], SQLJson):
+            document = args[0].document
+            return out_string(document if isinstance(document, str)
+                              else json_serialize(document), "json_unquote")
+        text = need_string(args[0], "json_unquote")
+        try:
+            document = json_parse(text, stack=ctx.stack,
+                                  max_depth=ctx.limits.json_max_depth,
+                                  function="json_unquote")
+        except ValueError_:
+            return out_string(text, "json_unquote")
+        if isinstance(document, str):
+            return out_string(document, "json_unquote")
+        return out_string(text, "json_unquote")
+
+    @define("json_contains", "json", min_args=2, max_args=3,
+            signature="JSON_CONTAINS(json, candidate[, path])",
+            doc="Containment test.",
+            examples=["JSON_CONTAINS('[1, 2]', '1')"])
+    @null_propagating("json_contains")
+    def fn_json_contains(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        document = _doc_of(ctx, args[0], "json_contains")
+        candidate = _doc_of(ctx, args[1], "json_contains")
+        if len(args) > 2:
+            steps = parse_json_path(need_string(args[2], "json_contains"))
+            matches = eval_json_path(document, steps)
+            if not matches:
+                return NULL
+            document = matches[0]
+
+        def contains(haystack: Any, needle: Any) -> bool:
+            if haystack == needle:
+                return True
+            if isinstance(haystack, list):
+                return any(contains(item, needle) for item in haystack)
+            if isinstance(haystack, dict) and isinstance(needle, dict):
+                return all(
+                    key in haystack and contains(haystack[key], value)
+                    for key, value in needle.items()
+                )
+            return False
+
+        return out_bool(contains(document, candidate))
+
+    @define("json_merge", "json", min_args=2,
+            signature="JSON_MERGE(json, json, ...)", doc="Merge documents.",
+            examples=["JSON_MERGE('[1]', '[2]')"])
+    @null_propagating("json_merge")
+    def fn_json_merge(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        merged = _doc_of(ctx, args[0], "json_merge")
+        for other_arg in args[1:]:
+            other = _doc_of(ctx, other_arg, "json_merge")
+            if isinstance(merged, list) and isinstance(other, list):
+                merged = merged + other
+            elif isinstance(merged, dict) and isinstance(other, dict):
+                combined = dict(merged)
+                combined.update(other)
+                merged = combined
+            else:
+                first = merged if isinstance(merged, list) else [merged]
+                second = other if isinstance(other, list) else [other]
+                merged = first + second
+        return SQLJson(merged)
+
+    reg.alias("json_merge", "json_merge_preserve")
+
+    @define("json_set", "json", min_args=3, max_args=3,
+            signature="JSON_SET(json, path, value)",
+            doc="Set the value at a path (top-level member or index only).",
+            examples=["JSON_SET('{\"a\": 1}', '$.a', 2)"])
+    @null_propagating("json_set")
+    def fn_json_set(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        import copy
+
+        from ..casting import _json_doc
+
+        document = copy.deepcopy(_doc_of(ctx, args[0], "json_set"))
+        steps = parse_json_path(need_string(args[1], "json_set"))
+        new_value = _json_doc(ctx, args[2])
+        if not steps:
+            return SQLJson(new_value)
+        parent_matches = eval_json_path(document, steps[:-1])
+        last = steps[-1]
+        for parent in parent_matches:
+            if isinstance(last, str) and isinstance(parent, dict):
+                parent[last] = new_value
+            elif isinstance(last, int) and isinstance(parent, list):
+                if 0 <= last < len(parent):
+                    parent[last] = new_value
+                else:
+                    parent.append(new_value)
+        return SQLJson(document)
+
+    @define("json_remove", "json", min_args=2, max_args=2,
+            signature="JSON_REMOVE(json, path)", doc="Remove the value at a path.",
+            examples=["JSON_REMOVE('{\"a\": 1}', '$.a')"])
+    @null_propagating("json_remove")
+    def fn_json_remove(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        import copy
+
+        document = copy.deepcopy(_doc_of(ctx, args[0], "json_remove"))
+        steps = parse_json_path(need_string(args[1], "json_remove"))
+        if not steps:
+            raise ValueError_("JSON_REMOVE cannot remove the document root")
+        parent_matches = eval_json_path(document, steps[:-1])
+        last = steps[-1]
+        for parent in parent_matches:
+            if isinstance(last, str) and isinstance(parent, dict):
+                parent.pop(last, None)
+            elif isinstance(last, int) and isinstance(parent, list):
+                if 0 <= last < len(parent):
+                    parent.pop(last)
+        return SQLJson(document)
+
+    @define("json_pretty", "json", min_args=1, max_args=1,
+            signature="JSON_PRETTY(json)", doc="Indented rendering.",
+            examples=["JSON_PRETTY('{\"a\": [1, 2]}')"])
+    @null_propagating("json_pretty")
+    def fn_json_pretty(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        document = _doc_of(ctx, args[0], "json_pretty")
+
+        def render(value: Any, indent: int) -> str:
+            pad = "  " * indent
+            if isinstance(value, list):
+                if not value:
+                    return "[]"
+                inner = ",\n".join(pad + "  " + render(v, indent + 1) for v in value)
+                return "[\n" + inner + "\n" + pad + "]"
+            if isinstance(value, dict):
+                if not value:
+                    return "{}"
+                inner = ",\n".join(
+                    f'{pad}  {json_serialize(str(k))}: {render(v, indent + 1)}'
+                    for k, v in value.items()
+                )
+                return "{\n" + inner + "\n" + pad + "}"
+            return json_serialize(value)
+
+        return out_string(render(document, 0), "json_pretty")
+
+    # -- MariaDB-style dynamic columns -----------------------------------
+    @define("column_create", "json", min_args=2,
+            signature="COLUMN_CREATE(name, value, ...)",
+            doc="Create a dynamic-column blob (modelled as a map).",
+            examples=["COLUMN_CREATE('x', 1)"])
+    def fn_column_create(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        from .helpers import reject_star
+
+        reject_star(args, "column_create")
+        if len(args) % 2:
+            raise TypeError_("COLUMN_CREATE expects name/value pairs")
+        keys = []
+        values = []
+        for key, value in zip(args[::2], args[1::2]):
+            if key.is_null:
+                raise ValueError_("COLUMN_CREATE name must not be NULL")
+            keys.append(SQLString(key.render()))
+            values.append(value)
+        return SQLMap(tuple(keys), tuple(values))
+
+    @define("column_json", "json", min_args=1, max_args=1,
+            signature="COLUMN_JSON(dyncol)",
+            doc="Render a dynamic-column blob as JSON.",
+            examples=["COLUMN_JSON(COLUMN_CREATE('x', 1))"])
+    @null_propagating("column_json")
+    def fn_column_json(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        from ..casting import _json_doc
+
+        value = args[0]
+        if not isinstance(value, SQLMap):
+            raise TypeError_("COLUMN_JSON expects a dynamic-column value")
+        document = {
+            k.render(): _json_doc(ctx, v) for k, v in zip(value.keys, value.values)
+        }
+        return out_string(json_serialize(document), "column_json")
+
+    @define("column_get", "json", min_args=2, max_args=2,
+            signature="COLUMN_GET(dyncol, name)", doc="Fetch a dynamic column.",
+            examples=["COLUMN_GET(COLUMN_CREATE('x', 1), 'x')"])
+    @null_propagating("column_get")
+    def fn_column_get(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        value = args[0]
+        if not isinstance(value, SQLMap):
+            raise TypeError_("COLUMN_GET expects a dynamic-column value")
+        found = value.lookup(SQLString(need_string(args[1], "column_get")))
+        return found if found is not None else NULL

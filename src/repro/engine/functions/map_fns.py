@@ -1,0 +1,99 @@
+"""Reference implementations of the map function family."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..context import ExecutionContext
+from ..errors import TypeError_, ValueError_
+from ..values import NULL, SQLArray, SQLMap, SQLValue
+from .helpers import null_propagating, out_bool, out_int, reject_star
+from .registry import FunctionRegistry
+
+
+def _need_map(value: SQLValue, name: str) -> SQLMap:
+    if isinstance(value, SQLMap):
+        return value
+    raise TypeError_(f"{name.upper()}: {value.type_name} where a map is expected")
+
+
+def register_map(reg: FunctionRegistry) -> None:
+    define = reg.define
+
+    @define("map_keys", "map", min_args=1, max_args=1,
+            signature="MAP_KEYS(map)", doc="Keys as an array.",
+            examples=["MAP_KEYS(MAP {1: 'a'})"])
+    @null_propagating("map_keys")
+    def fn_map_keys(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        return SQLArray(_need_map(args[0], "map_keys").keys)
+
+    @define("map_values", "map", min_args=1, max_args=1,
+            signature="MAP_VALUES(map)", doc="Values as an array.",
+            examples=["MAP_VALUES(MAP {1: 'a'})"])
+    @null_propagating("map_values")
+    def fn_map_values(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        return SQLArray(_need_map(args[0], "map_values").values)
+
+    @define("map_size", "map", min_args=1, max_args=1,
+            signature="MAP_SIZE(map)", doc="Number of entries.",
+            examples=["MAP_SIZE(MAP {1: 'a'})"])
+    @null_propagating("map_size")
+    def fn_map_size(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        return out_int(len(_need_map(args[0], "map_size").keys))
+
+    @define("map_contains", "map", min_args=2, max_args=2,
+            signature="MAP_CONTAINS(map, key)", doc="Key membership test.",
+            examples=["MAP_CONTAINS(MAP {1: 'a'}, 1)"])
+    def fn_map_contains(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        reject_star(args, "map_contains")
+        if args[0].is_null:
+            return NULL
+        mapping = _need_map(args[0], "map_contains")
+        return out_bool(any(k == args[1] for k in mapping.keys))
+
+    reg.alias("map_contains", "mapcontains")
+
+    @define("map_from_arrays", "map", min_args=2, max_args=2,
+            signature="MAP_FROM_ARRAYS(keys, values)",
+            doc="Build a map from two equal-length arrays.",
+            examples=["MAP_FROM_ARRAYS([1, 2], ['a', 'b'])"])
+    @null_propagating("map_from_arrays")
+    def fn_map_from_arrays(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        keys = args[0]
+        values = args[1]
+        if not isinstance(keys, SQLArray) or not isinstance(values, SQLArray):
+            raise TypeError_("MAP_FROM_ARRAYS expects two arrays")
+        if len(keys.items) != len(values.items):
+            raise ValueError_(
+                f"MAP_FROM_ARRAYS: {len(keys.items)} keys but {len(values.items)} values"
+            )
+        return SQLMap(keys.items, values.items)
+
+    @define("map_entries", "map", min_args=1, max_args=1,
+            signature="MAP_ENTRIES(map)", doc="Entries as an array of rows.",
+            examples=["MAP_ENTRIES(MAP {1: 'a'})"])
+    @null_propagating("map_entries")
+    def fn_map_entries(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        from ..values import SQLRow
+
+        mapping = _need_map(args[0], "map_entries")
+        return SQLArray(
+            tuple(SQLRow((k, v)) for k, v in zip(mapping.keys, mapping.values))
+        )
+
+    @define("map_concat", "map", min_args=2,
+            signature="MAP_CONCAT(map, map, ...)", doc="Merge maps (later wins).",
+            examples=["MAP_CONCAT(MAP {1: 'a'}, MAP {2: 'b'})"])
+    @null_propagating("map_concat")
+    def fn_map_concat(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        keys: List[SQLValue] = []
+        values: List[SQLValue] = []
+        for arg in args:
+            mapping = _need_map(arg, "map_concat")
+            for k, v in zip(mapping.keys, mapping.values):
+                if k in keys:
+                    values[keys.index(k)] = v
+                else:
+                    keys.append(k)
+                    values.append(v)
+        return SQLMap(tuple(keys), tuple(values))

@@ -1,0 +1,413 @@
+"""Reference implementations for the inet, condition, casting, system, and
+sequence function families."""
+
+from __future__ import annotations
+
+import decimal
+from typing import List
+
+from ..casting import parse_inet_text
+from ..context import ExecutionContext
+from ..errors import DivisionByZeroError_, TypeError_, ValueError_
+from ..values import (
+    NULL,
+    SQLBytes,
+    SQLInet,
+    SQLInteger,
+    SQLRow,
+    SQLString,
+    SQLValue,
+    is_numeric,
+    numeric_as_decimal,
+)
+from .helpers import (
+    need_decimal,
+    need_int,
+    need_string,
+    null_propagating,
+    out_bool,
+    out_int,
+    out_string,
+    reject_star,
+)
+from .registry import FunctionRegistry
+
+
+def register_inet(reg: FunctionRegistry) -> None:
+    define = reg.define
+
+    @define("inet_aton", "inet", min_args=1, max_args=1,
+            signature="INET_ATON(str)", doc="IPv4 text to integer.",
+            examples=["INET_ATON('127.0.0.1')"])
+    @null_propagating("inet_aton")
+    def fn_inet_aton(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        try:
+            addr = parse_inet_text(need_string(args[0], "inet_aton"))
+        except ValueError_:
+            return NULL
+        if addr.is_v6:
+            return NULL
+        return out_int(int.from_bytes(addr.packed, "big"))
+
+    @define("inet_ntoa", "inet", min_args=1, max_args=1,
+            signature="INET_NTOA(n)", doc="Integer to IPv4 text.",
+            examples=["INET_NTOA(2130706433)"])
+    @null_propagating("inet_ntoa")
+    def fn_inet_ntoa(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        n = need_int(args[0], "inet_ntoa")
+        if not 0 <= n <= 0xFFFFFFFF:
+            return NULL
+        return out_string(SQLInet(n.to_bytes(4, "big")).render(), "inet_ntoa")
+
+    @define("inet6_aton", "inet", min_args=1, max_args=1,
+            signature="INET6_ATON(str)", doc="IPv4/IPv6 text to packed bytes.",
+            examples=["INET6_ATON('::1')", "INET6_ATON('255.255.255.255')"])
+    @null_propagating("inet6_aton")
+    def fn_inet6_aton(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        try:
+            addr = parse_inet_text(need_string(args[0], "inet6_aton"))
+        except ValueError_:
+            return NULL
+        return SQLBytes(addr.packed)
+
+    @define("inet6_ntoa", "inet", min_args=1, max_args=1,
+            signature="INET6_NTOA(bytes)", doc="Packed bytes to address text.",
+            examples=["INET6_NTOA(INET6_ATON('::1'))"])
+    @null_propagating("inet6_ntoa")
+    def fn_inet6_ntoa(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        value = args[0]
+        if isinstance(value, SQLInet):
+            return out_string(value.render(), "inet6_ntoa")
+        if isinstance(value, SQLBytes) and len(value.value) in (4, 16):
+            return out_string(SQLInet(value.value).render(), "inet6_ntoa")
+        return NULL
+
+    @define("is_ipv4", "inet", min_args=1, max_args=1,
+            signature="IS_IPV4(str)", doc="IPv4 syntax test.",
+            examples=["IS_IPV4('1.2.3.4')"])
+    @null_propagating("is_ipv4")
+    def fn_is_ipv4(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        try:
+            addr = parse_inet_text(need_string(args[0], "is_ipv4"))
+        except ValueError_:
+            return out_bool(False)
+        return out_bool(not addr.is_v6)
+
+    @define("is_ipv6", "inet", min_args=1, max_args=1,
+            signature="IS_IPV6(str)", doc="IPv6 syntax test.",
+            examples=["IS_IPV6('::1')"])
+    @null_propagating("is_ipv6")
+    def fn_is_ipv6(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        try:
+            addr = parse_inet_text(need_string(args[0], "is_ipv6"))
+        except ValueError_:
+            return out_bool(False)
+        return out_bool(addr.is_v6)
+
+
+def register_condition(reg: FunctionRegistry) -> None:
+    define = reg.define
+
+    @define("coalesce", "condition", min_args=1,
+            signature="COALESCE(a, b, ...)", doc="First non-NULL argument.",
+            examples=["COALESCE(NULL, 2)"])
+    def fn_coalesce(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        reject_star(args, "coalesce")
+        for arg in args:
+            if not arg.is_null:
+                return arg
+        return NULL
+
+    @define("ifnull", "condition", min_args=2, max_args=2,
+            signature="IFNULL(a, b)", doc="b when a is NULL, else a.",
+            examples=["IFNULL(NULL, 'x')"])
+    def fn_ifnull(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        reject_star(args, "ifnull")
+        return args[1] if args[0].is_null else args[0]
+
+    reg.alias("ifnull", "nvl")
+
+    @define("nullif", "condition", min_args=2, max_args=2,
+            signature="NULLIF(a, b)", doc="NULL when a = b, else a.",
+            examples=["NULLIF(1, 1)", "NULLIF('FF', 0)"])
+    def fn_nullif(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        from ..evaluator import compare_values
+
+        reject_star(args, "nullif")
+        if args[0].is_null or args[1].is_null:
+            return args[0]
+        try:
+            if compare_values(ctx, args[0], args[1]) == 0:
+                return NULL
+        except TypeError_:
+            pass
+        return args[0]
+
+    @define("if", "condition", min_args=3, max_args=3,
+            signature="IF(cond, a, b)", doc="a when cond is true, else b.",
+            examples=["IF(1 > 0, 'yes', 'no')"])
+    def fn_if(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        reject_star(args, "if")
+        cond = args[0]
+        truthy = (not cond.is_null) and cond.as_bool()
+        return args[1] if truthy else args[2]
+
+    reg.alias("if", "iif")
+
+    @define("isnull", "condition", min_args=1, max_args=1,
+            signature="ISNULL(a)", doc="1 when a is NULL.",
+            examples=["ISNULL(NULL)"])
+    def fn_isnull(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        reject_star(args, "isnull")
+        return out_int(1 if args[0].is_null else 0)
+
+    @define("interval", "condition", min_args=2,
+            signature="INTERVAL(n, n1, n2, ...)",
+            doc="Index of the last argument not larger than n.",
+            examples=["INTERVAL(3, 1, 2, 5)"])
+    def fn_interval(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        reject_star(args, "interval")
+        if args[0].is_null:
+            return out_int(-1)
+        # arguments must support ordering; the reference build checks first
+        for arg in args:
+            if isinstance(arg, SQLRow):
+                raise TypeError_("INTERVAL arguments must be comparable scalars")
+        needle = need_decimal(args[0], "interval")
+        index = 0
+        for candidate in args[1:]:
+            if candidate.is_null:
+                break
+            if need_decimal(candidate, "interval") > needle:
+                break
+            index += 1
+        return out_int(index)
+
+    @define("choose", "condition", min_args=2,
+            signature="CHOOSE(n, a, b, ...)", doc="The n-th following argument.",
+            examples=["CHOOSE(2, 'a', 'b')"])
+    def fn_choose(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        reject_star(args, "choose")
+        if args[0].is_null:
+            return NULL
+        index = need_int(args[0], "choose")
+        if 1 <= index < len(args):
+            return args[index]
+        return NULL
+
+
+def register_casting(reg: FunctionRegistry) -> None:
+    define = reg.define
+
+    @define("to_char", "casting", min_args=1, max_args=2,
+            signature="TO_CHAR(value[, format])", doc="Render a value as text.",
+            examples=["TO_CHAR(123.45)"])
+    @null_propagating("to_char")
+    def fn_to_char(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        return out_string(args[0].render(), "to_char")
+
+    reg.alias("to_char", "tostring", "to_varchar")
+
+    @define("to_number", "casting", min_args=1, max_args=2,
+            signature="TO_NUMBER(str)", doc="Parse text as a number.",
+            examples=["TO_NUMBER('123.45')"])
+    @null_propagating("to_number")
+    def fn_to_number(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        from ..values import SQLDecimal
+
+        text = need_string(args[0], "to_number").strip()
+        try:
+            return SQLDecimal(decimal.Decimal(text or "0"))
+        except decimal.InvalidOperation:
+            raise ValueError_(f"TO_NUMBER: invalid number {text!r}")
+
+    @define("to_date", "casting", min_args=1, max_args=2,
+            signature="TO_DATE(str[, format])", doc="Parse text as a date.",
+            examples=["TO_DATE('2020-05-06')"])
+    @null_propagating("to_date")
+    def fn_to_date(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        from ..casting import parse_date_text
+
+        return parse_date_text(need_string(args[0], "to_date"))
+
+    @define("todecimalstring", "casting", min_args=2, max_args=2,
+            signature="TODECIMALSTRING(number, digits)",
+            doc="Render a number with a fixed number of fractional digits.",
+            examples=["TODECIMALSTRING(64.32, 5)"])
+    @null_propagating("todecimalstring")
+    def fn_todecimalstring(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        number = need_decimal(args[0], "todecimalstring")
+        digits = need_int(args[1], "todecimalstring")
+        if not 0 <= digits <= 77:
+            raise ValueError_(f"TODECIMALSTRING digits {digits} out of range")
+        quant = number.quantize(decimal.Decimal(1).scaleb(-digits),
+                                context=decimal.Context(prec=200))
+        return out_string(format(quant, "f"), "todecimalstring")
+
+    @define("typeof", "casting", min_args=1, max_args=1,
+            signature="TYPEOF(value)", doc="Runtime type name of the value.",
+            examples=["TYPEOF(1.5)"])
+    def fn_typeof(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        reject_star(args, "typeof")
+        return out_string(args[0].type_name, "typeof")
+
+    reg.alias("typeof", "pg_typeof")
+
+    @define("try_cast_int", "casting", min_args=1, max_args=1,
+            signature="TRY_CAST_INT(value)", doc="Integer or NULL on failure.",
+            examples=["TRY_CAST_INT('12x')"])
+    def fn_try_cast_int(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        reject_star(args, "try_cast_int")
+        if args[0].is_null:
+            return NULL
+        try:
+            return out_int(need_int(args[0], "try_cast_int"))
+        except (TypeError_, ValueError_):
+            return NULL
+
+
+def register_system(reg: FunctionRegistry) -> None:
+    define = reg.define
+
+    @define("version", "system", min_args=0, max_args=0, pure=False,
+            signature="VERSION()", doc="Server version string.",
+            examples=["VERSION()"])
+    def fn_version(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        return out_string(ctx.get_config("version", "repro-1.0"), "version")
+
+    @define("database", "system", min_args=0, max_args=0, pure=False,
+            signature="DATABASE()", doc="Current database name.",
+            examples=["DATABASE()"])
+    def fn_database(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        return out_string(ctx.get_config("database", "main"), "database")
+
+    reg.alias("database", "current_database", "schema")
+
+    @define("current_user", "system", min_args=0, max_args=0, pure=False,
+            signature="CURRENT_USER()", doc="Current user name.",
+            examples=["CURRENT_USER()"])
+    def fn_current_user(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        return out_string(ctx.get_config("user", "root"), "current_user")
+
+    reg.alias("current_user", "user", "session_user")
+
+    @define("connection_id", "system", min_args=0, max_args=0, pure=False,
+            signature="CONNECTION_ID()", doc="Connection identifier.",
+            examples=["CONNECTION_ID()"])
+    def fn_connection_id(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        return out_int(int(ctx.get_config("connection_id", "1")))
+
+    @define("current_setting", "system", min_args=1, max_args=1, pure=False,
+            signature="CURRENT_SETTING(name)", doc="Read a configuration value.",
+            examples=["CURRENT_SETTING('version')"])
+    @null_propagating("current_setting")
+    def fn_current_setting(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        name = need_string(args[0], "current_setting")
+        value = ctx.get_config(name)
+        if not value:
+            raise ValueError_(f"unrecognized configuration parameter {name!r}")
+        return out_string(value, "current_setting")
+
+    @define("sleep", "system", min_args=1, max_args=1, pure=False,
+            signature="SLEEP(seconds)", doc="No-op in the simulator; returns 0.",
+            examples=["SLEEP(0)"])
+    @null_propagating("sleep")
+    def fn_sleep(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        seconds = need_decimal(args[0], "sleep")
+        if seconds < 0:
+            raise ValueError_("SLEEP duration must be non-negative")
+        return out_int(0)
+
+    @define("benchmark", "system", min_args=2, max_args=2, pure=False,
+            signature="BENCHMARK(count, expr)",
+            doc="Pretend to evaluate expr count times; returns 0.",
+            examples=["BENCHMARK(10, 1)"])
+    def fn_benchmark(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        reject_star(args, "benchmark")
+        if args[0].is_null:
+            return NULL
+        count = need_int(args[0], "benchmark")
+        if count < 0:
+            raise ValueError_("BENCHMARK count must be non-negative")
+        return out_int(0)
+
+    @define("last_insert_id", "system", min_args=0, max_args=0, pure=False,
+            signature="LAST_INSERT_ID()", doc="Last auto-increment value.",
+            examples=["LAST_INSERT_ID()"])
+    def fn_last_insert_id(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        return out_int(int(ctx.get_config("last_insert_id", "0")))
+
+    @define("found_rows", "system", min_args=0, max_args=0, pure=False,
+            signature="FOUND_ROWS()", doc="Rows found by the last query.",
+            examples=["FOUND_ROWS()"])
+    def fn_found_rows(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        return out_int(ctx.stats.get("last_result_rows", 0))
+
+    @define("uuid", "system", min_args=0, max_args=0, pure=False,
+            signature="UUID()", doc="A deterministic pseudo-UUID.",
+            examples=["UUID()"])
+    def fn_uuid(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        raw = ctx.rng.getrandbits(128)
+        hex_str = f"{raw:032x}"
+        return out_string(
+            f"{hex_str[:8]}-{hex_str[8:12]}-{hex_str[12:16]}-{hex_str[16:20]}-{hex_str[20:]}",
+            "uuid",
+        )
+
+    @define("crc32", "system", min_args=1, max_args=1,
+            signature="CRC32(str)", doc="CRC-32 checksum.",
+            examples=["CRC32('abc')"])
+    @null_propagating("crc32")
+    def fn_crc32(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        import zlib
+
+        data = need_string(args[0], "crc32").encode("utf-8", "replace")
+        return out_int(zlib.crc32(data) & 0xFFFFFFFF)
+
+
+def register_sequence(reg: FunctionRegistry) -> None:
+    define = reg.define
+
+    def _seq_key(name: str) -> str:
+        return f"seq::{name.lower()}"
+
+    @define("nextval", "sequence", min_args=1, max_args=1, pure=False,
+            signature="NEXTVAL(name)", doc="Advance and return the sequence.",
+            examples=["NEXTVAL('s')"])
+    @null_propagating("nextval")
+    def fn_nextval(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        name = need_string(args[0], "nextval")
+        key = _seq_key(name)
+        current = int(ctx.get_config(key, "0")) + 1
+        ctx.set_config(key, str(current))
+        return out_int(current)
+
+    @define("currval", "sequence", min_args=1, max_args=1, pure=False,
+            signature="CURRVAL(name)", doc="Current value of the sequence.",
+            examples=["CURRVAL('s')"])
+    @null_propagating("currval")
+    def fn_currval(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        name = need_string(args[0], "currval")
+        value = ctx.get_config(_seq_key(name))
+        if not value:
+            raise ValueError_(f"sequence {name!r} has not been used yet")
+        return out_int(int(value))
+
+    @define("setval", "sequence", min_args=2, max_args=2, pure=False,
+            signature="SETVAL(name, value)", doc="Set the sequence value.",
+            examples=["SETVAL('s', 10)"])
+    @null_propagating("setval")
+    def fn_setval(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        name = need_string(args[0], "setval")
+        value = need_int(args[1], "setval")
+        ctx.set_config(_seq_key(name), str(value))
+        return out_int(value)
+
+    @define("lastval", "sequence", min_args=0, max_args=0, pure=False,
+            signature="LASTVAL()", doc="Most recently returned sequence value.",
+            examples=["LASTVAL()"])
+    def fn_lastval(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        for key in sorted(ctx.config):
+            if key.startswith("seq::"):
+                return out_int(int(ctx.config[key]))
+        raise ValueError_("no sequence has been used in this session")

@@ -1,0 +1,184 @@
+"""Reference implementations of the spatial function family."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..context import ExecutionContext
+from ..errors import TypeError_, ValueError_
+from ..geo import Geometry, LineString, Point, Polygon
+from ..values import NULL, SQLGeometry, SQLValue
+from .helpers import (
+    need_double,
+    need_geometry,
+    null_propagating,
+    out_bool,
+    out_double,
+    out_int,
+    out_string,
+)
+from .registry import FunctionRegistry
+
+
+def register_spatial(reg: FunctionRegistry) -> None:
+    define = reg.define
+
+    @define("st_geomfromtext", "spatial", min_args=1, max_args=2,
+            signature="ST_GEOMFROMTEXT(wkt)", doc="Parse WKT into a geometry.",
+            examples=["ST_GEOMFROMTEXT('POINT(1 2)')"])
+    @null_propagating("st_geomfromtext")
+    def fn_st_geomfromtext(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        from ..geo import wkt_parse
+        from .helpers import need_string
+
+        return SQLGeometry(wkt_parse(need_string(args[0], "st_geomfromtext")))
+
+    reg.alias("st_geomfromtext", "geomfromtext", "st_geometryfromtext")
+
+    @define("st_astext", "spatial", min_args=1, max_args=1,
+            signature="ST_ASTEXT(geom)", doc="WKT rendering of the geometry.",
+            examples=["ST_ASTEXT(ST_GEOMFROMTEXT('POINT(1 2)'))"])
+    @null_propagating("st_astext")
+    def fn_st_astext(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        shape = need_geometry(ctx, args[0], "st_astext")
+        if shape is None:
+            raise TypeError_("ST_ASTEXT: argument is not a geometry")
+        return out_string(shape.to_wkt(), "st_astext")
+
+    reg.alias("st_astext", "astext", "st_aswkt")
+
+    @define("point", "spatial", min_args=2, max_args=2,
+            signature="POINT(x, y)", doc="Construct a point.",
+            examples=["POINT(1, 2)"])
+    @null_propagating("point")
+    def fn_point(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        return SQLGeometry(
+            Point(need_double(args[0], "point"), need_double(args[1], "point"))
+        )
+
+    reg.alias("point", "st_point")
+
+    @define("st_x", "spatial", min_args=1, max_args=1,
+            signature="ST_X(point)", doc="X coordinate of a point.",
+            examples=["ST_X(POINT(1, 2))"])
+    @null_propagating("st_x")
+    def fn_st_x(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        shape = need_geometry(ctx, args[0], "st_x")
+        if not isinstance(shape, Point):
+            raise TypeError_("ST_X expects a POINT")
+        return out_double(shape.x)
+
+    @define("st_y", "spatial", min_args=1, max_args=1,
+            signature="ST_Y(point)", doc="Y coordinate of a point.",
+            examples=["ST_Y(POINT(1, 2))"])
+    @null_propagating("st_y")
+    def fn_st_y(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        shape = need_geometry(ctx, args[0], "st_y")
+        if not isinstance(shape, Point):
+            raise TypeError_("ST_Y expects a POINT")
+        return out_double(shape.y)
+
+    @define("boundary", "spatial", min_args=1, max_args=1,
+            signature="BOUNDARY(geom)", doc="Topological boundary.",
+            examples=["BOUNDARY(ST_GEOMFROMTEXT('LINESTRING(0 0, 1 1)'))"])
+    @null_propagating("boundary")
+    def fn_boundary(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        shape = need_geometry(ctx, args[0], "boundary")
+        if shape is None or not isinstance(shape, Geometry):
+            raise TypeError_("BOUNDARY: argument is not a geometry")
+        return SQLGeometry(shape.boundary())
+
+    reg.alias("boundary", "st_boundary")
+
+    @define("st_length", "spatial", min_args=1, max_args=1,
+            signature="ST_LENGTH(linestring)", doc="Length of a linestring.",
+            examples=["ST_LENGTH(ST_GEOMFROMTEXT('LINESTRING(0 0, 3 4)'))"])
+    @null_propagating("st_length")
+    def fn_st_length(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        shape = need_geometry(ctx, args[0], "st_length")
+        if not isinstance(shape, LineString):
+            return NULL
+        return out_double(shape.length())
+
+    @define("st_area", "spatial", min_args=1, max_args=1,
+            signature="ST_AREA(polygon)", doc="Area of a polygon.",
+            examples=["ST_AREA(ST_GEOMFROMTEXT('POLYGON((0 0, 4 0, 4 4, 0 4, 0 0))'))"])
+    @null_propagating("st_area")
+    def fn_st_area(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        shape = need_geometry(ctx, args[0], "st_area")
+        if not isinstance(shape, Polygon):
+            return NULL
+        return out_double(shape.area())
+
+    @define("st_isclosed", "spatial", min_args=1, max_args=1,
+            signature="ST_ISCLOSED(linestring)", doc="Closed-ring test.",
+            examples=["ST_ISCLOSED(ST_GEOMFROMTEXT('LINESTRING(0 0, 1 1, 0 0)'))"])
+    @null_propagating("st_isclosed")
+    def fn_st_isclosed(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        shape = need_geometry(ctx, args[0], "st_isclosed")
+        if not isinstance(shape, LineString):
+            return NULL
+        return out_bool(shape.is_closed)
+
+    @define("st_npoints", "spatial", min_args=1, max_args=1,
+            signature="ST_NPOINTS(geom)", doc="Number of points in the geometry.",
+            examples=["ST_NPOINTS(ST_GEOMFROMTEXT('LINESTRING(0 0, 1 1)'))"])
+    @null_propagating("st_npoints")
+    def fn_st_npoints(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        shape = need_geometry(ctx, args[0], "st_npoints")
+        if isinstance(shape, Point):
+            return out_int(1)
+        if isinstance(shape, LineString):
+            return out_int(len(shape.points))
+        if isinstance(shape, Polygon):
+            return out_int(sum(len(r) for r in shape.rings))
+        return out_int(0)
+
+    @define("st_centroid", "spatial", min_args=1, max_args=1,
+            signature="ST_CENTROID(geom)", doc="Centroid point.",
+            examples=["ST_CENTROID(ST_GEOMFROMTEXT('LINESTRING(0 0, 2 2)'))"])
+    @null_propagating("st_centroid")
+    def fn_st_centroid(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        shape = need_geometry(ctx, args[0], "st_centroid")
+        points: List[Point] = []
+        if isinstance(shape, Point):
+            points = [shape]
+        elif isinstance(shape, LineString):
+            points = list(shape.points)
+        elif isinstance(shape, Polygon) and shape.rings:
+            points = list(shape.rings[0])
+        if not points:
+            return NULL
+        cx = sum(p.x for p in points) / len(points)
+        cy = sum(p.y for p in points) / len(points)
+        return SQLGeometry(Point(cx, cy))
+
+    @define("st_equals", "spatial", min_args=2, max_args=2,
+            signature="ST_EQUALS(a, b)", doc="Geometric equality (exact).",
+            examples=["ST_EQUALS(POINT(1, 2), POINT(1, 2))"])
+    @null_propagating("st_equals")
+    def fn_st_equals(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        a = need_geometry(ctx, args[0], "st_equals")
+        b = need_geometry(ctx, args[1], "st_equals")
+        return out_bool(a == b)
+
+    @define("st_distance", "spatial", min_args=2, max_args=2,
+            signature="ST_DISTANCE(a, b)", doc="Euclidean distance of two points.",
+            examples=["ST_DISTANCE(POINT(0, 0), POINT(3, 4))"])
+    @null_propagating("st_distance")
+    def fn_st_distance(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        import math
+
+        a = need_geometry(ctx, args[0], "st_distance")
+        b = need_geometry(ctx, args[1], "st_distance")
+        if not isinstance(a, Point) or not isinstance(b, Point):
+            raise TypeError_("ST_DISTANCE expects two POINTs")
+        return out_double(math.hypot(a.x - b.x, a.y - b.y))
+
+    @define("st_geometrytype", "spatial", min_args=1, max_args=1,
+            signature="ST_GEOMETRYTYPE(geom)", doc="Geometry type name.",
+            examples=["ST_GEOMETRYTYPE(POINT(1, 2))"])
+    @null_propagating("st_geometrytype")
+    def fn_st_geometrytype(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        shape = need_geometry(ctx, args[0], "st_geometrytype")
+        return out_string(shape.kind, "st_geometrytype")

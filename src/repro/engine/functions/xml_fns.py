@@ -1,0 +1,125 @@
+"""Reference implementations of the XML function family (MySQL-style)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..context import ExecutionContext
+from ..errors import ValueError_
+from ..values import NULL, SQLArray, SQLString, SQLValue, SQLXml
+from ..xml_impl import XmlNode, eval_xpath, parse_xpath, xml_parse
+from .helpers import need_string, null_propagating, out_bool, out_string
+from .registry import FunctionRegistry
+
+
+def _parse_doc(ctx: ExecutionContext, value: SQLValue, name: str):
+    if isinstance(value, SQLXml):
+        return value.root
+    return xml_parse(
+        need_string(value, name),
+        stack=ctx.stack,
+        max_depth=ctx.limits.xml_max_depth,
+        function=name,
+    )
+
+
+def register_xml(reg: FunctionRegistry) -> None:
+    define = reg.define
+
+    @define("extractvalue", "xml", min_args=2, max_args=2,
+            signature="EXTRACTVALUE(xml, xpath)",
+            doc="Text content of the first node matching the XPath.",
+            examples=["EXTRACTVALUE('<a><b>x</b></a>', '/a/b')"])
+    @null_propagating("extractvalue")
+    def fn_extractvalue(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        doc = _parse_doc(ctx, args[0], "extractvalue")
+        steps = parse_xpath(need_string(args[1], "extractvalue"))
+        matches = eval_xpath(doc, steps)
+        if not matches:
+            return out_string("", "extractvalue")
+        first = matches[0]
+        if isinstance(first, str):
+            return out_string(first, "extractvalue")
+        return out_string(first.all_text(), "extractvalue")
+
+    @define("updatexml", "xml", min_args=3, max_args=3,
+            signature="UPDATEXML(xml, xpath, newxml)",
+            doc="Replace the matched node with a new XML fragment.",
+            examples=["UPDATEXML('<a><c></c></a>', '/a/c', '<b></b>')"])
+    @null_propagating("updatexml")
+    def fn_updatexml(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        doc = _parse_doc(ctx, args[0], "updatexml")
+        steps = parse_xpath(need_string(args[1], "updatexml"))
+        replacement_doc = xml_parse(
+            need_string(args[2], "updatexml"),
+            stack=ctx.stack,
+            max_depth=ctx.limits.xml_max_depth,
+            function="updatexml",
+        )
+        matches = eval_xpath(doc, steps)
+        nodes = [m for m in matches if isinstance(m, XmlNode)]
+        if len(nodes) != 1:
+            return out_string(doc.serialize(), "updatexml")
+        target = nodes[0]
+
+        def replace_in(parent_children: List[XmlNode]) -> bool:
+            for idx, child in enumerate(parent_children):
+                if child is target:
+                    parent_children[idx : idx + 1] = replacement_doc.roots
+                    return True
+                if replace_in(child.children):
+                    return True
+            return False
+
+        replace_in(doc.roots)
+        if target in doc.roots:
+            idx = doc.roots.index(target)
+            doc.roots[idx : idx + 1] = replacement_doc.roots
+        return out_string(doc.serialize(), "updatexml")
+
+    @define("xml_valid", "xml", min_args=1, max_args=1,
+            signature="XML_VALID(str)", doc="True when the string parses as XML.",
+            examples=["XML_VALID('<a></a>')"])
+    @null_propagating("xml_valid")
+    def fn_xml_valid(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        try:
+            _parse_doc(ctx, args[0], "xml_valid")
+            return out_bool(True)
+        except ValueError_:
+            return out_bool(False)
+
+    @define("xpath", "xml", min_args=2, max_args=2,
+            signature="XPATH(xpath, xml)",
+            doc="All matches of the XPath as an array of serialised nodes.",
+            examples=["XPATH('/a/b', '<a><b>1</b><b>2</b></a>')"])
+    @null_propagating("xpath")
+    def fn_xpath(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        steps = parse_xpath(need_string(args[0], "xpath"))
+        doc = _parse_doc(ctx, args[1], "xpath")
+        matches = eval_xpath(doc, steps)
+        items = tuple(
+            SQLString(m if isinstance(m, str) else m.serialize()) for m in matches
+        )
+        return SQLArray(items)
+
+    @define("xmlconcat", "xml", min_args=1,
+            signature="XMLCONCAT(xml, ...)", doc="Concatenate XML fragments.",
+            examples=["XMLCONCAT('<a/>', '<b/>')"])
+    @null_propagating("xmlconcat")
+    def fn_xmlconcat(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        parts = []
+        for arg in args:
+            doc = _parse_doc(ctx, arg, "xmlconcat")
+            parts.append(doc.serialize())
+        return out_string("".join(parts), "xmlconcat")
+
+    @define("xmlelement", "xml", min_args=1, max_args=2,
+            signature="XMLELEMENT(name[, content])", doc="Build an element.",
+            examples=["XMLELEMENT('a', 'text')"])
+    @null_propagating("xmlelement")
+    def fn_xmlelement(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+        tag = need_string(args[0], "xmlelement")
+        if not tag or not all(c.isalnum() or c in "_-." for c in tag):
+            raise ValueError_(f"invalid XML element name {tag!r}")
+        content = need_string(args[1], "xmlelement") if len(args) > 1 else ""
+        return out_string(f"<{tag}>{content}</{tag}>", "xmlelement")

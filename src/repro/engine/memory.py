@@ -1,0 +1,277 @@
+"""Simulated process-memory model.
+
+The paper's bugs are C/C++ memory-safety defects: miscomputed allocation
+sizes, missing NULL checks, dangling pointers, unbounded recursion.  To make
+the injected bugs *behave* like the originals (rather than being bare
+``raise`` statements), the dialect implementations manipulate this model:
+
+* :class:`Heap` hands out bounded :class:`Buffer` objects; writing or
+  reading past a buffer's end raises :class:`HeapBufferOverflow`.
+* :class:`GlobalBuffer` models fixed-size static arrays; overruns raise
+  :class:`GlobalBufferOverflow`.
+* :class:`Pointer` models nullable / freeable pointers; dereferencing NULL
+  raises :class:`NullPointerDereference`, dereferencing a freed pointer
+  raises :class:`UseAfterFree`, and a wild pointer raises
+  :class:`SegmentationViolation`.
+* :class:`CallStack` models the thread stack; exceeding its depth raises
+  :class:`StackOverflow`.
+
+A bug injection therefore reads like the original defect: e.g. MariaDB's
+MDEV-8407 miscalculates the string length for >40-digit decimals — our
+flawed ``decimal2string`` allocates the miscalculated size and then writes
+the true digits, so the overflow *emerges* from the boundary input.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generic, List, Optional, TypeVar
+
+from .errors import (
+    AssertionFailure,
+    GlobalBufferOverflow,
+    HeapBufferOverflow,
+    NullPointerDereference,
+    ResourceError,
+    SegmentationViolation,
+    StackOverflow,
+    UseAfterFree,
+)
+
+T = TypeVar("T")
+
+#: Allocations above this size are refused by the simulated allocator, the
+#: way a container with a memory cgroup kills oversized queries.  This is
+#: the source of the paper's false-positive class (§7.3).
+MAX_ALLOCATION = 64 * 1024 * 1024
+
+
+class Buffer:
+    """A bounded, heap-allocated byte/char buffer."""
+
+    def __init__(self, size: int, owner: Optional["Heap"], label: str = "") -> None:
+        if size < 0:
+            # A negative size reaching malloc is itself the symptom of an
+            # upstream integer bug; model as a huge unsigned request.
+            raise ResourceError(f"allocation of negative size {size}")
+        if size > MAX_ALLOCATION:
+            raise ResourceError(f"allocation of {size} bytes exceeds memory limit")
+        self.size = size
+        self.label = label
+        self._data: List[str] = ["\0"] * size
+        self._freed = False
+        self._owner = owner
+
+    # -- lifetime -------------------------------------------------------
+    def free(self) -> None:
+        self._freed = True
+
+    def _check_alive(self, function: Optional[str]) -> None:
+        if self._freed:
+            raise UseAfterFree(
+                f"access to freed buffer {self.label!r}", function=function
+            )
+
+    # -- access ---------------------------------------------------------
+    def write(self, offset: int, data: str, function: Optional[str] = None) -> None:
+        """Write *data* starting at *offset*; overruns crash."""
+        self._check_alive(function)
+        if offset < 0 or offset + len(data) > self.size:
+            raise HeapBufferOverflow(
+                f"write of {len(data)} bytes at offset {offset} into "
+                f"{self.size}-byte buffer {self.label!r}",
+                function=function,
+            )
+        for i, ch in enumerate(data):
+            self._data[offset + i] = ch
+
+    def read(self, offset: int, length: int, function: Optional[str] = None) -> str:
+        """Read *length* bytes from *offset*; overruns crash (disclosure)."""
+        self._check_alive(function)
+        if offset < 0 or length < 0 or offset + length > self.size:
+            raise HeapBufferOverflow(
+                f"read of {length} bytes at offset {offset} from "
+                f"{self.size}-byte buffer {self.label!r}",
+                function=function,
+            )
+        return "".join(self._data[offset : offset + length])
+
+    def contents(self) -> str:
+        """The written prefix up to the first NUL (C-string view)."""
+        joined = "".join(self._data)
+        nul = joined.find("\0")
+        return joined if nul == -1 else joined[:nul]
+
+
+class GlobalBuffer:
+    """A fixed-size static array (``static char buf[N]`` in C)."""
+
+    def __init__(self, size: int, label: str = "") -> None:
+        self.size = size
+        self.label = label
+        self._data: List[str] = ["\0"] * size
+
+    def write(self, offset: int, data: str, function: Optional[str] = None) -> None:
+        if offset < 0 or offset + len(data) > self.size:
+            raise GlobalBufferOverflow(
+                f"write of {len(data)} bytes at offset {offset} into global "
+                f"{self.size}-byte buffer {self.label!r}",
+                function=function,
+            )
+        for i, ch in enumerate(data):
+            self._data[offset + i] = ch
+
+    def read(self, offset: int, length: int, function: Optional[str] = None) -> str:
+        if offset < 0 or length < 0 or offset + length > self.size:
+            raise GlobalBufferOverflow(
+                f"read of {length} bytes at offset {offset} from global "
+                f"{self.size}-byte buffer {self.label!r}",
+                function=function,
+            )
+        return "".join(self._data[offset : offset + length])
+
+
+class Heap:
+    """Simulated allocator.  Tracks live buffers for leak accounting."""
+
+    def __init__(self) -> None:
+        self.allocated = 0
+        self.live: List[Buffer] = []
+
+    def alloc(self, size: int, label: str = "") -> Buffer:
+        buf = Buffer(size, self, label=label)
+        self.allocated += max(size, 0)
+        self.live.append(buf)
+        return buf
+
+    def free(self, buf: Buffer) -> None:
+        buf.free()
+        if buf in self.live:
+            self.live.remove(buf)
+
+    def reset(self) -> None:
+        self.live.clear()
+        self.allocated = 0
+
+
+class Pointer(Generic[T]):
+    """A nullable, freeable pointer to an arbitrary payload."""
+
+    __slots__ = ("_value", "_state", "label")
+
+    _VALID, _NULL, _FREED, _WILD = "valid", "null", "freed", "wild"
+
+    def __init__(self, value: Optional[T], state: str = "valid", label: str = "") -> None:
+        self._value = value
+        self._state = state
+        self.label = label
+
+    # -- constructors -----------------------------------------------------
+    @classmethod
+    def to(cls, value: T, label: str = "") -> "Pointer[T]":
+        return cls(value, cls._VALID, label)
+
+    @classmethod
+    def null(cls, label: str = "") -> "Pointer[T]":
+        return cls(None, cls._NULL, label)
+
+    @classmethod
+    def wild(cls, label: str = "") -> "Pointer[T]":
+        """A pointer into unmapped memory (e.g. produced by arithmetic on a
+        corrupted offset)."""
+        return cls(None, cls._WILD, label)
+
+    # -- state ------------------------------------------------------------
+    @property
+    def is_null(self) -> bool:
+        return self._state == self._NULL
+
+    def free(self) -> None:
+        self._state = self._FREED
+
+    def deref(self, function: Optional[str] = None) -> T:
+        """Dereference; crashes according to pointer state."""
+        if self._state == self._VALID:
+            return self._value  # type: ignore[return-value]
+        if self._state == self._NULL:
+            raise NullPointerDereference(
+                f"dereference of NULL pointer {self.label!r}", function=function
+            )
+        if self._state == self._FREED:
+            raise UseAfterFree(
+                f"dereference of freed pointer {self.label!r}", function=function
+            )
+        raise SegmentationViolation(
+            f"dereference of wild pointer {self.label!r}", function=function
+        )
+
+
+class CallStack:
+    """Bounded call stack used by recursive parsers and evaluators."""
+
+    def __init__(self, max_depth: int = 256) -> None:
+        self.max_depth = max_depth
+        self.frames: List[str] = []
+
+    @property
+    def depth(self) -> int:
+        return len(self.frames)
+
+    def push(self, frame: str, function: Optional[str] = None) -> None:
+        if len(self.frames) >= self.max_depth:
+            raise StackOverflow(
+                f"recursion depth {len(self.frames)} exceeded in {frame}",
+                function=function or frame,
+            )
+        self.frames.append(frame)
+
+    def pop(self) -> None:
+        if self.frames:
+            self.frames.pop()
+
+    def reset(self) -> None:
+        self.frames.clear()
+
+    # -- context-manager sugar ---------------------------------------------
+    class _Frame:
+        def __init__(self, stack: "CallStack", name: str) -> None:
+            self.stack = stack
+            self.name = name
+
+        def __enter__(self) -> None:
+            self.stack.push(self.name)
+
+        def __exit__(self, *exc: Any) -> None:
+            self.stack.pop()
+
+    def frame(self, name: str) -> "_Frame":
+        return self._Frame(self, name)
+
+
+def sql_assert(condition: bool, message: str, function: Optional[str] = None) -> None:
+    """Engine-internal assertion.  A failed assertion aborts the process
+    (``assert()`` in a debug build), matching the paper's AF crash class."""
+    if not condition:
+        raise AssertionFailure(f"assertion failed: {message}", function=function)
+
+
+# -- fixed-width integer helpers (C semantics) ------------------------------
+INT32_MIN, INT32_MAX = -(2**31), 2**31 - 1
+INT64_MIN, INT64_MAX = -(2**63), 2**63 - 1
+UINT64_MAX = 2**64 - 1
+
+
+def wrap_int32(value: int) -> int:
+    """Two's-complement wrap to 32 bits (what a C int does on overflow)."""
+    return ((value + 2**31) % 2**32) - 2**31
+
+
+def wrap_int64(value: int) -> int:
+    return ((value + 2**63) % 2**64) - 2**63
+
+
+def fits_int32(value: int) -> bool:
+    return INT32_MIN <= value <= INT32_MAX
+
+
+def fits_int64(value: int) -> bool:
+    return INT64_MIN <= value <= INT64_MAX

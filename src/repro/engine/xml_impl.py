@@ -1,0 +1,271 @@
+"""Minimal XML implementation for the engines' XML functions.
+
+Covers the subset the paper's XML bugs exercise (MySQL ``UpdateXML`` /
+``ExtractValue``): elements, attributes, text nodes, and a small XPath
+subset (``/a/b``, ``/a/b[1]``, ``//b``, ``/a/@attr``).  Parsing recurses
+through the engine's simulated call stack so deeply nested input can blow
+the stack in dialects that skip the depth check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from .errors import ValueError_
+from .memory import CallStack
+
+DEFAULT_MAX_DEPTH = 128
+
+
+@dataclass
+class XmlNode:
+    """An XML element."""
+
+    tag: str
+    attributes: List[Tuple[str, str]] = field(default_factory=list)
+    children: List["XmlNode"] = field(default_factory=list)
+    text: str = ""
+
+    def serialize(self) -> str:
+        attrs = "".join(f' {k}="{v}"' for k, v in self.attributes)
+        inner = self.text + "".join(c.serialize() for c in self.children)
+        return f"<{self.tag}{attrs}>{inner}</{self.tag}>"
+
+    def all_text(self) -> str:
+        return self.text + "".join(c.all_text() for c in self.children)
+
+    def find_attr(self, name: str) -> Optional[str]:
+        for key, value in self.attributes:
+            if key == name:
+                return value
+        return None
+
+
+@dataclass
+class XmlDocument:
+    """Document wrapper: XML fragments may have several roots."""
+
+    roots: List[XmlNode] = field(default_factory=list)
+
+    def serialize(self) -> str:
+        return "".join(r.serialize() for r in self.roots)
+
+    def all_text(self) -> str:
+        return "".join(r.all_text() for r in self.roots)
+
+
+class XmlParser:
+    """Recursive-descent parser for the XML subset."""
+
+    def __init__(
+        self,
+        text: str,
+        stack: Optional[CallStack] = None,
+        max_depth: Optional[int] = DEFAULT_MAX_DEPTH,
+        function: Optional[str] = None,
+    ) -> None:
+        self.text = text
+        self.pos = 0
+        self.stack = stack if stack is not None else CallStack()
+        self.max_depth = max_depth
+        self.depth = 0
+        self.function = function
+
+    def parse(self) -> XmlDocument:
+        doc = XmlDocument()
+        self._skip_ws()
+        while self.pos < len(self.text):
+            if self.text.startswith("<?", self.pos):
+                end = self.text.find("?>", self.pos)
+                if end == -1:
+                    raise self._fail("unterminated processing instruction")
+                self.pos = end + 2
+            elif self.text.startswith("<!--", self.pos):
+                end = self.text.find("-->", self.pos)
+                if end == -1:
+                    raise self._fail("unterminated comment")
+                self.pos = end + 3
+            elif self.text.startswith("<", self.pos):
+                doc.roots.append(self._parse_element())
+            else:
+                raise self._fail("content outside of a root element")
+            self._skip_ws()
+        if not doc.roots:
+            raise self._fail("no root element")
+        return doc
+
+    # ------------------------------------------------------------------
+    def _fail(self, message: str) -> ValueError_:
+        return ValueError_(f"invalid XML: {message} at offset {self.pos}")
+
+    def _skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos] in " \t\r\n":
+            self.pos += 1
+
+    def _parse_name(self) -> str:
+        start = self.pos
+        while self.pos < len(self.text) and (
+            self.text[self.pos].isalnum() or self.text[self.pos] in "_-.:"
+        ):
+            self.pos += 1
+        if self.pos == start:
+            raise self._fail("expected a name")
+        return self.text[start : self.pos]
+
+    def _parse_element(self) -> XmlNode:
+        self.depth += 1
+        if self.max_depth is not None and self.depth > self.max_depth:
+            raise ValueError_(f"XML nested too deeply (> {self.max_depth})")
+        self.stack.push("xml_parse_element", function=self.function)
+        try:
+            assert self.text[self.pos] == "<"
+            self.pos += 1
+            tag = self._parse_name()
+            node = XmlNode(tag)
+            self._skip_ws()
+            while self.pos < len(self.text) and self.text[self.pos] not in "/>":
+                attr = self._parse_name()
+                self._skip_ws()
+                if self.pos < len(self.text) and self.text[self.pos] == "=":
+                    self.pos += 1
+                    self._skip_ws()
+                    quote = self.text[self.pos] if self.pos < len(self.text) else ""
+                    if quote not in "'\"":
+                        raise self._fail("expected quoted attribute value")
+                    end = self.text.find(quote, self.pos + 1)
+                    if end == -1:
+                        raise self._fail("unterminated attribute value")
+                    node.attributes.append((attr, self.text[self.pos + 1 : end]))
+                    self.pos = end + 1
+                else:
+                    node.attributes.append((attr, ""))
+                self._skip_ws()
+            if self.text.startswith("/>", self.pos):
+                self.pos += 2
+                return node
+            if self.pos >= len(self.text):
+                raise self._fail(f"unterminated start tag <{tag}>")
+            self.pos += 1  # '>'
+            # children / text until matching close tag
+            while True:
+                if self.pos >= len(self.text):
+                    raise self._fail(f"missing close tag for <{tag}>")
+                if self.text.startswith("</", self.pos):
+                    self.pos += 2
+                    close = self._parse_name()
+                    if close != tag:
+                        raise self._fail(f"mismatched close tag </{close}> for <{tag}>")
+                    self._skip_ws()
+                    if self.pos >= len(self.text) or self.text[self.pos] != ">":
+                        raise self._fail("malformed close tag")
+                    self.pos += 1
+                    return node
+                if self.text.startswith("<!--", self.pos):
+                    end = self.text.find("-->", self.pos)
+                    if end == -1:
+                        raise self._fail("unterminated comment")
+                    self.pos = end + 3
+                elif self.text.startswith("<", self.pos):
+                    node.children.append(self._parse_element())
+                else:
+                    end = self.text.find("<", self.pos)
+                    if end == -1:
+                        raise self._fail(f"missing close tag for <{tag}>")
+                    node.text += self.text[self.pos : end]
+                    self.pos = end
+        finally:
+            self.depth -= 1
+            self.stack.pop()
+
+
+def xml_parse(
+    text: str,
+    stack: Optional[CallStack] = None,
+    max_depth: Optional[int] = DEFAULT_MAX_DEPTH,
+    function: Optional[str] = None,
+) -> XmlDocument:
+    return XmlParser(text, stack=stack, max_depth=max_depth, function=function).parse()
+
+
+# ---------------------------------------------------------------------------
+# XPath subset
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class XPathStep:
+    tag: str              # element name or '*'
+    index: Optional[int]  # 1-based positional predicate, None = all
+    descend: bool         # True for '//' steps
+    attribute: bool = False
+
+
+def parse_xpath(path: str) -> List[XPathStep]:
+    """Parse ``/a/b[1]``, ``//c``, ``/a/@attr`` into steps."""
+    if not path.startswith("/"):
+        raise ValueError_(f"XPath must start with '/': {path!r}")
+    steps: List[XPathStep] = []
+    pos = 0
+    while pos < len(path):
+        descend = False
+        if path.startswith("//", pos):
+            descend = True
+            pos += 2
+        elif path.startswith("/", pos):
+            pos += 1
+        else:
+            raise ValueError_(f"expected '/' in XPath at {pos}")
+        attribute = False
+        if pos < len(path) and path[pos] == "@":
+            attribute = True
+            pos += 1
+        start = pos
+        while pos < len(path) and (path[pos].isalnum() or path[pos] in "_-.*"):
+            pos += 1
+        tag = path[start:pos]
+        if not tag:
+            raise ValueError_(f"empty step in XPath at {pos}")
+        index: Optional[int] = None
+        if pos < len(path) and path[pos] == "[":
+            end = path.find("]", pos)
+            if end == -1:
+                raise ValueError_("unterminated predicate in XPath")
+            try:
+                index = int(path[pos + 1 : end])
+            except ValueError:
+                raise ValueError_(f"unsupported XPath predicate {path[pos + 1:end]!r}")
+            pos = end + 1
+        steps.append(XPathStep(tag, index, descend, attribute))
+    return steps
+
+
+def _descendants(node: XmlNode) -> List[XmlNode]:
+    out = [node]
+    for child in node.children:
+        out.extend(_descendants(child))
+    return out
+
+
+def eval_xpath(doc: XmlDocument, steps: List[XPathStep]) -> List[Union[XmlNode, str]]:
+    """Evaluate steps; returns matched nodes (or attribute strings)."""
+    current: List[XmlNode] = list(doc.roots)
+    virtual_root = XmlNode("", children=list(doc.roots))
+    contexts = [virtual_root]
+    for step_no, step in enumerate(steps):
+        if step.attribute:
+            values = [
+                v
+                for node in contexts
+                for v in ([node.find_attr(step.tag)] if node.find_attr(step.tag) is not None else [])
+            ]
+            return values  # attribute step must be last
+        matched: List[XmlNode] = []
+        for node in contexts:
+            pool = _descendants(node)[1:] if step.descend else node.children
+            candidates = [c for c in pool if step.tag == "*" or c.tag == step.tag]
+            if step.index is not None:
+                if 1 <= step.index <= len(candidates):
+                    matched.append(candidates[step.index - 1])
+            else:
+                matched.extend(candidates)
+        contexts = matched
+    return contexts

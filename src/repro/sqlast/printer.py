@@ -1,0 +1,322 @@
+"""Render AST nodes back to SQL text.
+
+SOFT mutates trees and then serialises them for execution, so the printer
+must round-trip everything the parser accepts.  Output uses conservative,
+widely-accepted spellings (``CAST(x AS t)`` for ``convert``-style casts is
+*not* normalised — the original style is preserved, because cast spelling is
+itself part of the paper's Pattern 2.1 surface).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from . import nodes as n
+
+
+def _quote_string(value: str) -> str:
+    return "'" + value.replace("\\", "\\\\").replace("'", "''") + "'"
+
+
+def _type_to_sql(tn: n.TypeName) -> str:
+    if tn.params:
+        return f"{tn.name}({', '.join(str(p) for p in tn.params)})"
+    return tn.name
+
+
+def to_sql(node: n.Node) -> str:
+    """Serialise *node* (expression or statement) to SQL text."""
+    method = _DISPATCH.get(type(node))
+    if method is None:
+        raise TypeError(f"cannot print node of type {type(node).__name__}")
+    return method(node)
+
+
+# ---------------------------------------------------------------------------
+# expressions
+# ---------------------------------------------------------------------------
+def _integer(node: n.IntegerLit) -> str:
+    return node.text
+
+
+def _decimal(node: n.DecimalLit) -> str:
+    return node.text
+
+
+def _string(node: n.StringLit) -> str:
+    return _quote_string(node.value)
+
+
+def _null(_: n.NullLit) -> str:
+    return "NULL"
+
+
+def _boolean(node: n.BooleanLit) -> str:
+    return "TRUE" if node.value else "FALSE"
+
+
+def _star(node: n.Star) -> str:
+    return f"{node.qualifier}.*" if node.qualifier else "*"
+
+
+def _param(node: n.ParamRef) -> str:
+    return f"${node.index}" if node.index else "?"
+
+
+def _column(node: n.ColumnRef) -> str:
+    return ".".join(node.parts)
+
+
+def _func(node: n.FuncCall) -> str:
+    prefix = "DISTINCT " if node.distinct else ""
+    args = ", ".join(to_sql(a) for a in node.args)
+    return f"{node.name}({prefix}{args})"
+
+
+def _unary(node: n.UnaryOp) -> str:
+    if node.op.upper() == "NOT":
+        return f"NOT ({to_sql(node.operand)})"
+    return f"{node.op}({to_sql(node.operand)})"
+
+
+def _binary(node: n.BinaryOp) -> str:
+    return f"({to_sql(node.left)} {node.op} {to_sql(node.right)})"
+
+
+def _cast(node: n.Cast) -> str:
+    if node.style == "colons":
+        return f"{_maybe_paren(node.operand)}::{_type_to_sql(node.type_name)}"
+    if node.style == "convert":
+        return f"CONVERT({to_sql(node.operand)}, {_type_to_sql(node.type_name)})"
+    return f"CAST({to_sql(node.operand)} AS {_type_to_sql(node.type_name)})"
+
+
+def _maybe_paren(expr: n.Expr) -> str:
+    simple = (n.IntegerLit, n.DecimalLit, n.StringLit, n.NullLit, n.BooleanLit,
+              n.ColumnRef, n.FuncCall, n.Cast, n.SubqueryExpr)
+    text = to_sql(expr)
+    return text if isinstance(expr, simple) else f"({text})"
+
+
+def _case(node: n.CaseExpr) -> str:
+    parts = ["CASE"]
+    if node.operand is not None:
+        parts.append(to_sql(node.operand))
+    for cond, result in node.whens:
+        parts.append(f"WHEN {to_sql(cond)} THEN {to_sql(result)}")
+    if node.else_ is not None:
+        parts.append(f"ELSE {to_sql(node.else_)}")
+    parts.append("END")
+    return " ".join(parts)
+
+
+def _in(node: n.InExpr) -> str:
+    items = ", ".join(to_sql(i) for i in node.items)
+    word = "NOT IN" if node.negated else "IN"
+    if len(node.items) == 1 and isinstance(node.items[0], n.SubqueryExpr):
+        return f"{to_sql(node.expr)} {word} {items}"
+    return f"{to_sql(node.expr)} {word} ({items})"
+
+
+def _between(node: n.BetweenExpr) -> str:
+    word = "NOT BETWEEN" if node.negated else "BETWEEN"
+    return f"{to_sql(node.expr)} {word} {to_sql(node.low)} AND {to_sql(node.high)}"
+
+
+def _like(node: n.LikeExpr) -> str:
+    word = f"NOT {node.op}" if node.negated else node.op
+    return f"{to_sql(node.expr)} {word} {to_sql(node.pattern)}"
+
+
+def _isnull(node: n.IsNullExpr) -> str:
+    word = "IS NOT NULL" if node.negated else "IS NULL"
+    return f"{to_sql(node.expr)} {word}"
+
+
+def _exists(node: n.ExistsExpr) -> str:
+    word = "NOT EXISTS" if node.negated else "EXISTS"
+    return f"{word} ({to_sql(node.subquery)})"
+
+
+def _subquery(node: n.SubqueryExpr) -> str:
+    return f"({to_sql(node.query)})"
+
+
+def _row(node: n.RowExpr) -> str:
+    items = ", ".join(to_sql(i) for i in node.items)
+    return f"ROW({items})" if node.explicit else f"({items})"
+
+
+def _array(node: n.ArrayExpr) -> str:
+    return "[" + ", ".join(to_sql(i) for i in node.items) + "]"
+
+
+def _map(node: n.MapExpr) -> str:
+    pairs = ", ".join(
+        f"{to_sql(k)}: {to_sql(v)}" for k, v in zip(node.keys, node.values)
+    )
+    return "MAP {" + pairs + "}"
+
+
+def _interval(node: n.IntervalExpr) -> str:
+    return f"INTERVAL {to_sql(node.value)} {node.unit}"
+
+
+def _index(node: n.IndexExpr) -> str:
+    return f"{_maybe_paren(node.base)}[{to_sql(node.index)}]"
+
+
+# ---------------------------------------------------------------------------
+# statements
+# ---------------------------------------------------------------------------
+def _select_item(node: n.SelectItem) -> str:
+    text = to_sql(node.expr)
+    return f"{text} AS {node.alias}" if node.alias else text
+
+
+def _table_ref(node: n.TableRef) -> str:
+    return f"{node.name} {node.alias}" if node.alias else node.name
+
+
+def _subquery_ref(node: n.SubqueryRef) -> str:
+    text = f"({to_sql(node.query)})"
+    return f"{text} {node.alias}" if node.alias else text
+
+
+def _join(node: n.JoinRef) -> str:
+    text = f"{to_sql(node.left)} {node.kind} JOIN {to_sql(node.right)}"
+    if node.on is not None:
+        text += f" ON {to_sql(node.on)}"
+    return text
+
+
+def _order_item(node: n.OrderItem) -> str:
+    return to_sql(node.expr) + (" DESC" if node.descending else "")
+
+
+def _select(node: n.Select) -> str:
+    parts: List[str] = ["SELECT"]
+    if node.distinct:
+        parts.append("DISTINCT")
+    parts.append(", ".join(_select_item(i) for i in node.items))
+    if node.from_:
+        parts.append("FROM " + ", ".join(to_sql(f) for f in node.from_))
+    if node.where is not None:
+        parts.append("WHERE " + to_sql(node.where))
+    if node.group_by:
+        parts.append("GROUP BY " + ", ".join(to_sql(g) for g in node.group_by))
+    if node.having is not None:
+        parts.append("HAVING " + to_sql(node.having))
+    if node.order_by:
+        parts.append("ORDER BY " + ", ".join(_order_item(o) for o in node.order_by))
+    if node.limit is not None:
+        parts.append("LIMIT " + to_sql(node.limit))
+    if node.offset is not None:
+        parts.append("OFFSET " + to_sql(node.offset))
+    return " ".join(parts)
+
+
+def _setop(node: n.SetOp) -> str:
+    word = node.op + (" ALL" if node.all else "")
+    left = to_sql(node.left)
+    right = to_sql(node.right)
+    if isinstance(node.right, n.SetOp):
+        right = f"({right})"
+    return f"{left} {word} {right}"
+
+
+def _column_def(node: n.ColumnDef) -> str:
+    text = f"{node.name} {_type_to_sql(node.type_name)}"
+    if node.constraints:
+        text += " " + " ".join(c for c in node.constraints if c != "DEFAULT")
+    return text
+
+
+def _create_table(node: n.CreateTable) -> str:
+    ine = "IF NOT EXISTS " if node.if_not_exists else ""
+    cols = ", ".join(_column_def(c) for c in node.columns)
+    return f"CREATE TABLE {ine}{node.name} ({cols})"
+
+
+def _insert(node: n.Insert) -> str:
+    cols = f" ({', '.join(node.columns)})" if node.columns else ""
+    rows = ", ".join(
+        "(" + ", ".join(to_sql(v) for v in row) + ")" for row in node.rows
+    )
+    return f"INSERT INTO {node.table}{cols} VALUES {rows}"
+
+
+def _update(node: n.Update) -> str:
+    sets = ", ".join(f"{col} = {to_sql(expr)}" for col, expr in node.assignments)
+    text = f"UPDATE {node.table} SET {sets}"
+    if node.where is not None:
+        text += f" WHERE {to_sql(node.where)}"
+    return text
+
+
+def _delete(node: n.Delete) -> str:
+    text = f"DELETE FROM {node.table}"
+    if node.where is not None:
+        text += f" WHERE {to_sql(node.where)}"
+    return text
+
+
+def _drop_table(node: n.DropTable) -> str:
+    ie = "IF EXISTS " if node.if_exists else ""
+    return f"DROP TABLE {ie}{node.name}"
+
+
+def _set_stmt(node: n.SetStmt) -> str:
+    return f"SET {node.name} = {to_sql(node.value)}"
+
+
+def _explain(node: n.Explain) -> str:
+    return f"EXPLAIN {to_sql(node.target)}"
+
+
+def _raw(node: n.RawStatement) -> str:
+    return node.text
+
+
+_DISPATCH = {
+    n.IntegerLit: _integer,
+    n.DecimalLit: _decimal,
+    n.StringLit: _string,
+    n.NullLit: _null,
+    n.BooleanLit: _boolean,
+    n.Star: _star,
+    n.ParamRef: _param,
+    n.ColumnRef: _column,
+    n.FuncCall: _func,
+    n.UnaryOp: _unary,
+    n.BinaryOp: _binary,
+    n.Cast: _cast,
+    n.CaseExpr: _case,
+    n.InExpr: _in,
+    n.BetweenExpr: _between,
+    n.LikeExpr: _like,
+    n.IsNullExpr: _isnull,
+    n.ExistsExpr: _exists,
+    n.SubqueryExpr: _subquery,
+    n.RowExpr: _row,
+    n.ArrayExpr: _array,
+    n.MapExpr: _map,
+    n.IntervalExpr: _interval,
+    n.IndexExpr: _index,
+    n.SelectItem: _select_item,
+    n.TableRef: _table_ref,
+    n.SubqueryRef: _subquery_ref,
+    n.JoinRef: _join,
+    n.OrderItem: _order_item,
+    n.Select: _select,
+    n.SetOp: _setop,
+    n.ColumnDef: _column_def,
+    n.CreateTable: _create_table,
+    n.Insert: _insert,
+    n.Update: _update,
+    n.Delete: _delete,
+    n.DropTable: _drop_table,
+    n.SetStmt: _set_stmt,
+    n.Explain: _explain,
+    n.RawStatement: _raw,
+}

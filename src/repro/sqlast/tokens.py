@@ -1,0 +1,87 @@
+"""Token definitions for the SQL lexer.
+
+The lexer produces a flat stream of :class:`Token` objects which the
+recursive-descent parser (:mod:`repro.sqlast.parser`) consumes.  Token kinds
+are deliberately coarse — keyword recognition happens in the parser so that
+dialects may treat most keywords as ordinary identifiers (real DBMSs differ
+wildly in their reserved-word lists, and SOFT must parse queries from seven
+dialects' regression suites).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenKind(enum.Enum):
+    """Lexical category of a token."""
+
+    IDENT = "ident"            # bare or quoted identifier / keyword
+    INTEGER = "integer"        # integer literal (digits only)
+    DECIMAL = "decimal"        # decimal literal with '.' or exponent
+    STRING = "string"          # single-quoted string literal
+    OPERATOR = "operator"      # punctuation / operator symbol
+    PARAM = "param"            # positional parameter like $1 or ?
+    EOF = "eof"                # end of input sentinel
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexed token.
+
+    Attributes:
+        kind: lexical category.
+        text: the token text.  For ``STRING`` tokens this is the *decoded*
+            value (quotes stripped, escapes resolved); for quoted identifiers
+            the quotes are stripped as well.
+        pos: byte offset of the first character in the source text.
+        quoted: True when the token was written with quoting (string
+            literals are always quoted; identifiers may be).
+    """
+
+    kind: TokenKind
+    text: str
+    pos: int
+    quoted: bool = False
+
+    def is_keyword(self, word: str) -> bool:
+        """Return True when this token is the (unquoted) keyword *word*."""
+        return (
+            self.kind is TokenKind.IDENT
+            and not self.quoted
+            and self.text.upper() == word.upper()
+        )
+
+    def is_op(self, symbol: str) -> bool:
+        """Return True when this token is the operator *symbol*."""
+        return self.kind is TokenKind.OPERATOR and self.text == symbol
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.value}, {self.text!r}@{self.pos})"
+
+
+#: Multi-character operator symbols, longest first so the lexer can
+#: greedily match (e.g. ``::`` before ``:``, ``<=`` before ``<``).
+MULTI_CHAR_OPERATORS = (
+    "::",
+    "<=>",
+    "<=",
+    ">=",
+    "<>",
+    "!=",
+    "||",
+    "->>",
+    "->",
+    "#>>",
+    "#>",
+    "@>",
+    "<@",
+    "**",
+    "<<",
+    ">>",
+    ":=",
+)
+
+#: Single-character operator symbols.
+SINGLE_CHAR_OPERATORS = set("+-*/%^=<>(),.;[]{}:&|~#@!?")

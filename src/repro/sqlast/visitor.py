@@ -1,0 +1,198 @@
+"""Generic AST traversal, cloning, and in-place transformation helpers.
+
+SOFT's patterns need three operations:
+
+* :func:`walk` — preorder iteration over a tree;
+* :func:`clone` — deep copy so generated variants never alias the seed;
+* :func:`replace` / :func:`transform` — splice a replacement subtree into a
+  cloned tree at a given position.
+
+Positions are identified by *node identity* after cloning: callers clone the
+seed once, walk the clone to pick targets, and mutate in place.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from . import nodes as n
+
+
+def walk(node: n.Node) -> Iterator[n.Node]:
+    """Yield *node* and every descendant in preorder."""
+    stack: List[n.Node] = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        children = list(current.children())
+        stack.extend(reversed(children))
+
+
+def clone(node: n.Node) -> n.Node:
+    """Return a deep copy of *node*."""
+    return copy.deepcopy(node)
+
+
+def find_function_calls(node: n.Node) -> List[n.FuncCall]:
+    """All :class:`FuncCall` nodes in preorder."""
+    return [x for x in walk(node) if isinstance(x, n.FuncCall)]
+
+
+def count_function_calls(node: n.Node) -> int:
+    return len(find_function_calls(node))
+
+
+def find_literals(node: n.Node) -> List[n.Expr]:
+    """All literal leaves (integers, decimals, strings, NULL, booleans)."""
+    kinds = (n.IntegerLit, n.DecimalLit, n.StringLit, n.NullLit, n.BooleanLit)
+    return [x for x in walk(node) if isinstance(x, kinds)]
+
+
+def max_function_nesting(node: n.Node) -> int:
+    """Depth of the deepest chain of nested function calls."""
+
+    def depth(current: n.Node) -> int:
+        best = 0
+        for child in current.children():
+            best = max(best, depth(child))
+        return best + (1 if isinstance(current, n.FuncCall) else 0)
+
+    return depth(node)
+
+
+def transform(
+    node: n.Node, fn: Callable[[n.Node], Optional[n.Node]]
+) -> n.Node:
+    """Bottom-up rewrite: *fn* returns a replacement node or None to keep.
+
+    The input tree is not modified; a rewritten clone is returned.
+    """
+
+    def rewrite(current: n.Node) -> n.Node:
+        current = copy.copy(current)
+        _replace_children(current, rewrite)
+        replacement = fn(current)
+        return replacement if replacement is not None else current
+
+    return rewrite(node)
+
+
+def _replace_children(node: n.Node, rewrite: Callable[[n.Node], n.Node]) -> None:
+    """Rewrite child links in-place on a shallow-copied node."""
+    if isinstance(node, n.FuncCall):
+        node.args = [rewrite(a) for a in node.args]
+    elif isinstance(node, n.UnaryOp):
+        node.operand = rewrite(node.operand)
+    elif isinstance(node, n.BinaryOp):
+        node.left = rewrite(node.left)
+        node.right = rewrite(node.right)
+    elif isinstance(node, n.Cast):
+        node.operand = rewrite(node.operand)
+    elif isinstance(node, n.CaseExpr):
+        if node.operand is not None:
+            node.operand = rewrite(node.operand)
+        node.whens = [(rewrite(c), rewrite(r)) for c, r in node.whens]
+        if node.else_ is not None:
+            node.else_ = rewrite(node.else_)
+    elif isinstance(node, n.InExpr):
+        node.expr = rewrite(node.expr)
+        node.items = [rewrite(i) for i in node.items]
+    elif isinstance(node, n.BetweenExpr):
+        node.expr = rewrite(node.expr)
+        node.low = rewrite(node.low)
+        node.high = rewrite(node.high)
+    elif isinstance(node, n.LikeExpr):
+        node.expr = rewrite(node.expr)
+        node.pattern = rewrite(node.pattern)
+    elif isinstance(node, n.IsNullExpr):
+        node.expr = rewrite(node.expr)
+    elif isinstance(node, (n.RowExpr, n.ArrayExpr)):
+        node.items = [rewrite(i) for i in node.items]
+    elif isinstance(node, n.MapExpr):
+        node.keys = [rewrite(k) for k in node.keys]
+        node.values = [rewrite(v) for v in node.values]
+    elif isinstance(node, n.IntervalExpr):
+        node.value = rewrite(node.value)
+    elif isinstance(node, n.IndexExpr):
+        node.base = rewrite(node.base)
+        node.index = rewrite(node.index)
+    elif isinstance(node, n.SelectItem):
+        node.expr = rewrite(node.expr)
+    elif isinstance(node, n.OrderItem):
+        node.expr = rewrite(node.expr)
+    elif isinstance(node, n.Select):
+        node.items = [rewrite(i) for i in node.items]
+        node.from_ = [rewrite(f) for f in node.from_]
+        if node.where is not None:
+            node.where = rewrite(node.where)
+        node.group_by = [rewrite(g) for g in node.group_by]
+        if node.having is not None:
+            node.having = rewrite(node.having)
+        node.order_by = [rewrite(o) for o in node.order_by]
+        if node.limit is not None:
+            node.limit = rewrite(node.limit)
+        if node.offset is not None:
+            node.offset = rewrite(node.offset)
+    elif isinstance(node, n.SetOp):
+        node.left = rewrite(node.left)
+        node.right = rewrite(node.right)
+    elif isinstance(node, n.SubqueryExpr):
+        node.query = rewrite(node.query)
+    elif isinstance(node, n.SubqueryRef):
+        node.query = rewrite(node.query)
+    elif isinstance(node, n.JoinRef):
+        node.left = rewrite(node.left)
+        node.right = rewrite(node.right)
+        if node.on is not None:
+            node.on = rewrite(node.on)
+    elif isinstance(node, n.ExistsExpr):
+        node.subquery = rewrite(node.subquery)
+    elif isinstance(node, n.Insert):
+        node.rows = [[rewrite(v) for v in row] for row in node.rows]
+    elif isinstance(node, n.Update):
+        node.assignments = [(c, rewrite(e)) for c, e in node.assignments]
+        if node.where is not None:
+            node.where = rewrite(node.where)
+    elif isinstance(node, n.Delete):
+        if node.where is not None:
+            node.where = rewrite(node.where)
+    elif isinstance(node, n.SetStmt):
+        node.value = rewrite(node.value)
+    # Leaf nodes (literals, refs, TableRef, ColumnDef, ...) need no rewiring.
+
+
+def replace_node(root: n.Node, target: n.Node, replacement: n.Node) -> n.Node:
+    """Splice *replacement* in place of *target* within *root*, in place.
+
+    *target* must be a node obtained by walking *root* itself (identity
+    comparison).  Returns the (possibly new) root: when *target* is the root
+    the replacement is returned, otherwise *root* is mutated and returned.
+
+    Typical pattern-application flow::
+
+        tree = clone(seed)
+        call = find_function_calls(tree)[k]
+        replace_node(tree, call.args[0], boundary_literal)
+    """
+    if root is target:
+        return replacement
+    found = False
+
+    def swap(node: n.Node) -> n.Node:
+        nonlocal found
+        if node is target:
+            found = True
+            return replacement
+        return node
+
+    for current in walk(root):
+        if found:
+            break
+        for child in current.children():
+            if child is target:
+                _replace_children(current, swap)
+                break
+    if not found:
+        raise ValueError("target node not found in tree")
+    return root

@@ -1,0 +1,147 @@
+"""Tests for the 318-bug study corpus: every published statistic must be
+*recomputed* from the raw records."""
+
+import pytest
+
+from repro.corpus import (
+    DBMS_COUNTS,
+    EXPRESSION_COUNT_DISTRIBUTION,
+    FUNCTION_TYPE_HISTOGRAM,
+    PREREQUISITE_COUNTS,
+    ROOT_CAUSE_COUNTS,
+    STAGE_COUNTS,
+    SYNTHESIZED,
+    boundary_share,
+    build_corpus,
+    classify_stage,
+    count_by_dbms,
+    expression_count_distribution,
+    extract_function_calls,
+    function_type_histogram,
+    load_corpus,
+    prerequisite_distribution,
+    root_cause_distribution,
+    stage_distribution,
+    summarize,
+)
+from repro.corpus.data import LITERAL_SUBCLASS_COUNTS
+from repro.corpus.study import literal_subclass_distribution, share_with_at_most_two
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return load_corpus()
+
+
+class TestCorpusShape:
+    def test_synthesized_flag_is_public(self):
+        assert SYNTHESIZED is True
+
+    def test_total_318(self, corpus):
+        assert len(corpus) == 318
+
+    def test_deterministic(self):
+        assert [b.bug_id for b in build_corpus()] == [b.bug_id for b in build_corpus()]
+
+    def test_unique_ids(self, corpus):
+        ids = [b.bug_id for b in corpus]
+        assert len(ids) == len(set(ids))
+
+    def test_ids_use_tracker_prefixes(self, corpus):
+        prefixes = {b.bug_id.split("-")[0] for b in corpus}
+        assert prefixes == {"PG", "MYSQL", "MDEV"}
+
+    def test_every_poc_parses(self, corpus):
+        for bug in corpus:
+            for statement in bug.poc:
+                assert extract_function_calls(statement) is not None
+
+    def test_bug_inducing_statement_is_select(self, corpus):
+        for bug in corpus:
+            assert bug.bug_inducing_statement.startswith("SELECT")
+
+
+class TestTable1:
+    def test_per_dbms_counts(self, corpus):
+        assert count_by_dbms(corpus) == DBMS_COUNTS
+
+
+class TestFinding1:
+    def test_stage_distribution_recomputed_from_backtraces(self, corpus):
+        assert stage_distribution(corpus) == STAGE_COUNTS
+
+    def test_backtrace_count(self, corpus):
+        assert sum(1 for b in corpus if b.has_backtrace) == 230
+
+    def test_execution_share_is_70_percent(self, corpus):
+        stages = stage_distribution(corpus)
+        assert stages["execute"] / sum(stages.values()) == pytest.approx(0.70, abs=0.005)
+
+    def test_classifier_on_known_symbols(self):
+        assert classify_stage(["do_select_3", "item_func_val_1"]) == "execute"
+        assert classify_stage(["optimize_cond_2"]) == "optimize"
+        assert classify_stage(["sql_yyparse_0"]) == "parse"
+        assert classify_stage(["mystery_symbol"]) is None
+
+
+class TestFigure1:
+    def test_histogram_recomputed_from_pocs(self, corpus):
+        rows = {r.family: (r.occurrences, r.unique_functions)
+                for r in function_type_histogram(corpus)}
+        assert rows == FUNCTION_TYPE_HISTOGRAM
+
+    def test_string_functions_dominate(self, corpus):
+        rows = function_type_histogram(corpus)
+        assert rows[0].family == "string"
+        assert rows[0].occurrences == 117
+        assert rows[0].unique_functions == 57
+        assert rows[1].family == "aggregate"
+        assert rows[1].occurrences == 91
+
+    def test_total_occurrences_508(self, corpus):
+        assert sum(r.occurrences for r in function_type_histogram(corpus)) == 508
+
+
+class TestTable2:
+    def test_expression_counts_recomputed(self, corpus):
+        assert expression_count_distribution(corpus) == EXPRESSION_COUNT_DISTRIBUTION
+
+    def test_finding3_share(self, corpus):
+        # 278/318 ≈ 87.4% contain at most two function expressions
+        assert share_with_at_most_two(corpus) == pytest.approx(278 / 318)
+
+
+class TestFinding4:
+    def test_prerequisites_recomputed_from_poc_shapes(self, corpus):
+        assert prerequisite_distribution(corpus) == PREREQUISITE_COUNTS
+
+    def test_empty_table_pocs_have_complex_definitions(self, corpus):
+        for bug in corpus:
+            if prerequisite_distribution([bug]).get("empty_table"):
+                create = bug.poc[0]
+                assert "NOT NULL" in create or "DECIMAL(65" in create
+
+
+class TestRootCauses:
+    def test_distribution(self, corpus):
+        assert root_cause_distribution(corpus) == ROOT_CAUSE_COUNTS
+
+    def test_headline_874_percent(self, corpus):
+        assert boundary_share(corpus) == pytest.approx(278 / 318)
+
+    def test_literal_subclasses(self, corpus):
+        assert literal_subclass_distribution(corpus) == LITERAL_SUBCLASS_COUNTS
+
+    def test_nested_bugs_really_contain_nested_calls(self, corpus):
+        for bug in corpus:
+            if bug.root_cause == "boundary_nested":
+                calls = extract_function_calls(bug.bug_inducing_statement)
+                assert len(calls) >= 2, bug.bug_id
+
+
+class TestSummary:
+    def test_one_call_summary(self):
+        summary = summarize()
+        assert summary.total == 318
+        assert summary.boundary_share == pytest.approx(0.874, abs=0.001)
+        assert summary.with_backtrace == 230

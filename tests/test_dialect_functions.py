@@ -1,0 +1,218 @@
+"""Behavioural tests for dialect-specific functions and inventories —
+the reference (non-flawed) paths of each simulated DBMS."""
+
+import pytest
+
+from repro.dialects import dialect_by_name
+
+
+def connect(name):
+    return dialect_by_name(name).create_server().connect()
+
+
+def one(conn, expr):
+    return conn.execute(f"SELECT {expr};").rows[0][0].render()
+
+
+class TestMySQLSpecific:
+    @pytest.fixture(scope="class")
+    def conn(self):
+        return connect("mysql")
+
+    def test_name_const_returns_value(self, conn):
+        assert one(conn, "NAME_CONST('n', 42)") == "42"
+
+    def test_name_const_rejects_null_name(self, conn):
+        from repro.engine.errors import ValueError_
+
+        with pytest.raises(ValueError_):
+            conn.execute("SELECT NAME_CONST(NULL, 1);")
+
+    def test_lock_lifecycle(self, conn):
+        assert one(conn, "GET_LOCK('l1', 0)") == "1"
+        assert one(conn, "IS_USED_LOCK('l1')") == "1"
+        assert one(conn, "RELEASE_LOCK('l1')") == "1"
+        assert one(conn, "RELEASE_LOCK('l1')") == "0"
+        assert one(conn, "IS_USED_LOCK('l1')") == "NULL"
+
+    def test_format_bytes(self, conn):
+        assert one(conn, "FORMAT_BYTES(1048576)") == "1.00 MiB"
+        assert one(conn, "FORMAT_BYTES(10)") == "10.00 bytes"
+
+    def test_mysql_aliases(self, conn):
+        assert one(conn, "UCASE('ab')") == "AB"
+        assert one(conn, "LCASE('AB')") == "ab"
+        assert one(conn, "LOCALTIME()") == "2024-06-15 12:30:45"
+
+    def test_mysql_has_no_sequences(self, conn):
+        from repro.engine.errors import NameError_
+
+        with pytest.raises(NameError_):
+            conn.execute("SELECT NEXTVAL('s');")
+
+
+class TestClickHouseSpecific:
+    @pytest.fixture(scope="class")
+    def conn(self):
+        return connect("clickhouse")
+
+    def test_to_int_family(self, conn):
+        assert one(conn, "toInt32('42')") == "42"
+        assert one(conn, "toInt64OrNull('abc')") == "NULL"
+
+    def test_to_string(self, conn):
+        assert one(conn, "toString(1.5)") == "1.5"
+
+    def test_temporal_camelcase(self, conn):
+        assert one(conn, "toYear('2020-05-06')") == "2020"
+        assert one(conn, "toDayOfWeek('2020-05-06')") == "4"
+
+    def test_array_combinators(self, conn):
+        assert one(conn, "arraySlice([1, 2, 3, 4], 2, 3)") == "[2, 3]"
+        assert one(conn, "arraySum([1, 2])") == "3"
+
+    def test_json_extract_family(self, conn):
+        assert one(conn, "JSONLength('[1, 2]')") == "2"
+        assert one(conn, "isValidJSON('{}')") == "true"
+
+    def test_decimal256_cast_semantics(self, conn):
+        # Decimal256(S): the single parameter is the scale, precision 76
+        assert one(conn, "'1.5'::Decimal256(3)") == "1.500"
+
+    def test_todecimalstring_normal_path(self, conn):
+        assert one(conn, "toDecimalString(64.32, 5)") == "64.32000"
+
+    def test_ipv4_conversions(self, conn):
+        assert one(conn, "IPv4NumToString(2130706433)") == "127.0.0.1"
+
+
+class TestVirtuosoSpecific:
+    @pytest.fixture(scope="class")
+    def conn(self):
+        return connect("virtuoso")
+
+    def test_contains_normal(self, conn):
+        assert one(conn, "CONTAINS('hello world', 'world')") == "1"
+        assert one(conn, "CONTAINS('hello', 'xyz')") == "0"
+
+    def test_registry_round_trip(self, conn):
+        assert one(conn, "REGISTRY_SET('k', 'v')") == "1"
+        assert one(conn, "REGISTRY_GET('k')") == "v"
+
+    def test_iri_interning(self, conn):
+        first = one(conn, "IRI_TO_ID('http://example.org/a')")
+        again = one(conn, "IRI_TO_ID('http://example.org/a')")
+        assert first == again
+        assert one(conn, f"ID_TO_IRI({first})") == "http://example.org/a"
+
+    def test_id_to_iri_unknown_is_null(self, conn):
+        assert one(conn, "ID_TO_IRI(424242)") == "NULL"
+
+    def test_blob_round_trip(self, conn):
+        assert one(conn, "BLOB_TO_STRING(STRING_TO_BLOB('ab'))") == "ab"
+
+    def test_log_enable_returns_previous(self, conn):
+        assert one(conn, "LOG_ENABLE(2)") == "1"
+        assert one(conn, "LOG_ENABLE(3)") == "2"
+
+    def test_log_enable_range_checked(self, conn):
+        from repro.engine.errors import ValueError_
+
+        with pytest.raises(ValueError_):
+            conn.execute("SELECT LOG_ENABLE(7);")
+
+    def test_exec_syntax_checks(self, conn):
+        from repro.engine.errors import ValueError_
+
+        assert one(conn, "EXEC('SELECT 1')") == "0"
+        with pytest.raises(ValueError_):
+            conn.execute("SELECT EXEC('SELEKT;;;');")
+
+    def test_trx_status(self, conn):
+        assert one(conn, "TRX_STATUS(3)") == "IDLE"
+
+    def test_checkpoint_interval(self, conn):
+        assert one(conn, "CHECKPOINT_INTERVAL(30)") == "60"
+        assert one(conn, "CHECKPOINT_INTERVAL(45)") == "30"
+
+
+class TestMonetDBRestrictions:
+    @pytest.fixture(scope="class")
+    def conn(self):
+        return connect("monetdb")
+
+    def test_no_xml_functions(self, conn):
+        from repro.engine.errors import NameError_
+
+        with pytest.raises(NameError_):
+            conn.execute("SELECT EXTRACTVALUE('<a/>', '/a');")
+
+    def test_no_dynamic_columns(self, conn):
+        from repro.engine.errors import NameError_
+
+        with pytest.raises(NameError_):
+            conn.execute("SELECT COLUMN_CREATE('x', 1);")
+
+    def test_core_analytics_work(self, conn):
+        assert one(conn, "ROUND(1.256, 2)") == "1.26"
+        assert one(conn, "MEDIAN(4)") == "4.0"
+
+    def test_kept_spatial_subset(self, conn):
+        assert one(conn, "ST_X(POINT(3, 4))") == "3.0"
+        from repro.engine.errors import NameError_
+
+        with pytest.raises(NameError_):
+            conn.execute("SELECT ST_CENTROID(POINT(1, 2));")
+
+    def test_str_to_date_kept_for_format_seeds(self, conn):
+        assert one(conn, "STR_TO_DATE('2020-05-06', '%Y-%m-%d')") == "2020-05-06"
+
+
+class TestPostgresSpecific:
+    @pytest.fixture(scope="class")
+    def conn(self):
+        return connect("postgresql")
+
+    def test_jsonb_aliases(self, conn):
+        assert one(conn, "JSONB_BUILD_ARRAY(1, 2)") == "[1, 2]"
+        assert one(conn, "JSONB_PRETTY('[1]')").startswith("[")
+
+    def test_date_part(self, conn):
+        assert one(conn, "DATE_PART('year', '2020-05-06')") == "2020"
+
+    def test_wide_numerics_allowed(self, conn):
+        # PostgreSQL's numeric is effectively unbounded
+        wide = "9" * 90
+        assert one(conn, f"CAST({wide} AS DECIMAL(100, 0))") == wide
+
+    def test_json_depth_guard_is_the_cve_fix(self, conn):
+        from repro.engine.errors import ValueError_
+
+        deep = "[" * 100 + "]" * 100
+        with pytest.raises(ValueError_):
+            conn.execute(f"SELECT CAST('{deep}' AS JSON);")
+
+    def test_no_mysql_isms(self, conn):
+        from repro.engine.errors import NameError_
+
+        with pytest.raises(NameError_):
+            conn.execute("SELECT INET6_ATON('::1');")
+
+
+class TestDuckDBSpecific:
+    @pytest.fixture(scope="class")
+    def conn(self):
+        return connect("duckdb")
+
+    def test_list_aliases(self, conn):
+        assert one(conn, "LIST_LENGTH([1, 2])") == "2"
+        assert one(conn, "LIST_SORT([2, 1])") == "[1, 2]"
+
+    def test_map_surface(self, conn):
+        assert one(conn, "MAP_KEYS(MAP {1: 'a'})") == "[1]"
+
+    def test_no_benchmark_function(self, conn):
+        from repro.engine.errors import NameError_
+
+        with pytest.raises(NameError_):
+            conn.execute("SELECT BENCHMARK(1, 1);")

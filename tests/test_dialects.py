@@ -1,0 +1,235 @@
+"""Tests for the seven simulated dialects and the 132 injected bugs.
+
+The parametrized PoC test is the repository's ground-truth check: every
+injected bug's proof-of-concept statement must crash its dialect with
+exactly the declared crash class in exactly the declared function, and the
+registry's aggregates must match the paper's Table 4.
+"""
+
+import pytest
+
+from repro.dialects import (
+    all_bugs,
+    all_dialect_classes,
+    bugs_for,
+    dialect_by_name,
+    dialect_names,
+    find_bug,
+    table4_totals,
+)
+from repro.engine.connection import ServerCrashed
+
+DIALECTS = {cls.name: cls() for cls in all_dialect_classes()}
+ALL_BUGS = all_bugs()
+
+
+class TestInventories:
+    def test_seven_dialects(self):
+        assert len(dialect_names()) == 7
+        assert dialect_names() == [
+            "postgresql", "mysql", "mariadb", "clickhouse", "monetdb",
+            "duckdb", "virtuoso",
+        ]
+
+    def test_dialect_by_name(self):
+        assert dialect_by_name("mysql").name == "mysql"
+
+    def test_unknown_dialect(self):
+        with pytest.raises(KeyError):
+            dialect_by_name("oracle")
+
+    def test_versions_match_paper_setup(self):
+        versions = {cls.name: cls.version for cls in all_dialect_classes()}
+        assert versions["postgresql"] == "16.1"
+        assert versions["mysql"] == "8.3.0"
+        assert versions["mariadb"] == "11.3.2"
+        assert versions["clickhouse"] == "23.6.2.18"
+        assert versions["monetdb"] == "11.47.11"
+        assert versions["duckdb"] == "0.10.1"
+        assert versions["virtuoso"] == "7.2.12"
+
+    def test_clickhouse_has_largest_inventory(self):
+        sizes = {name: len(d.registry) for name, d in DIALECTS.items()}
+        assert sizes["clickhouse"] == max(sizes.values())
+        assert sizes["monetdb"] == min(sizes.values())
+
+    def test_inventory_ordering_matches_table5(self):
+        """ClickHouse > PostgreSQL > MySQL > MariaDB > MonetDB, the same
+        ordering as SOFT's triggered-function counts in Table 5."""
+        sizes = {name: len(d.registry) for name, d in DIALECTS.items()}
+        assert (
+            sizes["clickhouse"] > sizes["postgresql"] > sizes["mysql"]
+            >= sizes["mariadb"] > sizes["monetdb"]
+        )
+
+    def test_mysql_has_no_arrays(self):
+        assert not DIALECTS["mysql"].registry.contains("array_length")
+
+    def test_clickhouse_has_no_xml(self):
+        assert not DIALECTS["clickhouse"].registry.contains("updatexml")
+
+    def test_virtuoso_has_contains(self):
+        assert DIALECTS["virtuoso"].registry.contains("contains")
+
+    def test_documentation_entries(self):
+        docs = DIALECTS["postgresql"].documentation()
+        assert all(entry.name and entry.family for entry in docs)
+
+    def test_test_suite_is_nonempty(self):
+        for dialect in DIALECTS.values():
+            assert len(dialect.test_suite()) > 100
+
+
+class TestBugRegistry:
+    def test_total_is_132(self):
+        assert len(ALL_BUGS) == 132
+
+    def test_per_dbms_counts_match_table4(self):
+        totals = table4_totals()
+        assert totals["dbms:postgresql"] == 1
+        assert totals["dbms:mysql"] == 16
+        assert totals["dbms:mariadb"] == 24
+        assert totals["dbms:clickhouse"] == 6
+        assert totals["dbms:monetdb"] == 19
+        assert totals["dbms:duckdb"] == 21
+        assert totals["dbms:virtuoso"] == 45
+
+    def test_crash_class_totals_match_table4(self):
+        totals = table4_totals()
+        assert totals["crash:NPD"] == 61
+        assert totals["crash:SEGV"] == 29
+        assert totals["crash:UAF"] == 3
+        assert totals["crash:GBOF"] == 4
+        assert totals["crash:AF"] == 14
+        assert totals["crash:DBZ"] == 2
+        # Table 4's rows sum to 13 HBOF / 6 SO while §7.3's prose says
+        # 12 / 7; we follow the per-row table (see EXPERIMENTS.md)
+        assert totals["crash:HBOF"] == 13
+        assert totals["crash:SO"] == 6
+
+    def test_pattern_family_totals_match_paper(self):
+        totals = table4_totals()
+        assert totals["patfam:P1"] == 56
+        assert totals["patfam:P2"] == 28
+        assert totals["patfam:P3"] == 48
+
+    def test_97_fixed(self):
+        assert table4_totals()["fixed"] == 97
+
+    def test_keys_unique(self):
+        keys = [bug.key for bug in ALL_BUGS]
+        assert len(keys) == len(set(keys))
+
+    def test_find_bug(self):
+        bug = find_bug("virtuoso", "contains", "SEGV")
+        assert bug is not None
+        assert bug.pattern == "P1.2"
+
+    def test_every_bug_function_exists_in_dialect(self):
+        for bug in ALL_BUGS:
+            registry = DIALECTS[bug.dbms].registry
+            assert registry.contains(bug.function), bug.bug_id
+
+    def test_fixed_statuses_per_dialect(self):
+        fixed = {name: sum(b.fixed for b in bugs_for(name)) for name in DIALECTS}
+        assert fixed["postgresql"] == 1
+        assert fixed["mysql"] == 1       # vendor releases lag (§7.3)
+        assert fixed["mariadb"] == 4
+        assert fixed["clickhouse"] == 6
+        assert fixed["monetdb"] == 19
+        assert fixed["duckdb"] == 21
+        assert fixed["virtuoso"] == 45
+
+
+@pytest.mark.parametrize("bug", ALL_BUGS, ids=lambda b: b.bug_id)
+class TestProofOfConcepts:
+    def test_poc_triggers_declared_crash(self, bug):
+        server = DIALECTS[bug.dbms].create_server()
+        connection = server.connect()
+        with pytest.raises(ServerCrashed) as excinfo:
+            connection.execute(bug.poc)
+        crash = excinfo.value.crash
+        assert crash.code == bug.crash
+        assert crash.function == bug.function
+        assert not server.alive
+
+
+class TestCrashBehaviour:
+    def test_server_dead_after_crash(self):
+        dialect = DIALECTS["virtuoso"]
+        server = dialect.create_server()
+        conn = server.connect()
+        with pytest.raises(ServerCrashed):
+            conn.execute("SELECT CONTAINS('x', 'x', *);")
+        from repro.engine.connection import ConnectionClosed
+
+        with pytest.raises(ConnectionClosed):
+            conn.execute("SELECT 1;")
+
+    def test_restart_revives_server(self):
+        dialect = DIALECTS["virtuoso"]
+        server = dialect.create_server()
+        conn = server.connect()
+        with pytest.raises(ServerCrashed):
+            conn.execute("SELECT CONTAINS('x', 'x', *);")
+        server.restart()
+        assert server.connect().execute("SELECT 1;").rendered() == [["1"]]
+
+    def test_restart_loses_catalog(self):
+        """A restart is a fresh process: tables are gone, like a container
+        restart without a persistent volume."""
+        dialect = DIALECTS["duckdb"]
+        server = dialect.create_server()
+        conn = server.connect()
+        conn.execute("CREATE TABLE keepme (a INT);")
+        with pytest.raises(ServerCrashed):
+            conn.execute("SELECT MAP_KEYS(NULL);")
+        server.restart()
+        from repro.engine.errors import NameError_
+
+        with pytest.raises(NameError_):
+            server.connect().execute("SELECT 1 FROM keepme;")
+
+    def test_ordinary_arguments_do_not_crash(self):
+        """Every flawed function behaves correctly off the boundary."""
+        probes = {
+            "virtuoso": "SELECT CONTAINS('hello', 'ell');",
+            "mariadb": "SELECT REVERSE('abc');",
+            "duckdb": "SELECT ARRAY_LENGTH([1, 2]);",
+            "mysql": "SELECT AVG(1.5);",
+            "monetdb": "SELECT LTRIM('  x');",
+            "clickhouse": "SELECT FROM_DAYS(738000);",
+            "postgresql": "SELECT JSONB_OBJECT_AGG('a', 1);",
+        }
+        for name, sql in probes.items():
+            result = DIALECTS[name].create_server().connect().execute(sql)
+            assert result.rows
+
+    def test_crash_stage_recorded(self):
+        server = DIALECTS["mariadb"].create_server()
+        conn = server.connect()
+        with pytest.raises(ServerCrashed) as excinfo:
+            conn.execute("SELECT REVERSE('');")
+        assert excinfo.value.crash.stage in ("execute", "optimize")
+
+    def test_paper_headline_cases(self):
+        """The six §7.4 case studies crash their dialects."""
+        cases = [
+            ("mysql", "SELECT AVG(1.29999999999999999999999999999999999999999999);"),
+            ("virtuoso", "SELECT CONTAINS('x', 'x', *);"),
+            ("postgresql", "SELECT JSONB_OBJECT_AGG('a', '$[0]');"),
+            ("duckdb", "SELECT ARRAY_SORT((SELECT [1] UNION SELECT [2]));"),
+            ("mariadb", "SELECT JSON_LENGTH(REPEAT('[1,', 100), '$[2][1]');"),
+            ("mariadb", "SELECT ST_ASTEXT(INET6_ATON('255.255.255.255'));"),
+        ]
+        for name, sql in cases:
+            conn = DIALECTS[name].create_server().connect()
+            with pytest.raises(ServerCrashed):
+                conn.execute(sql)
+
+    def test_clickhouse_todecimalstring_listing1(self):
+        """Listing 1 — the bug the ClickHouse CTO ordered fixed."""
+        conn = DIALECTS["clickhouse"].create_server().connect()
+        with pytest.raises(ServerCrashed) as excinfo:
+            conn.execute("SELECT toDecimalString('110'::Decimal256(45), *);")
+        assert excinfo.value.crash.code == "NPD"

@@ -1,0 +1,278 @@
+"""Unit tests for the expression evaluator (operators, NULL logic, LIKE)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.context import ExecutionContext
+from repro.engine.errors import (
+    DivisionByZeroError_,
+    NameError_,
+    TypeError_,
+    ValueError_,
+)
+from repro.engine.evaluator import Evaluator, RowScope, compare_values, like_match
+from repro.engine.functions import build_base_registry
+from repro.engine.values import (
+    NULL,
+    SQLDate,
+    SQLInteger,
+    SQLRow,
+    SQLString,
+)
+from repro.sqlast import parse_expression
+
+
+@pytest.fixture()
+def ctx():
+    return ExecutionContext(build_base_registry())
+
+
+def ev(ctx, sql, scope=None):
+    return Evaluator(ctx, scope=scope).eval(parse_expression(sql))
+
+
+class TestArithmetic:
+    def test_integer_addition(self, ctx):
+        assert ev(ctx, "1 + 2").value == 3
+
+    def test_precedence(self, ctx):
+        assert ev(ctx, "2 + 3 * 4").value == 14
+
+    def test_integer_division_exact(self, ctx):
+        assert ev(ctx, "10 / 2").value == 5
+
+    def test_integer_division_fractional(self, ctx):
+        assert ev(ctx, "10 / 4").render() == "2.5"
+
+    def test_div_keyword(self, ctx):
+        assert ev(ctx, "7 DIV 2").value == 3
+
+    def test_mod(self, ctx):
+        assert ev(ctx, "7 % 3").value == 1
+
+    def test_mod_negative_truncates_like_c(self, ctx):
+        assert ev(ctx, "-7 % 3").value == -1
+
+    def test_division_by_zero_is_handled_error(self, ctx):
+        with pytest.raises(DivisionByZeroError_):
+            ev(ctx, "1 / 0")
+
+    def test_bigint_overflow_rejected(self, ctx):
+        with pytest.raises(ValueError_):
+            ev(ctx, "9223372036854775807 + 1")
+
+    def test_decimal_promotion(self, ctx):
+        assert ev(ctx, "1 + 0.5").render() == "1.5"
+
+    def test_string_promotes_to_double(self, ctx):
+        assert ev(ctx, "'2' * 3").value == 6.0
+
+    def test_unary_negation(self, ctx):
+        assert ev(ctx, "-(1 + 2)").value == -3
+
+    def test_bitwise_ops(self, ctx):
+        assert ev(ctx, "6 & 3").value == 2
+        assert ev(ctx, "6 | 1").value == 7
+        assert ev(ctx, "1 << 4").value == 16
+
+    def test_wide_integer_literal_becomes_decimal(self, ctx):
+        value = ev(ctx, "9" * 30)
+        assert value.type_name == "decimal"
+
+    def test_exponent_literal_is_double(self, ctx):
+        assert ev(ctx, "1e3").type_name == "double"
+
+
+class TestNullLogic:
+    def test_null_propagates_through_arithmetic(self, ctx):
+        assert ev(ctx, "1 + NULL").is_null
+
+    def test_three_valued_and(self, ctx):
+        assert ev(ctx, "FALSE AND NULL").render() == "false"
+        assert ev(ctx, "TRUE AND NULL").is_null
+
+    def test_three_valued_or(self, ctx):
+        assert ev(ctx, "TRUE OR NULL").render() == "true"
+        assert ev(ctx, "FALSE OR NULL").is_null
+
+    def test_comparison_with_null_is_null(self, ctx):
+        assert ev(ctx, "1 = NULL").is_null
+
+    def test_null_safe_equals(self, ctx):
+        assert ev(ctx, "NULL <=> NULL").render() == "true"
+        assert ev(ctx, "1 <=> NULL").render() == "false"
+
+    def test_is_null_operator(self, ctx):
+        assert ev(ctx, "NULL IS NULL").render() == "true"
+        assert ev(ctx, "1 IS NOT NULL").render() == "true"
+
+    def test_in_with_null_member(self, ctx):
+        assert ev(ctx, "3 IN (1, 2, NULL)").is_null
+        assert ev(ctx, "1 IN (1, NULL)").render() == "true"
+
+
+class TestComparisons:
+    def test_string_number_coercion(self, ctx):
+        assert ev(ctx, "'10' = 10").render() == "true"
+
+    def test_between(self, ctx):
+        assert ev(ctx, "5 BETWEEN 1 AND 10").render() == "true"
+        assert ev(ctx, "5 NOT BETWEEN 1 AND 10").render() == "false"
+
+    def test_case_searched(self, ctx):
+        assert ev(ctx, "CASE WHEN 1 > 2 THEN 'a' ELSE 'b' END").value == "b"
+
+    def test_case_with_operand(self, ctx):
+        assert ev(ctx, "CASE 2 WHEN 1 THEN 'a' WHEN 2 THEN 'b' END").value == "b"
+
+    def test_case_no_match_no_else_is_null(self, ctx):
+        assert ev(ctx, "CASE 9 WHEN 1 THEN 'a' END").is_null
+
+    def test_row_comparison_elementwise(self, ctx):
+        a = SQLRow((SQLInteger(1), SQLInteger(2)))
+        b = SQLRow((SQLInteger(1), SQLInteger(3)))
+        assert compare_values(ctx, a, b) < 0
+
+    def test_row_comparison_can_be_disabled(self, ctx):
+        ctx.set_config("row_comparison", "off")
+        a = SQLRow((SQLInteger(1),))
+        with pytest.raises(TypeError_):
+            compare_values(ctx, a, a)
+
+    def test_date_vs_string(self, ctx):
+        assert compare_values(ctx, SQLDate(2020, 1, 2), SQLString("2020-01-02")) == 0
+
+    def test_incomparable_types_raise(self, ctx):
+        from repro.engine.values import SQLArray
+
+        with pytest.raises(TypeError_):
+            compare_values(ctx, SQLArray(()), SQLInteger(1))
+
+
+class TestScopesAndColumns:
+    def test_column_lookup(self, ctx):
+        scope = RowScope({"c0": SQLInteger(7)})
+        assert ev(ctx, "c0 + 1", scope).value == 8
+
+    def test_qualified_lookup(self, ctx):
+        scope = RowScope({"t.c0": SQLInteger(7)})
+        assert ev(ctx, "t.c0", scope).value == 7
+
+    def test_parent_scope(self, ctx):
+        outer = RowScope({"x": SQLInteger(1)})
+        inner = RowScope({"y": SQLInteger(2)}, parent=outer)
+        assert ev(ctx, "x + y", inner).value == 3
+
+    def test_unknown_column(self, ctx):
+        with pytest.raises(NameError_):
+            ev(ctx, "nope", RowScope({}))
+
+    def test_no_scope_at_all(self, ctx):
+        with pytest.raises(NameError_):
+            ev(ctx, "c0")
+
+
+class TestTemporalArithmetic:
+    def test_date_plus_interval_day(self, ctx):
+        result = ev(ctx, "DATE('2020-01-30') + INTERVAL 3 DAY")
+        assert result.render() == "2020-02-02"
+
+    def test_date_plus_interval_month_clamps(self, ctx):
+        result = ev(ctx, "DATE('2020-01-31') + INTERVAL 1 MONTH")
+        assert result.render() == "2020-02-29"
+
+    def test_date_minus_date_is_days(self, ctx):
+        assert ev(ctx, "DATE('2020-01-10') - DATE('2020-01-01')").value == 9
+
+    def test_interval_year(self, ctx):
+        result = ev(ctx, "DATE('2020-02-29') + INTERVAL 1 YEAR")
+        assert result.render() == "2021-02-28"
+
+
+class TestConstructors:
+    def test_row(self, ctx):
+        assert ev(ctx, "ROW(1, 'a')").render() == "(1, 'a')"
+
+    def test_array_index_one_based(self, ctx):
+        assert ev(ctx, "[10, 20, 30][2]").value == 20
+
+    def test_array_index_out_of_bounds_is_null(self, ctx):
+        assert ev(ctx, "[10][5]").is_null
+
+    def test_map_index(self, ctx):
+        assert ev(ctx, "MAP {1: 'a'}[1]").value == "a"
+
+    def test_string_subscript(self, ctx):
+        assert ev(ctx, "'hello'[1]").value == "h"
+
+    def test_like_operator(self, ctx):
+        assert ev(ctx, "'hello' LIKE 'h%o'").render() == "true"
+        assert ev(ctx, "'hello' NOT LIKE 'x%'").render() == "true"
+
+
+class TestLikeMatch:
+    @pytest.mark.parametrize("pattern,text,expected", [
+        ("abc", "abc", True),
+        ("abc", "abd", False),
+        ("a%", "abc", True),
+        ("%c", "abc", True),
+        ("%b%", "abc", True),
+        ("a_c", "abc", True),
+        ("a_c", "ac", False),
+        ("%", "", True),
+        ("", "", True),
+        ("", "x", False),
+        ("%%", "anything", True),
+        (r"100\%", "100%", True),
+        (r"100\%", "1000", False),
+        ("a%b%c", "axxbyyc", True),
+    ])
+    def test_cases(self, pattern, text, expected):
+        assert like_match(pattern, text) is expected
+
+    @given(st.text(alphabet="ab%_", max_size=12), st.text(alphabet="ab", max_size=12))
+    @settings(max_examples=300)
+    def test_matches_regex_oracle(self, pattern, text):
+        """like_match agrees with a regex translation of the pattern."""
+        import re
+
+        regex = "^"
+        for ch in pattern:
+            if ch == "%":
+                regex += ".*"
+            elif ch == "_":
+                regex += "."
+            else:
+                regex += re.escape(ch)
+        regex += "$"
+        assert like_match(pattern, text) == bool(re.match(regex, text, re.S))
+
+
+class TestFunctionDispatch:
+    def test_unknown_function(self, ctx):
+        with pytest.raises(NameError_):
+            ev(ctx, "NO_SUCH_FUNCTION(1)")
+
+    def test_arity_checked(self, ctx):
+        with pytest.raises(TypeError_):
+            ev(ctx, "LENGTH()")
+
+    def test_functions_are_recorded(self, ctx):
+        ev(ctx, "LENGTH('abc')")
+        assert "length" in ctx.triggered_functions
+
+    def test_aggregate_over_scalar_context(self, ctx):
+        assert ev(ctx, "AVG(4)").render() == "4"
+
+    def test_count_star_scalar_context(self, ctx):
+        assert ev(ctx, "COUNT(*)").value == 1
+
+    def test_python_domain_errors_become_sql_errors(self, ctx):
+        # COT near a pole produces a math domain issue internally
+        result_or_error = None
+        try:
+            ev(ctx, "COT(0)")
+        except (ValueError_, DivisionByZeroError_) as exc:
+            result_or_error = exc
+        assert result_or_error is not None

@@ -1,0 +1,174 @@
+"""Unit tests for the flaw-kind triggers and crash actions in isolation."""
+
+import pytest
+
+from repro.dialects import flaws
+from repro.dialects.bugs import make_trigger
+from repro.engine.context import ExecutionContext
+from repro.engine.errors import (
+    AssertionFailure,
+    DivideByZeroCrash,
+    GlobalBufferOverflow,
+    HeapBufferOverflow,
+    NullPointerDereference,
+    SegmentationViolation,
+    StackOverflow,
+    UseAfterFree,
+)
+from repro.engine.functions import build_base_registry
+from repro.engine.values import (
+    NULL,
+    STAR_MARKER,
+    SQLArray,
+    SQLBytes,
+    SQLDate,
+    SQLDecimal,
+    SQLGeometry,
+    SQLInteger,
+    SQLJson,
+    SQLRow,
+    SQLString,
+)
+
+
+@pytest.fixture()
+def ctx():
+    return ExecutionContext(build_base_registry())
+
+
+def S(x):
+    return SQLString(x)
+
+
+class TestTriggers:
+    def test_empty_string(self, ctx):
+        trigger = make_trigger(("empty", 0))
+        assert trigger(ctx, [S("")])
+        assert not trigger(ctx, [S("x")])
+        assert not trigger(ctx, [SQLInteger(0)])
+
+    def test_null_arg_index(self, ctx):
+        trigger = make_trigger(("null", 1))
+        assert trigger(ctx, [S("a"), NULL])
+        assert not trigger(ctx, [NULL, S("a")])
+        assert not trigger(ctx, [S("a")])  # index out of range
+
+    def test_star(self, ctx):
+        trigger = make_trigger(("star",))
+        assert trigger(ctx, [S("a"), STAR_MARKER])
+        assert not trigger(ctx, [S("*")])
+
+    def test_wide_number(self, ctx):
+        trigger = make_trigger(("wide", 5, 0))
+        assert trigger(ctx, [SQLInteger(123456)])
+        assert trigger(ctx, [SQLDecimal.from_text("1.23456")])
+        assert not trigger(ctx, [SQLInteger(1234)])
+        assert not trigger(ctx, [S("123456")])
+
+    def test_digit_run(self, ctx):
+        trigger = make_trigger(("digitrun", 5, 0))
+        assert trigger(ctx, [S("x99999y")])
+        assert not trigger(ctx, [S("x9999y")])
+
+    def test_char_doubling(self, ctx):
+        trigger = make_trigger(("double", "{", 4, 0))
+        assert trigger(ctx, [S('{{{{"a": 0}')])
+        assert not trigger(ctx, [S('{"a": 0}')])
+
+    def test_cast_decimal(self, ctx):
+        trigger = make_trigger(("castdec", 10, 0))
+        assert trigger(ctx, [SQLDecimal.from_text("1." + "5" * 12)])
+        assert not trigger(ctx, [SQLDecimal.from_text("1.5")])
+
+    def test_cast_unsigned(self, ctx):
+        trigger = make_trigger(("castuns", 0))
+        assert trigger(ctx, [SQLInteger(2**63 + 5)])
+        assert not trigger(ctx, [SQLInteger(5)])
+
+    def test_binary_and_nested_types(self, ctx):
+        assert make_trigger(("castbin", 0))(ctx, [SQLBytes(b"x")])
+        assert make_trigger(("nbytes", 0))(ctx, [SQLBytes(b"x")])
+        assert make_trigger(("ngeom", 0))(ctx, [SQLGeometry(object())])
+        assert make_trigger(("njson", 0))(ctx, [SQLJson([1])])
+        assert make_trigger(("narr", 0))(ctx, [SQLArray((SQLInteger(1),))])
+        assert make_trigger(("ndate", 0))(ctx, [SQLDate(2020, 1, 2)])
+        assert not make_trigger(("nbytes", 0))(ctx, [S("x")])
+
+    def test_union_array_and_nested_array(self, ctx):
+        flat = SQLArray((SQLInteger(1),))
+        nested = SQLArray((flat,))
+        assert make_trigger(("unionarr", 0))(ctx, [flat])
+        assert make_trigger(("arrarr", 0))(ctx, [nested])
+        assert not make_trigger(("arrarr", 0))(ctx, [flat])
+
+    def test_foreign_text(self, ctx):
+        trigger = make_trigger(("foreign", ("$", "/"), 0))
+        assert trigger(ctx, [S("$[0]")])
+        assert trigger(ctx, [S("/a/b")])
+        assert not trigger(ctx, [S("a$b")])
+
+    def test_long_and_deep(self, ctx):
+        assert make_trigger(("long", 10, 0))(ctx, [S("x" * 10)])
+        assert not make_trigger(("long", 10, 0))(ctx, [S("x" * 9)])
+        assert make_trigger(("deep", "[", 4, 0))(ctx, [S("[[[[")])
+
+    def test_row_zero_neg_big(self, ctx):
+        assert make_trigger(("row",))(ctx, [SQLRow((SQLInteger(1),))])
+        assert make_trigger(("zdiv", 0))(ctx, [SQLInteger(0)])
+        assert not make_trigger(("zdiv", 0))(ctx, [S("0")])
+        assert make_trigger(("neg", 0))(ctx, [SQLInteger(-1)])
+        assert make_trigger(("big", 100, 0))(ctx, [SQLInteger(100)])
+        assert not make_trigger(("big", 100, 0))(ctx, [SQLInteger(99)])
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(ValueError):
+            make_trigger(("frobnicate",))
+
+
+class TestCrashActions:
+    @pytest.mark.parametrize("code,exc", [
+        ("NPD", NullPointerDereference),
+        ("SEGV", SegmentationViolation),
+        ("UAF", UseAfterFree),
+        ("GBOF", GlobalBufferOverflow),
+        ("SO", StackOverflow),
+        ("AF", AssertionFailure),
+        ("DBZ", DivideByZeroCrash),
+    ])
+    def test_each_action_raises_its_class(self, ctx, code, exc):
+        action = flaws.CRASH_ACTIONS[code]
+        with pytest.raises(exc):
+            action(ctx, "victim_fn", [S("x" * 40)])
+
+    def test_hbof_emerges_from_miscalculated_buffer(self, ctx):
+        with pytest.raises(HeapBufferOverflow):
+            flaws.CRASH_ACTIONS["HBOF"](ctx, "victim_fn", [S("y" * 64)])
+
+    def test_crash_carries_function_name(self, ctx):
+        with pytest.raises(NullPointerDereference) as excinfo:
+            flaws.crash_npd(ctx, "some_fn", [])
+        assert excinfo.value.function == "some_fn"
+
+    def test_stack_overflow_bounded_by_simulated_stack(self, ctx):
+        # the "infinite recursion" loop terminates via the CallStack bound
+        with pytest.raises(StackOverflow):
+            flaws.crash_so(ctx, "rec_fn", [S("[[[")])
+        assert ctx.stack.depth == ctx.stack.max_depth
+
+
+class TestInstallFlaw:
+    def test_flawed_path_gated_by_trigger(self, ctx):
+        registry = build_base_registry()
+        flaws.install_flaw(registry, "upper", flaws.trig_empty_string(0), "NPD")
+        definition = registry.lookup("upper")
+        assert definition.impl(ctx, [S("ok")]).value == "OK"
+        with pytest.raises(NullPointerDereference):
+            definition.impl(ctx, [S("")])
+
+    def test_aggregate_flaw_probes_first_row(self, ctx):
+        registry = build_base_registry()
+        flaws.install_flaw(registry, "sum", flaws.trig_nested_bytes(0), "NPD")
+        definition = registry.lookup("sum")
+        assert definition.impl(ctx, [[SQLInteger(1), SQLInteger(2)]]).value == 3
+        with pytest.raises(NullPointerDereference):
+            definition.impl(ctx, [[SQLBytes(b"x")]])

@@ -1,0 +1,327 @@
+"""Behavioural tests for the reference built-in function implementations."""
+
+import pytest
+
+from repro.dialects.base import Dialect
+from repro.engine.errors import SQLError, TypeError_, ValueError_
+
+
+@pytest.fixture(scope="module")
+def conn():
+    return Dialect().create_server().connect()
+
+
+def one(conn, expr):
+    return conn.execute(f"SELECT {expr};").rows[0][0].render()
+
+
+class TestStringFunctions:
+    @pytest.mark.parametrize("expr,expected", [
+        ("LENGTH('héllo')", "6"),            # bytes
+        ("CHAR_LENGTH('héllo')", "5"),       # characters
+        ("UPPER('abc')", "ABC"),
+        ("LOWER('ABC')", "abc"),
+        ("CONCAT('a', 1, 'b')", "a1b"),
+        ("CONCAT_WS('-', 'a', NULL, 'b')", "a-b"),
+        ("SUBSTRING('hello', 2, 3)", "ell"),
+        ("SUBSTRING('hello', -3)", "llo"),
+        ("SUBSTRING('hello', 0)", "hello"),
+        ("LEFT('hello', 2)", "he"),
+        ("RIGHT('hello', 2)", "lo"),
+        ("RIGHT('hello', 0)", ""),
+        ("REPEAT('ab', 3)", "ababab"),
+        ("REPEAT('ab', -1)", ""),
+        ("REPLACE('aaa', 'a', 'bb')", "bbbbbb"),
+        ("REPLACE('abc', '', 'x')", "abc"),
+        ("REVERSE('abc')", "cba"),
+        ("TRIM('  x  ')", "x"),
+        ("LTRIM('  x')", "x"),
+        ("RTRIM('x  ')", "x"),
+        ("LPAD('5', 3, '0')", "005"),
+        ("LPAD('abcdef', 3, '0')", "abc"),
+        ("RPAD('5', 3, '0')", "500"),
+        ("INSTR('hello', 'll')", "3"),
+        ("INSTR('hello', 'z')", "0"),
+        ("LOCATE('l', 'hello', 4)", "4"),
+        ("ASCII('A')", "65"),
+        ("ASCII('')", "0"),
+        ("CHR(65)", "A"),
+        ("SPACE(3)", "   "),
+        ("STRCMP('a', 'b')", "-1"),
+        ("HEX('AB')", "4142"),
+        ("HEX(255)", "FF"),
+        ("ELT(2, 'a', 'b', 'c')", "b"),
+        ("ELT(9, 'a')", "NULL"),
+        ("FIELD('b', 'a', 'b')", "2"),
+        ("INSERT('hello', 2, 2, 'XY')", "hXYlo"),
+        ("QUOTE('it''s')", "'it''s'"),
+        ("TRANSLATE('abc', 'ab', 'xy')", "xyc"),
+        ("INITCAP('hello world')", "Hello World"),
+        ("SPLIT_PART('a,b,c', ',', 2)", "b"),
+        ("STARTS_WITH('hello', 'he')", "true"),
+        ("ENDS_WITH('hello', 'lo')", "true"),
+        ("SOUNDEX('Robert')", "R163"),
+        ("BIT_LENGTH('a')", "8"),
+        ("MD5('abc')", "900150983cd24fb0d6963f7d28e17f72"),
+        ("TO_BASE64('abc')", "YWJj"),
+    ])
+    def test_reference_behaviour(self, conn, expr, expected):
+        assert one(conn, expr) == expected
+
+    def test_null_propagation(self, conn):
+        assert one(conn, "UPPER(NULL)") == "NULL"
+        assert one(conn, "REPEAT(NULL, 3)") == "NULL"
+
+    def test_star_rejected(self, conn):
+        with pytest.raises(TypeError_):
+            conn.execute("SELECT UPPER(*);")
+
+    def test_repeat_resource_guard(self, conn):
+        from repro.engine.errors import ResourceError
+
+        with pytest.raises(ResourceError):
+            conn.execute("SELECT REPEAT('a', 9999999999);")
+
+    def test_format_german_locale(self, conn):
+        assert one(conn, "FORMAT(1234.5, 2, 'de_DE')") == "1.234,50"
+
+    def test_format_clamps_decimals(self, conn):
+        # the *fixed* behaviour: >38 digits clamps instead of overflowing
+        assert len(one(conn, "FORMAT(0, 50)")) < 60
+
+
+class TestMathFunctions:
+    @pytest.mark.parametrize("expr,expected", [
+        ("ABS(-5)", "5"),
+        ("SIGN(-2.5)", "-1"),
+        ("CEIL(1.2)", "2"),
+        ("FLOOR(-1.2)", "-2"),
+        ("ROUND(1.256, 2)", "1.26"),
+        ("ROUND(15, -1)", "20"),
+        ("TRUNCATE(1.999, 1)", "1.9"),
+        ("SQRT(16)", "4.0"),
+        ("MOD(10, 3)", "1"),
+        ("GCD(12, 18)", "6"),
+        ("LCM(4, 6)", "12"),
+        ("FACTORIAL(5)", "120"),
+        ("BIT_COUNT(7)", "3"),
+        ("GREATEST(1, 5, 3)", "5"),
+        ("LEAST(1, 5, 3)", "1"),
+        ("LOG2(8)", "3.0"),
+        ("POWER(2, 10)", "1024.0"),
+    ])
+    def test_reference_behaviour(self, conn, expr, expected):
+        assert one(conn, expr) == expected
+
+    def test_sqrt_negative_is_null(self, conn):
+        assert one(conn, "SQRT(-1)") == "NULL"
+
+    def test_ln_nonpositive_is_null(self, conn):
+        assert one(conn, "LN(0)") == "NULL"
+
+    def test_factorial_range_checked(self, conn):
+        with pytest.raises(ValueError_):
+            conn.execute("SELECT FACTORIAL(25);")
+
+    def test_rand_seeded_deterministic(self, conn):
+        assert one(conn, "RAND(42)") == one(conn, "RAND(42)")
+
+    def test_mod_by_zero_handled(self, conn):
+        from repro.engine.errors import DivisionByZeroError_
+
+        with pytest.raises(DivisionByZeroError_):
+            conn.execute("SELECT MOD(1, 0);")
+
+
+class TestDateFunctions:
+    @pytest.mark.parametrize("expr,expected", [
+        ("YEAR('2020-05-06')", "2020"),
+        ("MONTH('2020-05-06')", "5"),
+        ("DAY('2020-05-06')", "6"),
+        ("DAYOFWEEK('2020-05-06')", "4"),      # Wednesday
+        ("WEEKDAY('2020-05-06')", "2"),
+        ("DAYNAME('2020-05-06')", "Wednesday"),
+        ("MONTHNAME('2020-05-06')", "May"),
+        ("DAYOFYEAR('2020-02-01')", "32"),
+        ("QUARTER('2020-05-06')", "2"),
+        ("HOUR('12:30:45')", "12"),
+        ("MINUTE('12:30:45')", "30"),
+        ("SECOND('12:30:45')", "45"),
+        ("DATEDIFF('2020-05-06', '2020-05-01')", "5"),
+        ("LAST_DAY('2020-02-10')", "2020-02-29"),
+        ("MAKEDATE(2020, 32)", "2020-02-01"),
+        ("MAKETIME(10, 30, 0)", "10:30:00"),
+        ("IS_LEAP_YEAR(2024)", "true"),
+        ("EXTRACT('year', '2020-05-06')", "2020"),
+        ("DATE_FORMAT('2020-05-06', '%Y/%m')", "2020/05"),
+        ("FROM_UNIXTIME(0)", "1970-01-01 00:00:00"),
+        ("DATE_ADD('2020-01-30', INTERVAL 3 DAY)", "2020-02-02"),
+    ])
+    def test_reference_behaviour(self, conn, expr, expected):
+        assert one(conn, expr) == expected
+
+    def test_invalid_date_rejected(self, conn):
+        with pytest.raises(ValueError_):
+            conn.execute("SELECT YEAR('2020-13-01');")
+
+    def test_now_is_deterministic(self, conn):
+        assert one(conn, "NOW()") == "2024-06-15 12:30:45"
+
+
+class TestJsonFunctions:
+    @pytest.mark.parametrize("expr,expected", [
+        ("JSON_VALID('{\"a\": 1}')", "true"),
+        ("JSON_VALID('{oops')", "false"),
+        ("JSON_LENGTH('[1, 2, 3]')", "3"),
+        ("JSON_LENGTH('{\"a\": 1}', '$.a')", "1"),
+        ("JSON_DEPTH('[[1]]')", "3"),
+        ("JSON_TYPE('[1]')", "ARRAY"),
+        ("JSON_TYPE('1.5')", "DOUBLE"),
+        ("JSON_EXTRACT('{\"a\": [1, 2]}', '$.a[1]')", "2"),
+        ("JSON_KEYS('{\"a\": 1, \"b\": 2}')", '["a", "b"]'),
+        ("JSON_QUOTE('a\"b')", '"a\\"b"'),
+        ("JSON_UNQUOTE('\"abc\"')", "abc"),
+        ("JSON_CONTAINS('[1, 2]', '1')", "true"),
+        ("JSON_CONTAINS('[1, 2]', '9')", "false"),
+        ("JSON_MERGE('[1]', '[2]')", "[1, 2]"),
+        ("JSON_ARRAY(1, 'a', NULL)", '[1, "a", null]'),
+        ("JSON_OBJECT('a', 1)", '{"a": 1}'),
+        ("JSON_SET('{\"a\": 1}', '$.a', 2)", '{"a": 2}'),
+        ("JSON_REMOVE('{\"a\": 1, \"b\": 2}', '$.a')", '{"b": 2}'),
+        ("COLUMN_JSON(COLUMN_CREATE('x', 1))", '{"x": 1}'),
+        ("COLUMN_GET(COLUMN_CREATE('x', 7), 'x')", "7"),
+    ])
+    def test_reference_behaviour(self, conn, expr, expected):
+        assert one(conn, expr) == expected
+
+    def test_invalid_json_rejected(self, conn):
+        with pytest.raises(ValueError_):
+            conn.execute("SELECT JSON_LENGTH('{oops');")
+
+    def test_invalid_path_rejected(self, conn):
+        with pytest.raises(ValueError_):
+            conn.execute("SELECT JSON_EXTRACT('[1]', 'nope');")
+
+
+class TestXmlFunctions:
+    @pytest.mark.parametrize("expr,expected", [
+        ("EXTRACTVALUE('<a><b>x</b></a>', '/a/b')", "x"),
+        ("EXTRACTVALUE('<a><b>1</b><b>2</b></a>', '/a/b[2]')", "2"),
+        ("UPDATEXML('<a><c></c></a>', '/a/c', '<b></b>')", "<a><b></b></a>"),
+        ("XML_VALID('<a/>')", "true"),
+        ("XML_VALID('<a>')", "false"),
+        ("XMLELEMENT('x', 'body')", "<x>body</x>"),
+    ])
+    def test_reference_behaviour(self, conn, expr, expected):
+        assert one(conn, expr) == expected
+
+
+class TestArrayMapFunctions:
+    @pytest.mark.parametrize("expr,expected", [
+        ("ARRAY_LENGTH([1, 2, 3])", "3"),
+        ("ARRAY_APPEND([1], 2)", "[1, 2]"),
+        ("ARRAY_PREPEND(0, [1])", "[0, 1]"),
+        ("ARRAY_CONCAT([1], [2, 3])", "[1, 2, 3]"),
+        ("ARRAY_CONTAINS([1, 2], 2)", "true"),
+        ("ARRAY_POSITION([5, 6], 6)", "2"),
+        ("ARRAY_SLICE([1, 2, 3, 4], 2, 3)", "[2, 3]"),
+        ("ARRAY_REVERSE([1, 2])", "[2, 1]"),
+        ("ARRAY_DISTINCT([1, 1, 2])", "[1, 2]"),
+        ("ARRAY_SORT([3, 1, 2])", "[1, 2, 3]"),
+        ("ELEMENT_AT([10, 20], 2)", "20"),
+        ("ELEMENT_AT([10, 20], -1)", "20"),
+        ("ARRAY_SUM([1, 2, 3])", "6"),
+        ("ARRAY_MIN([3, 1])", "1"),
+        ("ARRAY_MAX([3, 1])", "3"),
+        ("ARRAY_FLATTEN([[1], [2, 3]])", "[1, 2, 3]"),
+        ("RANGE(1, 4)", "[1, 2, 3]"),
+        ("MAP_KEYS(MAP {1: 'a'})", "[1]"),
+        ("MAP_VALUES(MAP {1: 'a'})", "['a']"),
+        ("MAP_SIZE(MAP {1: 'a', 2: 'b'})", "2"),
+        ("MAP_CONTAINS(MAP {1: 'a'}, 1)", "true"),
+        ("MAP_FROM_ARRAYS([1], ['x'])", "{1: 'x'}"),
+    ])
+    def test_reference_behaviour(self, conn, expr, expected):
+        assert one(conn, expr) == expected
+
+    def test_element_at_out_of_bounds_errors(self, conn):
+        with pytest.raises(ValueError_):
+            conn.execute("SELECT ELEMENT_AT([1], 5);")
+
+    def test_map_from_mismatched_arrays(self, conn):
+        with pytest.raises(ValueError_):
+            conn.execute("SELECT MAP_FROM_ARRAYS([1, 2], ['a']);")
+
+
+class TestSpatialInetFunctions:
+    @pytest.mark.parametrize("expr,expected", [
+        ("ST_ASTEXT(ST_GEOMFROMTEXT('POINT(1 2)'))", "POINT(1 2)"),
+        ("ST_X(POINT(1, 2))", "1.0"),
+        ("ST_Y(POINT(1, 2))", "2.0"),
+        ("ST_LENGTH(ST_GEOMFROMTEXT('LINESTRING(0 0, 3 4)'))", "5.0"),
+        ("ST_AREA(ST_GEOMFROMTEXT('POLYGON((0 0, 4 0, 4 4, 0 4, 0 0))'))", "16.0"),
+        ("ST_ISCLOSED(ST_GEOMFROMTEXT('LINESTRING(0 0, 1 1, 0 0)'))", "true"),
+        ("ST_NPOINTS(ST_GEOMFROMTEXT('LINESTRING(0 0, 1 1)'))", "2"),
+        ("ST_DISTANCE(POINT(0, 0), POINT(3, 4))", "5.0"),
+        ("ST_GEOMETRYTYPE(POINT(1, 2))", "POINT"),
+        ("INET_ATON('0.0.1.0')", "256"),
+        ("INET_NTOA(2130706433)", "127.0.0.1"),
+        ("IS_IPV4('1.2.3.4')", "true"),
+        ("IS_IPV6('::1')", "true"),
+        ("IS_IPV6('1.2.3.4')", "false"),
+        ("INET6_NTOA(INET6_ATON('127.0.0.1'))", "127.0.0.1"),
+    ])
+    def test_reference_behaviour(self, conn, expr, expected):
+        assert one(conn, expr) == expected
+
+    def test_boundary_of_open_linestring(self, conn):
+        result = one(conn, "ST_ASTEXT(BOUNDARY(ST_GEOMFROMTEXT('LINESTRING(0 0, 1 1)')))")
+        assert result == "MULTIPOINT(0 0, 1 1)"
+
+    def test_boundary_requires_geometry(self, conn):
+        with pytest.raises(SQLError):
+            conn.execute("SELECT BOUNDARY(123);")
+
+
+class TestConditionSystemFunctions:
+    @pytest.mark.parametrize("expr,expected", [
+        ("COALESCE(NULL, NULL, 3)", "3"),
+        ("COALESCE(NULL)", "NULL"),
+        ("IFNULL(NULL, 'x')", "x"),
+        ("IFNULL(1, 'x')", "1"),
+        ("NULLIF(1, 1)", "NULL"),
+        ("NULLIF(1, 2)", "1"),
+        ("IF(1 > 0, 'yes', 'no')", "yes"),
+        ("ISNULL(NULL)", "1"),
+        ("INTERVAL(3, 1, 2, 5)", "2"),
+        ("CHOOSE(2, 'a', 'b')", "b"),
+        ("TYPEOF(1.5)", "decimal"),
+        ("TO_CHAR(123.45)", "123.45"),
+        ("TO_NUMBER('12.5')", "12.5"),
+        ("TODECIMALSTRING(64.32, 5)", "64.32000"),
+        ("CRC32('abc')", "891568578"),
+        ("SLEEP(0)", "0"),
+        ("BENCHMARK(10, 1)", "0"),
+    ])
+    def test_reference_behaviour(self, conn, expr, expected):
+        assert one(conn, expr) == expected
+
+    def test_interval_rejects_rows(self, conn):
+        """The MDEV-14596 class: the reference build *checks* ROW args."""
+        with pytest.raises(TypeError_):
+            conn.execute("SELECT INTERVAL(ROW(1, 1), ROW(1, 2));")
+
+    def test_sequences(self, conn):
+        assert one(conn, "NEXTVAL('seq_t')") == "1"
+        assert one(conn, "NEXTVAL('seq_t')") == "2"
+        assert one(conn, "CURRVAL('seq_t')") == "2"
+        assert one(conn, "SETVAL('seq_t', 10)") == "10"
+        assert one(conn, "NEXTVAL('seq_t')") == "11"
+
+    def test_currval_before_use_errors(self, conn):
+        with pytest.raises(ValueError_):
+            conn.execute("SELECT CURRVAL('untouched');")
+
+    def test_version_reflects_config(self):
+        conn = Dialect().create_server().connect()
+        assert one(conn, "VERSION()") == "generic-1.0"

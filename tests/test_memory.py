@@ -1,0 +1,204 @@
+"""Unit tests for the simulated process-memory model."""
+
+import pytest
+
+from repro.engine.errors import (
+    GlobalBufferOverflow,
+    HeapBufferOverflow,
+    NullPointerDereference,
+    ResourceError,
+    SegmentationViolation,
+    StackOverflow,
+    UseAfterFree,
+)
+from repro.engine.memory import (
+    Buffer,
+    CallStack,
+    GlobalBuffer,
+    Heap,
+    Pointer,
+    fits_int32,
+    fits_int64,
+    sql_assert,
+    wrap_int32,
+    wrap_int64,
+)
+
+
+class TestBuffer:
+    def test_write_within_bounds(self):
+        buf = Buffer(8, None)
+        buf.write(0, "hello")
+        assert buf.read(0, 5) == "hello"
+
+    def test_write_past_end_overflows(self):
+        buf = Buffer(4, None, label="fmt")
+        with pytest.raises(HeapBufferOverflow) as excinfo:
+            buf.write(0, "hello")
+        assert "fmt" in str(excinfo.value)
+
+    def test_write_at_offset_overflow(self):
+        buf = Buffer(8, None)
+        with pytest.raises(HeapBufferOverflow):
+            buf.write(6, "abc")
+
+    def test_negative_offset_overflows(self):
+        with pytest.raises(HeapBufferOverflow):
+            Buffer(8, None).write(-1, "a")
+
+    def test_read_past_end_overflows(self):
+        buf = Buffer(4, None)
+        with pytest.raises(HeapBufferOverflow):
+            buf.read(2, 4)
+
+    def test_use_after_free(self):
+        buf = Buffer(4, None)
+        buf.free()
+        with pytest.raises(UseAfterFree):
+            buf.write(0, "x")
+
+    def test_negative_allocation_is_resource_error(self):
+        with pytest.raises(ResourceError):
+            Buffer(-1, None)
+
+    def test_oversized_allocation_is_resource_error(self):
+        with pytest.raises(ResourceError):
+            Buffer(10**12, None)
+
+    def test_contents_c_string_view(self):
+        buf = Buffer(8, None)
+        buf.write(0, "ab\0cd")
+        assert buf.contents() == "ab"
+
+
+class TestGlobalBuffer:
+    def test_overflow_is_global_class(self):
+        buf = GlobalBuffer(4, label="static_fmt")
+        with pytest.raises(GlobalBufferOverflow):
+            buf.write(0, "too long")
+
+    def test_read_overflow(self):
+        with pytest.raises(GlobalBufferOverflow):
+            GlobalBuffer(4).read(0, 8)
+
+    def test_within_bounds(self):
+        buf = GlobalBuffer(8)
+        buf.write(0, "ok")
+        assert buf.read(0, 2) == "ok"
+
+
+class TestHeap:
+    def test_alloc_tracks_live(self):
+        heap = Heap()
+        buf = heap.alloc(16)
+        assert buf in heap.live
+        heap.free(buf)
+        assert buf not in heap.live
+
+    def test_reset(self):
+        heap = Heap()
+        heap.alloc(16)
+        heap.reset()
+        assert heap.live == []
+
+
+class TestPointer:
+    def test_valid_deref(self):
+        assert Pointer.to(42).deref() == 42
+
+    def test_null_deref(self):
+        with pytest.raises(NullPointerDereference):
+            Pointer.null("desc").deref(function="f")
+
+    def test_null_deref_carries_function(self):
+        with pytest.raises(NullPointerDereference) as excinfo:
+            Pointer.null().deref(function="repeat")
+        assert excinfo.value.function == "repeat"
+
+    def test_freed_deref_is_uaf(self):
+        ptr = Pointer.to("payload")
+        ptr.free()
+        with pytest.raises(UseAfterFree):
+            ptr.deref()
+
+    def test_wild_deref_is_segv(self):
+        with pytest.raises(SegmentationViolation):
+            Pointer.wild().deref()
+
+    def test_is_null(self):
+        assert Pointer.null().is_null
+        assert not Pointer.to(1).is_null
+
+
+class TestCallStack:
+    def test_push_pop(self):
+        stack = CallStack(max_depth=4)
+        stack.push("f")
+        assert stack.depth == 1
+        stack.pop()
+        assert stack.depth == 0
+
+    def test_overflow(self):
+        stack = CallStack(max_depth=3)
+        for _ in range(3):
+            stack.push("rec")
+        with pytest.raises(StackOverflow):
+            stack.push("rec")
+
+    def test_frame_context_manager(self):
+        stack = CallStack(max_depth=4)
+        with stack.frame("f"):
+            assert stack.depth == 1
+        assert stack.depth == 0
+
+    def test_reset(self):
+        stack = CallStack(max_depth=4)
+        stack.push("x")
+        stack.reset()
+        assert stack.depth == 0
+
+
+class TestHelpers:
+    def test_sql_assert_passes(self):
+        sql_assert(True, "fine")  # no raise
+
+    def test_sql_assert_fails(self):
+        from repro.engine.errors import AssertionFailure
+
+        with pytest.raises(AssertionFailure):
+            sql_assert(False, "broken invariant", function="f")
+
+    def test_wrap_int32(self):
+        assert wrap_int32(2**31) == -(2**31)
+        assert wrap_int32(-(2**31) - 1) == 2**31 - 1
+
+    def test_wrap_int64(self):
+        assert wrap_int64(2**63) == -(2**63)
+
+    def test_fits(self):
+        assert fits_int32(2**31 - 1)
+        assert not fits_int32(2**31)
+        assert fits_int64(2**63 - 1)
+        assert not fits_int64(2**63)
+
+
+class TestCrashMetadata:
+    def test_crash_captures_backtrace(self):
+        def inner():
+            Pointer.null().deref(function="victim")
+
+        with pytest.raises(NullPointerDereference) as excinfo:
+            inner()
+        assert isinstance(excinfo.value.backtrace, list)
+
+    def test_crash_is_not_plain_exception(self):
+        """CrashSignal must escape `except Exception` like a real SIGSEGV."""
+        caught = False
+        try:
+            try:
+                Pointer.null().deref()
+            except Exception:  # noqa: BLE001 - the point of the test
+                caught = True
+        except NullPointerDereference:
+            pass
+        assert not caught

@@ -1,0 +1,162 @@
+"""Tests for the PoC minimiser and the §8 logic-bug oracles."""
+
+import pytest
+
+from repro.core.logic import (
+    LogicOracle,
+    check_norec,
+    check_tlp,
+    default_predicates,
+)
+from repro.core.minimize import Minimizer, minimize_poc
+from repro.dialects import all_bugs, dialect_by_name
+from repro.dialects.base import Dialect
+
+
+class TestMinimizer:
+    def test_rejects_non_crashing_input(self):
+        with pytest.raises(ValueError):
+            minimize_poc(dialect_by_name("mariadb"), "SELECT 1;")
+
+    def test_drops_noise_select_items(self):
+        result = minimize_poc(
+            dialect_by_name("mariadb"),
+            "SELECT UPPER('noise'), REVERSE(''), 42;",
+        )
+        assert result.minimized == "SELECT REVERSE('');"
+
+    def test_preserves_crash_identity(self):
+        dialect = dialect_by_name("mariadb")
+        minimizer = Minimizer(dialect)
+        result = minimizer.minimize("SELECT JSON_LENGTH(REPEAT('[1,', 100), '$[2][1]');")
+        identity = minimizer.crash_identity(result.minimized)
+        assert identity is not None
+        assert identity.function == "json_length"
+        assert identity.crash_code == "GBOF"
+
+    def test_drops_unneeded_tail_argument(self):
+        result = minimize_poc(
+            dialect_by_name("mariadb"),
+            "SELECT JSON_LENGTH(REPEAT('[1,', 100), '$[2][1]');",
+        )
+        # the JSON path is dropped, and the REPEAT count shrinks to the
+        # smallest value past the 200-character trigger (67 * 3 = 201)
+        assert result.minimized == "SELECT JSON_LENGTH(REPEAT('[1,', 67));"
+
+    def test_shrinks_wide_decimal(self):
+        result = minimize_poc(
+            dialect_by_name("mysql"),
+            "SELECT AVG(1.29999999999999999999999999999999999999999999);",
+        )
+        # the MySQL AVG bug triggers at 20 total digits; the minimiser
+        # should land close to that boundary
+        digits = sum(c.isdigit() for c in result.minimized)
+        assert digits <= 22
+
+    def test_shrinks_repeat_count_to_threshold(self):
+        result = minimize_poc(
+            dialect_by_name("virtuoso"), "SELECT CONCAT(REPEAT('x', 1500));"
+        )
+        assert "1200" in result.minimized  # the injected threshold
+
+    def test_simplifies_unrelated_subtree(self):
+        result = minimize_poc(
+            dialect_by_name("duckdb"),
+            "SELECT LEFT(CONCAT('abc', 'def'), 99999);",
+        )
+        assert "CONCAT" not in result.minimized
+        assert "LEFT(" in result.minimized
+
+    def test_unwraps_casts_when_possible(self):
+        # the DuckDB map bug needs the cast; the MariaDB reverse bug doesn't
+        result = minimize_poc(
+            dialect_by_name("mariadb"),
+            "SELECT REVERSE(CAST('' AS CHAR(4)));",
+        )
+        assert "CAST" not in result.minimized
+
+    def test_minimized_never_longer(self):
+        dialect = dialect_by_name("duckdb")
+        for bug in all_bugs():
+            if bug.dbms != "duckdb":
+                continue
+            result = minimize_poc(dialect, bug.poc, max_attempts=300)
+            assert len(result.minimized) <= len(bug.poc) + 1
+
+    def test_reduction_metric(self):
+        result = minimize_poc(
+            dialect_by_name("mariadb"),
+            "SELECT UPPER('noise'), REVERSE('');",
+        )
+        assert 0 < result.reduction < 1
+        assert result.attempts >= result.successes
+
+
+class FaultyWhereDialect(Dialect):
+    """Reference engine with the classic 'UNKNOWN is TRUE' planner defect."""
+
+    name = "faulty-where"
+
+    def make_config(self):
+        config = super().make_config()
+        config["faulty_where_null_as_true"] = "1"
+        return config
+
+
+class TestLogicOracles:
+    def test_reference_engine_is_clean(self):
+        result = LogicOracle(Dialect(), seed=1).run(rounds=30)
+        assert result.checks > 0
+        assert result.ok, [str(v) for v in result.violations]
+
+    def test_faulty_engine_caught_by_both_oracles(self):
+        result = LogicOracle(FaultyWhereDialect(), seed=1).run(rounds=30)
+        oracles = {v.oracle for v in result.violations}
+        assert "norec" in oracles
+        assert "tlp" in oracles
+
+    def test_norec_direct(self):
+        connection = FaultyWhereDialect().create_server().connect()
+        for statement in LogicOracle.TABLE_SETUP:
+            connection.execute(statement)
+        violation = check_norec(connection, "logic_t", "c0 > 0")
+        assert violation is not None
+        assert violation.oracle == "norec"
+
+    def test_tlp_direct_on_reference(self):
+        connection = Dialect().create_server().connect()
+        for statement in LogicOracle.TABLE_SETUP:
+            connection.execute(statement)
+        assert check_tlp(connection, "logic_t", "c0 > 0") is None
+
+    def test_tlp_counts_partition_sizes(self):
+        connection = FaultyWhereDialect().create_server().connect()
+        for statement in LogicOracle.TABLE_SETUP:
+            connection.execute(statement)
+        violation = check_tlp(connection, "logic_t", "c0 > 0")
+        assert violation is not None
+        assert violation.observed > violation.expected
+
+    def test_predicates_include_null_producers(self):
+        import random
+
+        predicates = default_predicates(random.Random(0), count=50)
+        assert any("IS NULL" in p for p in predicates)
+        assert any("NULL" in p and "IN" in p for p in predicates)
+
+    def test_bad_predicates_counted_as_errors_not_violations(self):
+        result = LogicOracle(Dialect()).run(
+            predicates=["NO_SUCH_FN(c0) = 1", "c0 > 0"]
+        )
+        assert result.errors >= 2  # both oracles reject the bad predicate
+        assert result.ok
+
+    def test_seven_dialects_have_no_logic_bugs(self):
+        """The injected bugs are crash bugs; the logic oracles stay silent
+        on every simulated DBMS (predicates avoiding the crash triggers)."""
+        from repro.dialects import all_dialect_classes
+
+        safe = ["c0 > 0", "c2 < 1", "c1 IS NULL", "c0 BETWEEN -1 AND 2"]
+        for cls in all_dialect_classes():
+            result = LogicOracle(cls()).run(predicates=safe)
+            assert result.ok, (cls.name, [str(v) for v in result.violations])

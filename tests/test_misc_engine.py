@@ -1,0 +1,304 @@
+"""Tests for the optimizer, connection model, coverage tracker, visitor,
+and printer edge cases."""
+
+import pytest
+
+from repro.dialects.base import Dialect
+from repro.engine.connection import ConnectionClosed, Server, ServerCrashed
+from repro.engine.context import ExecutionContext
+from repro.engine.coverage import CoverageTracker
+from repro.engine.functions import build_base_registry
+from repro.engine.optimizer import optimize_statement
+from repro.sqlast import (
+    BinaryOp,
+    FuncCall,
+    IntegerLit,
+    StringLit,
+    parse_expression,
+    parse_statement,
+    to_sql,
+)
+from repro.sqlast.visitor import (
+    clone,
+    count_function_calls,
+    find_function_calls,
+    find_literals,
+    max_function_nesting,
+    replace_node,
+    transform,
+    walk,
+)
+
+
+@pytest.fixture()
+def ctx():
+    return ExecutionContext(build_base_registry())
+
+
+class TestOptimizer:
+    def test_folds_literal_arithmetic(self, ctx):
+        stmt = parse_statement("SELECT 1 + 2 * 3")
+        optimized = optimize_statement(ctx, stmt)
+        assert to_sql(optimized) == "SELECT 7"
+
+    def test_does_not_fold_functions_by_default(self, ctx):
+        stmt = parse_statement("SELECT LENGTH('abc')")
+        optimized = optimize_statement(ctx, stmt)
+        assert "LENGTH" in to_sql(optimized)
+
+    def test_folds_functions_when_configured(self, ctx):
+        ctx.set_config("fold_functions", "1")
+        stmt = parse_statement("SELECT LENGTH('abc')")
+        optimized = optimize_statement(ctx, stmt)
+        assert to_sql(optimized) == "SELECT 3"
+
+    def test_never_folds_impure_functions(self, ctx):
+        ctx.set_config("fold_functions", "1")
+        stmt = parse_statement("SELECT RAND()")
+        assert "RAND" in to_sql(optimize_statement(ctx, stmt))
+
+    def test_never_folds_aggregates(self, ctx):
+        ctx.set_config("fold_functions", "1")
+        stmt = parse_statement("SELECT SUM(1)")
+        assert "SUM" in to_sql(optimize_statement(ctx, stmt))
+
+    def test_erroring_constant_deferred_to_execution(self, ctx):
+        stmt = parse_statement("SELECT 1 / 0")
+        optimized = optimize_statement(ctx, stmt)
+        assert "/" in to_sql(optimized)  # left for the executor to report
+
+    def test_where_true_eliminated(self, ctx):
+        stmt = parse_statement("SELECT a FROM t WHERE TRUE")
+        assert optimize_statement(ctx, stmt).where is None
+
+    def test_stage_restored(self, ctx):
+        optimize_statement(ctx, parse_statement("SELECT 1 + 1"))
+        assert ctx.stage == "execute"
+
+    def test_optimization_stage_crash_attribution(self):
+        """A crash raised while folding carries stage='optimize'."""
+        dialect = Dialect()
+        dialect.registry.patch(
+            "length",
+            lambda ctx, args: (_ for _ in ()).throw(
+                __import__("repro.engine.errors", fromlist=["x"]).NullPointerDereference(
+                    "opt crash", function="length"
+                )
+            ),
+        )
+        server = dialect.create_server()
+        server.ctx.set_config("fold_functions", "1")
+        conn = server.connect()
+        with pytest.raises(ServerCrashed) as excinfo:
+            conn.execute("SELECT LENGTH('abc');")
+        assert excinfo.value.crash.stage == "optimize"
+
+
+class TestConnectionModel:
+    def test_queries_counted(self):
+        server = Dialect().create_server()
+        conn = server.connect()
+        conn.execute("SELECT 1;")
+        conn.execute("SELECT 2;")
+        assert server.queries_executed == 2
+
+    def test_crash_count(self):
+        server = Dialect().create_server()
+        dialect_probe = server.connect()
+        # generic dialect has no injected bugs; simulate via stack overflow
+        from repro.engine.errors import StackOverflow
+
+        server.dialect.registry.patch(
+            "ascii",
+            lambda ctx, args: (_ for _ in ()).throw(
+                StackOverflow("boom", function="ascii")
+            ),
+        )
+        with pytest.raises(ServerCrashed):
+            dialect_probe.execute("SELECT ASCII('x');")
+        assert server.crash_count == 1
+
+    def test_closed_connection_raises(self):
+        server = Dialect().create_server()
+        server.alive = False
+        with pytest.raises(ConnectionClosed):
+            server.connect().execute("SELECT 1;")
+
+    def test_multi_statement_script(self):
+        conn = Dialect().create_server().connect()
+        result = conn.execute(
+            "CREATE TABLE m (a INT); INSERT INTO m VALUES (9); SELECT a FROM m;"
+        )
+        assert result.rendered() == [["9"]]
+
+
+class TestCoverageTracker:
+    def test_tracks_arcs_in_scope(self):
+        tracker = CoverageTracker()
+        ctx = ExecutionContext(build_base_registry())
+        ctx.coverage = tracker
+        from repro.engine.evaluator import Evaluator
+
+        Evaluator(ctx).eval(parse_expression("LENGTH('abc')"))
+        assert tracker.branch_count > 0
+        assert tracker.line_count > 0
+
+    def test_different_functions_add_arcs(self):
+        tracker = CoverageTracker()
+        ctx = ExecutionContext(build_base_registry())
+        ctx.coverage = tracker
+        from repro.engine.evaluator import Evaluator
+
+        Evaluator(ctx).eval(parse_expression("LENGTH('abc')"))
+        first = tracker.branch_count
+        Evaluator(ctx).eval(parse_expression("JSON_DEPTH('[[1]]')"))
+        assert tracker.branch_count > first
+
+    def test_merge_and_reset(self):
+        a, b = CoverageTracker(), CoverageTracker()
+        a.arcs.add(("f", 1, 2))
+        b.arcs.add(("f", 2, 3))
+        a.merge(b)
+        assert a.branch_count == 2
+        a.reset()
+        assert a.branch_count == 0
+
+    def test_out_of_scope_files_ignored(self):
+        tracker = CoverageTracker(scope=lambda f: False)
+        with tracker.tracking():
+            sum(range(10))
+        assert tracker.branch_count == 0
+
+
+class TestVisitor:
+    def test_walk_preorder(self):
+        expr = parse_expression("A(B(1), 2)")
+        names = [n.name for n in walk(expr) if isinstance(n, FuncCall)]
+        assert names == ["A", "B"]
+
+    def test_find_literals(self):
+        expr = parse_expression("F(1, 'a', NULL)")
+        assert len(find_literals(expr)) == 3
+
+    def test_count_function_calls(self):
+        assert count_function_calls(parse_expression("A(B(C(1)))")) == 3
+
+    def test_max_nesting(self):
+        assert max_function_nesting(parse_expression("A(B(1), C(2))")) == 2
+        assert max_function_nesting(parse_expression("A(1) + B(2)")) == 1
+
+    def test_clone_is_deep(self):
+        expr = parse_expression("F('x')")
+        copy = clone(expr)
+        copy.args[0].value = "mutated"
+        assert expr.args[0].value == "x"
+
+    def test_replace_node_in_place(self):
+        expr = parse_expression("F(1, 2)")
+        replace_node(expr, expr.args[0], StringLit("swapped"))
+        assert to_sql(expr) == "F('swapped', 2)"
+
+    def test_replace_root(self):
+        expr = parse_expression("F(1)")
+        result = replace_node(expr, expr, IntegerLit("9"))
+        assert to_sql(result) == "9"
+
+    def test_replace_deep_node(self):
+        expr = parse_expression("A(B(C(1)))")
+        target = expr.args[0].args[0].args[0]
+        replace_node(expr, target, IntegerLit("7"))
+        assert to_sql(expr) == "A(B(C(7)))"
+
+    def test_replace_missing_node_raises(self):
+        expr = parse_expression("F(1)")
+        with pytest.raises(ValueError):
+            replace_node(expr, IntegerLit("99"), IntegerLit("1"))
+
+    def test_transform_bottom_up(self):
+        expr = parse_expression("1 + 2")
+
+        def double_ints(node):
+            if isinstance(node, IntegerLit):
+                return IntegerLit(str(node.value * 2))
+            return None
+
+        result = transform(expr, double_ints)
+        assert to_sql(result) == "(2 + 4)"
+
+    def test_transform_does_not_mutate_original(self):
+        expr = parse_expression("1 + 2")
+        transform(expr, lambda n: IntegerLit("0") if isinstance(n, IntegerLit) else None)
+        assert to_sql(expr) == "(1 + 2)"
+
+
+class TestPrinterEdgeCases:
+    @pytest.mark.parametrize("sql", [
+        "SELECT ''",
+        "SELECT 'it''s'",
+        "SELECT -(1)",
+        "SELECT NOT (TRUE)",
+        "SELECT a IS DISTINCT FROM b",
+        "SELECT x NOT BETWEEN 1 AND 2",
+        "SELECT CAST(1 AS DECIMAL(10, 2))",
+        "SELECT GEOM('POINT(1 2)')::geometry",
+    ])
+    def test_round_trip_fixpoint(self, sql):
+        once = to_sql(parse_statement(sql))
+        assert to_sql(parse_statement(once)) == once
+
+    def test_unprintable_node_rejected(self):
+        class Alien:
+            pass
+
+        with pytest.raises(TypeError):
+            to_sql(Alien())
+
+
+class TestExplain:
+    def test_explain_shows_three_stages(self):
+        conn = Dialect().create_server().connect()
+        conn.execute("CREATE TABLE t (a INT)")
+        rows = conn.execute("EXPLAIN SELECT a FROM t WHERE a > 0").rendered()
+        stages = [r[0].split(":")[0] for r in rows]
+        assert stages == ["parse", "optimize", "execute"]
+
+    def test_explain_marks_optimizer_rewrites(self):
+        conn = Dialect().create_server().connect()
+        rows = conn.execute("EXPLAIN SELECT 1 + 2").rendered()
+        assert "[rewritten]" in rows[1][0]
+        assert "SELECT 3" in rows[1][0]
+
+    def test_explain_no_rewrite_unmarked(self):
+        conn = Dialect().create_server().connect()
+        conn.execute("CREATE TABLE t (a INT)")
+        rows = conn.execute("EXPLAIN SELECT a FROM t").rendered()
+        assert "[rewritten]" not in rows[1][0]
+
+    def test_explain_pipeline_steps(self):
+        conn = Dialect().create_server().connect()
+        conn.execute("CREATE TABLE t (a INT, b VARCHAR(4))")
+        rows = conn.execute(
+            "EXPLAIN SELECT b, COUNT(*) FROM t WHERE a > 0 "
+            "GROUP BY b HAVING COUNT(*) > 1 ORDER BY 1 LIMIT 3"
+        ).rendered()
+        plan = rows[2][0]
+        for step in ("scan(t)", "filter", "aggregate(keys: b)", "having",
+                     "project", "sort", "limit(3)"):
+            assert step in plan
+
+    def test_explain_ddl(self):
+        conn = Dialect().create_server().connect()
+        rows = conn.execute("EXPLAIN DROP TABLE IF EXISTS zz").rendered()
+        assert rows[2][0] == "execute:  droptable"
+
+    def test_explain_round_trips(self):
+        from repro.sqlast import parse_statement, to_sql
+
+        sql = "EXPLAIN SELECT a FROM t WHERE (a > 0)"
+        assert to_sql(parse_statement(sql)) == sql
+
+    def test_explain_does_not_execute_target(self):
+        conn = Dialect().create_server().connect()
+        # the table does not exist; EXPLAIN still renders the plan
+        rows = conn.execute("EXPLAIN SELECT a FROM missing_table").rendered()
+        assert "scan(missing_table)" in rows[2][0]

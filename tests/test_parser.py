@@ -1,0 +1,404 @@
+"""Unit tests for the SQL parser (expressions, statements, round-trips)."""
+
+import pytest
+
+from repro.sqlast import (
+    ArrayExpr,
+    BetweenExpr,
+    BinaryOp,
+    CaseExpr,
+    Cast,
+    ColumnRef,
+    CreateTable,
+    DropTable,
+    ExistsExpr,
+    FuncCall,
+    InExpr,
+    Insert,
+    IntegerLit,
+    IntervalExpr,
+    IsNullExpr,
+    LikeExpr,
+    MapExpr,
+    NullLit,
+    ParseError,
+    RowExpr,
+    Select,
+    SetOp,
+    SetStmt,
+    Star,
+    StringLit,
+    SubqueryExpr,
+    UnaryOp,
+    parse_expression,
+    parse_statement,
+    parse_statements,
+    to_sql,
+)
+
+
+class TestLiterals:
+    def test_integer(self):
+        assert isinstance(parse_expression("42"), IntegerLit)
+
+    def test_string(self):
+        expr = parse_expression("'abc'")
+        assert isinstance(expr, StringLit)
+        assert expr.value == "abc"
+
+    def test_null_keyword(self):
+        assert isinstance(parse_expression("NULL"), NullLit)
+
+    def test_null_case_insensitive(self):
+        assert isinstance(parse_expression("null"), NullLit)
+
+    def test_star(self):
+        assert isinstance(parse_expression("*"), Star)
+
+    def test_negative_number_is_unary(self):
+        expr = parse_expression("-5")
+        assert isinstance(expr, UnaryOp)
+        assert expr.op == "-"
+
+
+class TestFunctionCalls:
+    def test_no_args(self):
+        expr = parse_expression("NOW()")
+        assert isinstance(expr, FuncCall)
+        assert expr.args == []
+
+    def test_multiple_args(self):
+        expr = parse_expression("SUBSTR('abc', 1, 2)")
+        assert len(expr.args) == 3
+
+    def test_star_argument(self):
+        expr = parse_expression("COUNT(*)")
+        assert isinstance(expr.args[0], Star)
+
+    def test_star_in_later_position(self):
+        expr = parse_expression("CONTAINS('x', 'x', *)")
+        assert isinstance(expr.args[2], Star)
+
+    def test_distinct_modifier(self):
+        expr = parse_expression("COUNT(DISTINCT a)")
+        assert expr.distinct
+
+    def test_nested_calls(self):
+        expr = parse_expression("A(B(C(1)))")
+        assert expr.name == "A"
+        assert expr.args[0].name == "B"
+
+    def test_case_preserved_in_name(self):
+        assert parse_expression("toDecimalString(1, 2)").name == "toDecimalString"
+
+
+class TestCasts:
+    def test_cast_as(self):
+        expr = parse_expression("CAST(1 AS DECIMAL(10, 2))")
+        assert isinstance(expr, Cast)
+        assert expr.type_name.name == "DECIMAL"
+        assert expr.type_name.params == [10, 2]
+
+    def test_double_colon_cast(self):
+        expr = parse_expression("'110'::Decimal256(45)")
+        assert isinstance(expr, Cast)
+        assert expr.style == "colons"
+        assert expr.type_name.params == [45]
+
+    def test_convert_two_arg(self):
+        expr = parse_expression("CONVERT(NULL, UNSIGNED)")
+        assert isinstance(expr, Cast)
+        assert expr.style == "convert"
+
+    def test_chained_postfix_cast(self):
+        expr = parse_expression("REPEAT('[', 10)::json")
+        assert isinstance(expr, Cast)
+        assert isinstance(expr.operand, FuncCall)
+
+
+class TestOperators:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_parentheses_override(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert expr.op == "*"
+
+    def test_and_or_precedence(self):
+        expr = parse_expression("1 OR 2 AND 3")
+        assert expr.op == "OR"
+
+    def test_comparison(self):
+        expr = parse_expression("a <= b")
+        assert isinstance(expr, BinaryOp)
+
+    def test_concat_pipes(self):
+        assert parse_expression("'a' || 'b'").op == "||"
+
+    def test_not(self):
+        expr = parse_expression("NOT a")
+        assert isinstance(expr, UnaryOp)
+
+    def test_div_and_mod_words(self):
+        assert parse_expression("7 DIV 2").op == "DIV"
+        assert parse_expression("7 MOD 2").op == "MOD"
+
+
+class TestPredicates:
+    def test_in_list(self):
+        expr = parse_expression("a IN (1, 2, 3)")
+        assert isinstance(expr, InExpr)
+        assert len(expr.items) == 3
+
+    def test_not_in(self):
+        assert parse_expression("a NOT IN (1)").negated
+
+    def test_between(self):
+        expr = parse_expression("a BETWEEN 1 AND 10")
+        assert isinstance(expr, BetweenExpr)
+
+    def test_like(self):
+        expr = parse_expression("a LIKE '%x%'")
+        assert isinstance(expr, LikeExpr)
+
+    def test_not_like(self):
+        assert parse_expression("a NOT LIKE 'x'").negated
+
+    def test_is_null(self):
+        assert isinstance(parse_expression("a IS NULL"), IsNullExpr)
+
+    def test_is_not_null(self):
+        assert parse_expression("a IS NOT NULL").negated
+
+    def test_between_with_arithmetic_bounds(self):
+        expr = parse_expression("a BETWEEN 1 + 1 AND 10 - 1")
+        assert isinstance(expr, BetweenExpr)
+
+
+class TestCompoundExpressions:
+    def test_case_searched(self):
+        expr = parse_expression("CASE WHEN a = 1 THEN 'x' ELSE 'y' END")
+        assert isinstance(expr, CaseExpr)
+        assert expr.operand is None
+
+    def test_case_with_operand(self):
+        expr = parse_expression("CASE a WHEN 1 THEN 'x' END")
+        assert expr.operand is not None
+
+    def test_row_constructor(self):
+        expr = parse_expression("ROW(1, 2)")
+        assert isinstance(expr, RowExpr)
+        assert expr.explicit
+
+    def test_bare_tuple(self):
+        expr = parse_expression("(1, 2)")
+        assert isinstance(expr, RowExpr)
+        assert not expr.explicit
+
+    def test_bracket_array(self):
+        expr = parse_expression("[1, 2, 3]")
+        assert isinstance(expr, ArrayExpr)
+
+    def test_empty_array(self):
+        assert parse_expression("[ ]").items == []
+
+    def test_map_literal(self):
+        expr = parse_expression("MAP {1: 'a', 2: 'b'}")
+        assert isinstance(expr, MapExpr)
+        assert len(expr.keys) == 2
+
+    def test_interval_expression(self):
+        expr = parse_expression("INTERVAL 3 DAY")
+        assert isinstance(expr, IntervalExpr)
+        assert expr.unit == "DAY"
+
+    def test_interval_function_call_form(self):
+        # INTERVAL(...) with parens is MariaDB's comparison function
+        expr = parse_expression("INTERVAL(ROW(1, 1), ROW(1, 2))")
+        assert isinstance(expr, FuncCall)
+
+    def test_subscript(self):
+        expr = parse_expression("arr[1]")
+        assert to_sql(expr) == "arr[1]"
+
+    def test_exists(self):
+        expr = parse_expression("EXISTS (SELECT 1)")
+        assert isinstance(expr, ExistsExpr)
+
+    def test_scalar_subquery(self):
+        expr = parse_expression("(SELECT 1 UNION SELECT 2)")
+        assert isinstance(expr, SubqueryExpr)
+
+    def test_extract_from_normalised(self):
+        expr = parse_expression("EXTRACT(YEAR FROM '2020-01-01')")
+        assert isinstance(expr, FuncCall)
+
+    def test_qualified_column(self):
+        expr = parse_expression("t1.c0")
+        assert isinstance(expr, ColumnRef)
+        assert expr.parts == ["t1", "c0"]
+
+
+class TestSelect:
+    def test_minimal(self):
+        stmt = parse_statement("SELECT 1")
+        assert isinstance(stmt, Select)
+        assert len(stmt.items) == 1
+
+    def test_alias(self):
+        stmt = parse_statement("SELECT 1 AS one")
+        assert stmt.items[0].alias == "one"
+
+    def test_implicit_alias(self):
+        stmt = parse_statement("SELECT 1 one")
+        assert stmt.items[0].alias == "one"
+
+    def test_from_where(self):
+        stmt = parse_statement("SELECT a FROM t WHERE a > 1")
+        assert stmt.where is not None
+
+    def test_group_by_having(self):
+        stmt = parse_statement(
+            "SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 1"
+        )
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+
+    def test_order_by_desc(self):
+        stmt = parse_statement("SELECT a FROM t ORDER BY a DESC")
+        assert stmt.order_by[0].descending
+
+    def test_limit_offset(self):
+        stmt = parse_statement("SELECT a FROM t LIMIT 10 OFFSET 5")
+        assert stmt.limit is not None
+        assert stmt.offset is not None
+
+    def test_mysql_limit_comma(self):
+        stmt = parse_statement("SELECT a FROM t LIMIT 5, 10")
+        assert stmt.limit is not None
+        assert stmt.offset is not None
+
+    def test_distinct(self):
+        assert parse_statement("SELECT DISTINCT a FROM t").distinct
+
+    def test_union(self):
+        stmt = parse_statement("SELECT 1 UNION SELECT 2")
+        assert isinstance(stmt, SetOp)
+        assert stmt.op == "UNION"
+
+    def test_union_all(self):
+        assert parse_statement("SELECT 1 UNION ALL SELECT 2").all
+
+    def test_except_intersect(self):
+        assert parse_statement("SELECT 1 EXCEPT SELECT 2").op == "EXCEPT"
+        assert parse_statement("SELECT 1 INTERSECT SELECT 2").op == "INTERSECT"
+
+    def test_derived_table(self):
+        stmt = parse_statement("SELECT * FROM (SELECT 1) sq")
+        assert stmt.from_[0].alias == "sq"
+
+    def test_join_with_on(self):
+        stmt = parse_statement("SELECT a FROM t1 LEFT JOIN t2 ON t1.a = t2.b")
+        join = stmt.from_[0]
+        assert join.kind == "LEFT"
+        assert join.on is not None
+
+    def test_cross_join(self):
+        stmt = parse_statement("SELECT 1 FROM t1 CROSS JOIN t2")
+        assert stmt.from_[0].kind == "CROSS"
+
+    def test_values_statement(self):
+        stmt = parse_statement("VALUES (1, 'a'), (2, 'b')")
+        assert isinstance(stmt, Select)
+        assert len(stmt.items) == 2
+
+
+class TestDDLAndDML:
+    def test_create_table(self):
+        stmt = parse_statement(
+            "CREATE TABLE t (a INT PRIMARY KEY, b VARCHAR(10) NOT NULL)"
+        )
+        assert isinstance(stmt, CreateTable)
+        assert stmt.columns[0].constraints == ["PRIMARY KEY"]
+        assert stmt.columns[1].type_name.params == [10]
+
+    def test_create_table_if_not_exists(self):
+        stmt = parse_statement("CREATE TABLE IF NOT EXISTS t (a INT)")
+        assert stmt.if_not_exists
+
+    def test_create_with_double_precision(self):
+        stmt = parse_statement("CREATE TABLE t (a DOUBLE PRECISION)")
+        assert stmt.columns[0].type_name.name == "DOUBLE PRECISION"
+
+    def test_insert(self):
+        stmt = parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+        assert isinstance(stmt, Insert)
+        assert stmt.columns == ["a", "b"]
+        assert len(stmt.rows) == 2
+
+    def test_insert_without_columns(self):
+        stmt = parse_statement("INSERT INTO t VALUES (1)")
+        assert stmt.columns == []
+
+    def test_drop_table(self):
+        stmt = parse_statement("DROP TABLE IF EXISTS t")
+        assert isinstance(stmt, DropTable)
+        assert stmt.if_exists
+
+    def test_set_statement(self):
+        stmt = parse_statement("SET sql_mode = 'strict'")
+        assert isinstance(stmt, SetStmt)
+        assert stmt.name == "sql_mode"
+
+    def test_multiple_statements(self):
+        stmts = parse_statements("SELECT 1; SELECT 2; SELECT 3;")
+        assert len(stmts) == 3
+
+
+class TestErrors:
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT 1 extra garbage ,")
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(ParseError):
+            parse_expression("F(1")
+
+    def test_missing_then(self):
+        with pytest.raises(ParseError):
+            parse_expression("CASE WHEN 1 END")
+
+    def test_empty_input(self):
+        with pytest.raises(ParseError):
+            parse_expression("")
+
+    def test_unknown_statement(self):
+        with pytest.raises(ParseError):
+            parse_statement("GRANT ALL TO nobody")
+
+
+ROUND_TRIP_CASES = [
+    "SELECT toDecimalString('110'::Decimal256(45), *)",
+    "SELECT FORMAT('0', 50, 'de_DE')",
+    "SELECT REPEAT('[', 1000)::json",
+    "SELECT INTERVAL(ROW(1, 1), ROW(1, 2))",
+    "SELECT JSONB_OBJECT_AGG(DISTINCT 'a', 'abc')",
+    "SELECT JSON_LENGTH(REPEAT('[1,', 100), '$[2][1]')",
+    "SELECT ST_ASTEXT(BOUNDARY(INET6_ATON('255.255.255.255')))",
+    "SELECT a, COUNT(*) FROM t WHERE a > 0 GROUP BY a HAVING COUNT(*) > 1",
+    "SELECT CASE WHEN a = 1 THEN 'one' ELSE 'other' END FROM t",
+    "SELECT MAP {1: 'a'}[1]",
+    "SELECT (SELECT 1 UNION SELECT 2.5)",
+    "SELECT CONTAINS('x', 'x', *)",
+    "SELECT COLUMN_JSON(COLUMN_CREATE('x', 1))",
+]
+
+
+@pytest.mark.parametrize("sql", ROUND_TRIP_CASES)
+def test_round_trip_stability(sql):
+    """print(parse(x)) must reparse to the same rendering (fixpoint)."""
+    once = to_sql(parse_statement(sql))
+    twice = to_sql(parse_statement(once))
+    assert once == twice

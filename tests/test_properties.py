@@ -1,0 +1,175 @@
+"""Property-based tests on cross-cutting invariants (hypothesis)."""
+
+import string
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.dialects.base import Dialect
+from repro.engine import SQLError
+from repro.engine.context import ExecutionContext
+from repro.engine.errors import CrashSignal
+from repro.engine.evaluator import Evaluator
+from repro.engine.functions import build_base_registry
+from repro.sqlast import parse_expression, parse_statement, to_sql
+
+# ---------------------------------------------------------------------------
+# AST generation strategies
+# ---------------------------------------------------------------------------
+_ident = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=6)
+_safe_text = st.text(
+    alphabet=string.ascii_letters + string.digits + " _%$./[]{}:-",
+    max_size=12,
+)
+
+
+def _literal_sql():
+    return st.one_of(
+        st.integers(min_value=0, max_value=10**20).map(str),
+        st.decimals(
+            allow_nan=False, allow_infinity=False, places=4,
+            min_value=0, max_value=10**6,
+        ).map(str),
+        _safe_text.map(lambda s: "'" + s.replace("'", "''") + "'"),
+        st.just("NULL"),
+    )
+
+
+def _expr_sql(depth=2):
+    if depth == 0:
+        return _literal_sql()
+    sub = _expr_sql(depth - 1)
+    return st.one_of(
+        _literal_sql(),
+        st.tuples(_ident, st.lists(sub, max_size=3)).map(
+            lambda t: f"{t[0].upper()}({', '.join(t[1])})"
+        ),
+        st.tuples(sub, st.sampled_from(["+", "-", "*"]), sub).map(
+            lambda t: f"({t[0]} {t[1]} {t[2]})"
+        ),
+    )
+
+
+class TestParserProperties:
+    @given(_expr_sql(depth=3))
+    @settings(max_examples=300)
+    def test_print_parse_fixpoint(self, sql):
+        """to_sql(parse(x)) is a fixpoint of parse∘print."""
+        from repro.sqlast import LexError, ParseError
+
+        try:
+            expr = parse_expression(sql)
+        except (SQLError, ParseError, LexError):
+            # generated names may collide with keywords (NULL(), CASE(...));
+            # clean rejection is acceptable
+            return
+        except Exception:
+            pytest.fail(f"parser crashed on generated input {sql!r}")
+        once = to_sql(expr)
+        assert to_sql(parse_expression(once)) == once
+
+    @given(st.text(max_size=40))
+    @settings(max_examples=400)
+    def test_parser_never_crashes_on_arbitrary_text(self, text):
+        """Arbitrary input produces a parse tree or a clean SQL error."""
+        from repro.sqlast import LexError, ParseError
+
+        try:
+            parse_statement(text)
+        except (ParseError, LexError, RecursionError):
+            pass
+
+
+class TestEvaluatorProperties:
+    @pytest.fixture(scope="class")
+    def ctx(self):
+        return ExecutionContext(build_base_registry())
+
+    @given(st.integers(-10**9, 10**9), st.integers(-10**9, 10**9))
+    @settings(max_examples=200)
+    def test_integer_arithmetic_matches_python(self, a, b):
+        ctx = ExecutionContext(build_base_registry())
+        result = Evaluator(ctx).eval(parse_expression(f"({a}) + ({b})"))
+        assert result.value == a + b
+
+    @given(st.integers(-10**6, 10**6), st.integers(1, 10**6))
+    @settings(max_examples=200)
+    def test_div_mod_identity(self, a, b):
+        """(a DIV b) * b + (a MOD b) == a (C truncation semantics)."""
+        ctx = ExecutionContext(build_base_registry())
+        ev = Evaluator(ctx)
+        q = ev.eval(parse_expression(f"({a}) DIV ({b})")).value
+        r = ev.eval(parse_expression(f"({a}) MOD ({b})")).value
+        assert q * b + r == a
+
+    @given(_safe_text)
+    @settings(max_examples=200)
+    def test_reverse_is_involutive(self, text):
+        ctx = ExecutionContext(build_base_registry())
+        quoted = "'" + text.replace("'", "''") + "'"
+        result = Evaluator(ctx).eval(parse_expression(f"REVERSE(REVERSE({quoted}))"))
+        assert result.value == text
+
+    @given(_safe_text, st.integers(0, 30))
+    @settings(max_examples=150)
+    def test_repeat_length_invariant(self, text, count):
+        ctx = ExecutionContext(build_base_registry())
+        quoted = "'" + text.replace("'", "''") + "'"
+        result = Evaluator(ctx).eval(
+            parse_expression(f"CHAR_LENGTH(REPEAT({quoted}, {count}))")
+        )
+        assert result.value == len(text) * count
+
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=8))
+    @settings(max_examples=150)
+    def test_array_sort_is_sorted_permutation(self, items):
+        ctx = ExecutionContext(build_base_registry())
+        literal = "[" + ", ".join(str(i) for i in items) + "]"
+        result = Evaluator(ctx).eval(parse_expression(f"ARRAY_SORT({literal})"))
+        values = [v.value for v in result.items]
+        assert values == sorted(items)
+
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=6))
+    @settings(max_examples=150)
+    def test_sum_matches_python(self, items):
+        ctx = ExecutionContext(build_base_registry())
+        literal = "[" + ", ".join(str(i) for i in items) + "]"
+        result = Evaluator(ctx).eval(parse_expression(f"ARRAY_SUM({literal})"))
+        assert result.value == sum(items)
+
+
+class TestEngineRobustness:
+    """The generic dialect has no injected bugs, so *nothing* SOFT-shaped
+    may crash it: crashes must come only from injected flaws."""
+
+    @given(_expr_sql(depth=2))
+    @settings(max_examples=250, deadline=None)
+    def test_reference_engine_never_crashes(self, sql):
+        conn = Dialect().create_server().connect()
+        try:
+            conn.execute(f"SELECT {sql};")
+        except SQLError:
+            pass
+        except CrashSignal as crash:  # pragma: no cover - the failure mode
+            pytest.fail(f"reference engine crashed on {sql!r}: {crash}")
+        except RecursionError:
+            pass
+
+    def test_reference_engine_survives_all_pocs(self):
+        """Every injected bug's PoC must be *handled* by the reference
+        implementations (only the flawed dialects crash)."""
+        from repro.dialects import all_bugs
+
+        conn = Dialect().create_server().connect()
+        crashes = []
+        for bug in all_bugs():
+            try:
+                conn.execute(bug.poc)
+            except SQLError:
+                pass
+            except CrashSignal:
+                crashes.append(bug.bug_id)
+            except RecursionError:
+                pass
+        assert crashes == []

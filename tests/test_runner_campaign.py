@@ -1,0 +1,134 @@
+"""Tests for the runner, oracle, and campaign orchestration."""
+
+import pytest
+
+from repro.core.campaign import Campaign, run_campaign
+from repro.core.oracle import CrashOracle
+from repro.core.runner import Runner
+from repro.dialects import bugs_for, dialect_by_name
+from repro.engine.errors import NullPointerDereference
+
+
+class TestRunner:
+    def test_ok_outcome(self):
+        runner = Runner(dialect_by_name("mariadb"))
+        outcome = runner.run("SELECT 1;")
+        assert outcome.kind == "ok"
+        assert outcome.result_type == "integer"
+
+    def test_error_outcome(self):
+        runner = Runner(dialect_by_name("mariadb"))
+        outcome = runner.run("SELECT NO_SUCH_FN(1);")
+        assert outcome.kind == "error"
+
+    def test_syntax_error_outcome(self):
+        runner = Runner(dialect_by_name("mariadb"))
+        outcome = runner.run("SELEKT;")
+        assert outcome.kind == "error"
+
+    def test_resource_kill_outcome(self):
+        runner = Runner(dialect_by_name("mariadb"))
+        outcome = runner.run("SELECT REPEAT('a', 9999999999);")
+        assert outcome.kind == "resource_kill"
+
+    def test_crash_outcome_and_restart(self):
+        runner = Runner(dialect_by_name("mariadb"))
+        outcome = runner.run("SELECT REVERSE('');")
+        assert outcome.kind == "crash"
+        assert outcome.crash.code == "NPD"
+        assert runner.restarts == 1
+        # the runner keeps serving after the restart
+        assert runner.run("SELECT 1;").kind == "ok"
+
+    def test_function_triggering_survives_restart(self):
+        runner = Runner(dialect_by_name("mariadb"))
+        runner.run("SELECT UPPER('a');")
+        runner.run("SELECT REVERSE('');")  # crash + restart
+        runner.run("SELECT LOWER('A');")
+        assert {"upper", "lower"} <= runner.triggered_functions
+
+    def test_coverage_accumulates(self):
+        runner = Runner(dialect_by_name("mariadb"), enable_coverage=True)
+        runner.run("SELECT UPPER('a');")
+        first = runner.branch_coverage
+        runner.run("SELECT JSON_LENGTH('[1, 2]');")
+        assert runner.branch_coverage > first > 0
+
+
+class TestOracle:
+    def _crash(self, function="reverse", code_cls=NullPointerDereference):
+        crash = code_cls("boom", function=function, stage="execute")
+        return crash
+
+    def test_dedup_by_function_and_class(self):
+        oracle = CrashOracle("mariadb")
+        first = oracle.observe_crash(self._crash(), "SELECT 1;", "P1.2", 1)
+        dup = oracle.observe_crash(self._crash(), "SELECT 2;", "P1.2", 2)
+        assert first is not None
+        assert dup is None
+        assert len(oracle.bugs) == 1
+
+    def test_different_functions_not_deduped(self):
+        oracle = CrashOracle("mariadb")
+        oracle.observe_crash(self._crash("reverse"), "s", "P1.2", 1)
+        oracle.observe_crash(self._crash("upper"), "s", "P1.2", 2)
+        assert len(oracle.bugs) == 2
+
+    def test_attribution_to_injected_registry(self):
+        oracle = CrashOracle("mariadb")
+        found = oracle.observe_crash(self._crash("reverse"), "s", "P1.2", 1)
+        assert found.injected is not None
+        assert found.injected.bug_id.startswith("MARIADB-STRI")
+
+    def test_unknown_crash_still_recorded(self):
+        oracle = CrashOracle("mariadb")
+        found = oracle.observe_crash(self._crash("mystery_fn"), "s", "P1.2", 1)
+        assert found.injected is None
+        assert found.family == "unknown"
+
+    def test_false_positive_dedup_by_reason(self):
+        oracle = CrashOracle("mariadb")
+        assert oracle.observe_resource_kill("SELECT A;", "allocation of 123 bytes")
+        assert not oracle.observe_resource_kill("SELECT B;", "allocation of 456 bytes")
+        assert oracle.observe_resource_kill("SELECT C;", "REPEAT result exceeds limit")
+        assert len(oracle.false_positives) == 2
+
+    def test_recall(self):
+        oracle = CrashOracle("mariadb")
+        expected = bugs_for("mariadb")
+        assert oracle.recall_against(expected) == 0.0
+        oracle.observe_crash(self._crash("reverse"), "s", "P1.2", 1)
+        assert 0 < oracle.recall_against(expected) < 1
+
+
+class TestCampaign:
+    def test_small_campaign_finds_bugs(self):
+        result = run_campaign("duckdb", budget=6000)
+        assert result.queries_executed == 6000
+        assert result.bug_count >= 5
+        assert result.seeds_collected > 100
+        assert len(result.triggered_functions) > 100
+
+    def test_campaign_is_deterministic(self):
+        a = run_campaign("monetdb", budget=3000, seed=7)
+        b = run_campaign("monetdb", budget=3000, seed=7)
+        assert [x.sql for x in a.bugs] == [y.sql for y in b.bugs]
+        assert a.triggered_functions == b.triggered_functions
+
+    def test_stop_when_all_found(self):
+        dialect = dialect_by_name("postgresql")
+        campaign = Campaign(dialect, budget=200_000, stop_when_all_found=True)
+        result = campaign.run()
+        assert result.queries_executed < 200_000
+        assert result.bug_count == 1
+
+    def test_bug_discoveries_carry_pattern_and_sql(self):
+        result = run_campaign("duckdb", budget=6000)
+        for bug in result.bugs:
+            assert bug.pattern.startswith(("P1", "P2", "P3", "seed"))
+            assert bug.sql.startswith("SELECT")
+            assert bug.crash_code
+
+    def test_outcome_accounting_sums_to_budget(self):
+        result = run_campaign("monetdb", budget=2500)
+        assert sum(result.outcomes.values()) == result.queries_executed == 2500

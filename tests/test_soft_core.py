@@ -1,0 +1,251 @@
+"""Tests for SOFT's core: collection, boundary pool, the ten patterns."""
+
+import random
+
+import pytest
+
+from repro.core.collect import Seed, SeedCollector
+from repro.core.literals import boundary_literals, boundary_repeat_counts
+from repro.core.patterns import MAX_FUNCTION_CALLS, PatternEngine
+from repro.dialects import dialect_by_name
+from repro.sqlast import (
+    FuncCall,
+    NullLit,
+    Star,
+    StringLit,
+    parse_expression,
+    parse_statement,
+    to_sql,
+)
+from repro.sqlast.visitor import count_function_calls, find_function_calls
+
+
+@pytest.fixture(scope="module")
+def mariadb():
+    return dialect_by_name("mariadb")
+
+
+@pytest.fixture(scope="module")
+def seeds(mariadb):
+    return SeedCollector(mariadb).collect()
+
+
+def make_seed(sql, family="string"):
+    expr = parse_expression(sql)
+    return Seed(expr.name.lower(), family, expr, source="test")
+
+
+def engine_for(*seed_sqls):
+    seeds = [make_seed(s) for s in seed_sqls]
+    return PatternEngine(seeds, rng=random.Random(0)), seeds
+
+
+class TestCollection:
+    def test_collects_most_functions(self, mariadb, seeds):
+        collected = {s.function for s in seeds}
+        known = set(mariadb.registry.names())
+        # every function gets at least a synthetic seed
+        assert known <= collected | {"count"} or len(known - collected) < 5
+
+    def test_seed_expressions_parse_back(self, seeds):
+        for seed in seeds[:50]:
+            assert isinstance(parse_statement(f"SELECT {seed.sql};"), object)
+
+    def test_paren_scan_lifts_known_calls(self, mariadb):
+        collector = SeedCollector(mariadb)
+        calls = collector.scan_query(
+            "SELECT UPPER(c0), nope(1) FROM t WHERE LENGTH(c1) > 2;",
+            {"upper", "length"},
+        )
+        assert sorted(c.name.lower() for c in calls) == ["length", "upper"]
+
+    def test_paren_scan_survives_garbage(self, mariadb):
+        collector = SeedCollector(mariadb)
+        assert collector.scan_query("SELECT 'unterminated", {"upper"}) == []
+
+    def test_paren_scan_nested_expression(self, mariadb):
+        collector = SeedCollector(mariadb)
+        calls = collector.scan_query(
+            "SELECT CONCAT(UPPER('a'), 'b');", {"concat", "upper"}
+        )
+        names = sorted(c.name.lower() for c in calls)
+        assert names == ["concat", "upper"]
+
+    def test_max_seeds_per_function(self, mariadb):
+        collector = SeedCollector(mariadb, max_seeds_per_function=1)
+        seeds = collector.collect()
+        from collections import Counter
+
+        counts = Counter(s.function for s in seeds)
+        assert max(counts.values()) == 1
+
+    def test_synthetic_seed_for_undocumented_function(self, mariadb):
+        collector = SeedCollector(mariadb)
+        seed = collector._synthetic_seed("upper")
+        assert seed is not None
+        assert seed.source == "documentation"
+
+
+class TestBoundaryPool:
+    def test_contains_paper_families(self):
+        pool = boundary_literals()
+        rendered = [to_sql(e) for e in pool]
+        assert "''" in rendered
+        assert "NULL" in rendered
+        assert "*" in rendered
+        assert "99999" in rendered
+        assert "-(99999)" in rendered or any("-" in r and "99999" in r for r in rendered)
+        assert "0.99999" in rendered
+
+    def test_enumerates_digit_lengths(self):
+        pool = boundary_literals()
+        lengths = set()
+        for expr in pool:
+            text = to_sql(expr)
+            if set(text) == {"9"}:
+                lengths.add(len(text))
+        assert len(lengths) >= 8  # many digit lengths, per §6
+
+    def test_repeat_counts_include_oom_bound(self):
+        assert 9999999999 in boundary_repeat_counts()
+
+
+class TestPatternShapes:
+    def test_p1_2_substitutes_pool(self):
+        engine, seeds = engine_for("F('abc', 1)")
+        cases = list(engine.p1_2(seeds[0]))
+        sqls = [c.sql for c in cases]
+        assert "SELECT F(NULL, 1);" in sqls
+        assert "SELECT F('abc', NULL);" in sqls
+        assert "SELECT F(*, 1);" in sqls
+        assert any("99999" in s for s in sqls)
+        assert all(c.pattern == "P1.2" for c in cases)
+
+    def test_p1_3_injects_digit_runs(self):
+        engine, seeds = engine_for("F('hello')")
+        sqls = [c.sql for c in engine.p1_3(seeds[0])]
+        assert any("99999" in s for s in sqls)
+        # the run replaces one character at sampled positions (start/mid/end)
+        assert any("99999ello" in s for s in sqls)
+        assert any("he99999lo" in s for s in sqls)
+
+    def test_p1_3_widens_numbers(self):
+        engine, seeds = engine_for("F(1.5)")
+        sqls = [c.sql for c in engine.p1_3(seeds[0])]
+        assert any(s.count("9") >= 20 for s in sqls)
+
+    def test_p1_4_duplicates_characters(self):
+        engine, seeds = engine_for("F('{\"k\": 0}')")
+        sqls = [c.sql for c in engine.p1_4(seeds[0])]
+        assert any("{{{{" in s for s in sqls)
+
+    def test_p1_4_malformed_array_becomes_string(self):
+        engine, seeds = engine_for("F([1, 2])")
+        sqls = [c.sql for c in engine.p1_4(seeds[0])]
+        assert any("'[[1, 2]'" in s for s in sqls)
+
+    def test_p2_1_casts_args(self):
+        engine, seeds = engine_for("F('abc')")
+        sqls = [c.sql for c in engine.p2_1(seeds[0])]
+        assert any("CAST('abc' AS BINARY)" in s for s in sqls)
+        assert any("AS DECIMAL(30, 28)" in s for s in sqls)
+        assert any("AS UNSIGNED" in s for s in sqls)
+
+    def test_p2_2_builds_unions(self):
+        engine, seeds = engine_for("F(1)")
+        sqls = [c.sql for c in engine.p2_2(seeds[0])]
+        assert any("UNION SELECT NULL" in s for s in sqls)
+        assert any("UNION ALL SELECT 1" in s for s in sqls)
+
+    def test_p2_3_transplants_donor_args(self):
+        engine, _ = engine_for("F('abc')", "G('$[0]', 1)")
+        seed = engine.seeds[0]
+        sqls = [c.sql for c in engine.p2_3(seed)]
+        assert any("F('$[0]')" in s for s in sqls)
+
+    def test_p3_1_builds_repeats(self):
+        engine, seeds = engine_for("F('[1,]')")
+        sqls = [c.sql for c in engine.p3_1(seeds[0])]
+        assert any("REPEAT('[', 999)" in s for s in sqls)
+        assert any("REPEAT('[1,', 99999)" in s for s in sqls)
+
+    def test_p3_1_handles_numeric_literal(self):
+        engine, seeds = engine_for("F(0)")
+        sqls = [c.sql for c in engine.p3_1(seeds[0])]
+        assert any("REPEAT('0'" in s for s in sqls)
+
+    def test_p3_2_wraps_argument(self):
+        engine, _ = engine_for("F('abc')", "G('x', 2)")
+        seed = engine.seeds[0]
+        sqls = [c.sql for c in engine.p3_2(seed)]
+        assert any("F(G('abc', 2))" in s for s in sqls)
+
+    def test_p3_3_substitutes_whole_call(self):
+        engine, _ = engine_for("F('abc')", "G('x', 2)")
+        seed = engine.seeds[0]
+        sqls = [c.sql for c in engine.p3_3(seed)]
+        assert any("F(G('x', 2))" in s for s in sqls)
+
+    def test_nesting_cap_respected(self):
+        """Finding 3: seeds already holding two calls are not nested further."""
+        engine, _ = engine_for("F(G('x'))", "H('y')")
+        seed = engine.seeds[0]
+        assert list(engine.p3_2(seed)) == []
+        assert list(engine.p3_3(seed)) == []
+        assert list(engine.p3_1(seed)) == []
+
+    def test_generated_cases_never_exceed_two_calls_from_nesting(self):
+        engine, _ = engine_for("F('abc')", "G('x')", "H('y')")
+        for case in engine.generate_for_seed(engine.seeds[0]):
+            stmt = parse_statement(case.sql)
+            if case.pattern in ("P3.1", "P3.2", "P3.3"):
+                assert count_function_calls(stmt) <= MAX_FUNCTION_CALLS
+
+    def test_all_generated_cases_parse(self):
+        engine, _ = engine_for("F('abc', 1)", "G('$[0]')", "H(2, 'b')")
+        count = 0
+        for case in engine.generate_for_seed(engine.seeds[0]):
+            parse_statement(case.sql)  # must not raise
+            count += 1
+        assert count > 100
+
+    def test_interleaving_reaches_every_pattern_early(self):
+        engine, _ = engine_for("F('abc', 1)", "G('$[0]')")
+        first = [c.pattern for c in list(engine.generate_for_seed(engine.seeds[0]))[:18]]
+        assert len(set(first)) == 9  # all nine streams sampled
+
+    def test_seed_clone_isolation(self):
+        """Pattern application must never mutate the seed expression."""
+        engine, seeds = engine_for("F('abc')")
+        before = seeds[0].sql
+        for _ in engine.generate_for_seed(seeds[0]):
+            pass
+        assert seeds[0].sql == before
+
+
+class TestPartnerOrdering:
+    def test_exotic_producers_come_first(self):
+        seeds = [
+            make_seed("A('x')", family="string"),
+            make_seed("B('y')", family="string"),
+            make_seed("PROD('z')", family="inet"),
+        ]
+        engine = PatternEngine(seeds, return_types={"prod": "bytes"})
+        partners = engine.partners_for(seeds[0])
+        assert partners[0].function == "prod"
+
+    def test_partners_exclude_self_and_dedupe(self):
+        seeds = [make_seed("A('x')"), make_seed("A('y')"), make_seed("B('z')")]
+        engine = PatternEngine(seeds)
+        partners = engine.partners_for(seeds[0])
+        names = [p.function for p in partners]
+        assert "a" not in names
+        assert names.count("b") == 1
+
+    def test_donors_prefer_symbol_prefixes(self):
+        engine, _ = engine_for("F('abc')", "G('$[0]')", "H('/a/b')", "I('zz')")
+        heads = [to_sql(d)[1] for d in engine._donors if to_sql(d).startswith("'")]
+        # symbols appear before alphanumerics
+        symbol_positions = [i for i, h in enumerate(heads) if h in "$/"]
+        alnum_positions = [i for i, h in enumerate(heads) if h.isalnum()]
+        assert symbol_positions and max(symbol_positions) < min(alnum_positions)
