@@ -18,6 +18,8 @@ Package map:
   memory model, executor, coverage).
 * :mod:`repro.dialects` — seven simulated DBMSs with 132 injected bugs.
 * :mod:`repro.core` — SOFT itself (collection, patterns, runner, oracle).
+* :mod:`repro.robustness` — fault injection, retry/backoff, watchdog
+  deadlines, and campaign checkpoint/resume.
 * :mod:`repro.baselines` — SQLsmith / SQLancer / SQUIRREL strategy models.
 * :mod:`repro.corpus` — the 318-bug study corpus and its analysis.
 """
@@ -34,6 +36,14 @@ from .core import (
     boundary_literals,
     render_bug_report,
     run_campaign,
+    run_campaigns,
+)
+from .robustness import (
+    CampaignCheckpoint,
+    FaultInjector,
+    FaultPlan,
+    RetryPolicy,
+    ServerQuarantined,
 )
 from .dialects import (
     Dialect,
@@ -49,10 +59,12 @@ from .engine import Connection, Server, ServerCrashed, SQLError
 __version__ = "1.0.0"
 
 __all__ = [
-    "BUDGET_24_HOURS", "BUDGET_TWO_WEEKS", "Campaign", "CampaignResult",
-    "Connection", "Dialect", "DiscoveredBug", "InjectedBug", "PatternEngine",
-    "Runner", "SQLError", "SeedCollector", "Server", "ServerCrashed",
-    "__version__", "all_bugs", "all_dialect_classes", "boundary_literals",
-    "bugs_for", "dialect_by_name", "dialect_names", "render_bug_report",
-    "run_campaign",
+    "BUDGET_24_HOURS", "BUDGET_TWO_WEEKS", "Campaign", "CampaignCheckpoint",
+    "CampaignResult", "Connection", "Dialect", "DiscoveredBug",
+    "FaultInjector", "FaultPlan", "InjectedBug", "PatternEngine",
+    "RetryPolicy", "Runner", "SQLError", "SeedCollector", "Server",
+    "ServerCrashed", "ServerQuarantined", "__version__", "all_bugs",
+    "all_dialect_classes", "boundary_literals", "bugs_for",
+    "dialect_by_name", "dialect_names", "render_bug_report", "run_campaign",
+    "run_campaigns",
 ]

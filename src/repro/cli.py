@@ -2,8 +2,10 @@
 
 Commands:
 
-* ``soft fuzz <dialect> [--budget N] [--coverage]`` — run a SOFT campaign
-  and print the discovered bugs as disclosure-ready reports.
+* ``soft fuzz <dialect> [--budget N] [--coverage] [--faults SPEC]
+  [--checkpoint PATH] [--resume PATH]`` — run a SOFT campaign (optionally
+  under injected infrastructure faults, with periodic checkpoints) and
+  print the discovered bugs as disclosure-ready reports.
 * ``soft dialects`` — list the simulated DBMSs and their inventories.
 * ``soft study`` — print the bug-study summary (Findings 1-4).
 * ``soft compare [--budget N]`` — the Tables 5/6 tool comparison.
@@ -34,6 +36,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_fuzz.add_argument("--seed", type=int, default=0)
     p_fuzz.add_argument("--reports", action="store_true",
                         help="print full bug reports instead of one-liners")
+    p_fuzz.add_argument("--faults", metavar="SPEC", default=None,
+                        help="inject infrastructure faults: 'default' or "
+                        "'hang=0.01,drop=0.02,flaky=0.005,restart_fail=0.1'")
+    p_fuzz.add_argument("--fault-seed", type=int, default=0,
+                        help="seed for the deterministic fault schedule")
+    p_fuzz.add_argument("--checkpoint", metavar="PATH", default=None,
+                        help="periodically checkpoint the campaign to PATH")
+    p_fuzz.add_argument("--checkpoint-every", type=int, default=1_000,
+                        help="statements between checkpoints (default: 1000)")
+    p_fuzz.add_argument("--resume", metavar="PATH", default=None,
+                        help="resume a killed campaign from a checkpoint file")
 
     sub.add_parser("dialects", help="list simulated DBMSs")
     sub.add_parser("study", help="print the 318-bug study summary")
@@ -71,14 +84,24 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 def _cmd_fuzz(args) -> int:
-    from .core import render_bug_report, run_campaign
+    from .core import format_resilience, render_bug_report, run_campaign
+    from .robustness import CheckpointError
 
-    result = run_campaign(
-        args.dialect,
-        budget=args.budget,
-        enable_coverage=args.coverage,
-        seed=args.seed,
-    )
+    try:
+        result = run_campaign(
+            args.dialect,
+            budget=args.budget,
+            enable_coverage=args.coverage,
+            seed=args.seed,
+            faults=args.faults,
+            fault_seed=args.fault_seed,
+            checkpoint=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+            resume=args.resume,
+        )
+    except (CheckpointError, ValueError) as exc:
+        print(f"error: {exc}")
+        return 1
     print(
         f"{result.dialect}: {result.queries_executed} queries, "
         f"{len(result.bugs)} unique bugs, "
@@ -93,6 +116,8 @@ def _cmd_fuzz(args) -> int:
             print(f"  [{bug.crash_code}] {bug.function} via {bug.pattern}: {bug.sql}")
     if result.false_positives:
         print(f"  ({len(result.false_positives)} false positives from resource kills)")
+    if args.faults or args.resume or result.fault_counters or result.quarantined:
+        print(format_resilience(result))
     return 0
 
 

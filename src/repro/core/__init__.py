@@ -8,9 +8,11 @@ and campaign orchestration.
 from .campaign import (
     BUDGET_24_HOURS,
     BUDGET_TWO_WEEKS,
+    DEFAULT_CHECKPOINT_EVERY,
     Campaign,
     CampaignResult,
     run_campaign,
+    run_campaigns,
 )
 from .clauses import ClauseBoundaryGenerator
 from .collect import Seed, SeedCollector
@@ -22,8 +24,10 @@ from .patterns import CAST_TARGETS, GeneratedCase, PatternEngine
 from .report import (
     Table4Row,
     feedback_summary,
+    format_resilience,
     format_table4,
     render_bug_report,
+    resilience_summary,
     table4_rows,
 )
 from .runner import Outcome, Runner
@@ -31,11 +35,12 @@ from .runner import Outcome, Runner
 __all__ = [
     "BUDGET_24_HOURS", "BUDGET_TWO_WEEKS", "CAST_TARGETS", "Campaign",
     "CampaignResult", "ClauseBoundaryGenerator", "CrashOracle",
-    "DiscoveredBug", "GeneratedCase",
+    "DEFAULT_CHECKPOINT_EVERY", "DiscoveredBug", "GeneratedCase",
     "LogicCheckResult", "LogicOracle", "LogicViolation",
     "MinimizationResult", "Minimizer", "Outcome", "PatternEngine", "Runner",
     "Seed", "SeedCollector", "Table4Row", "boundary_literals",
     "boundary_repeat_counts", "check_norec", "check_tlp",
-    "feedback_summary", "format_table4", "minimize_poc",
-    "render_bug_report", "run_campaign", "table4_rows",
+    "feedback_summary", "format_resilience", "format_table4", "minimize_poc",
+    "render_bug_report", "resilience_summary", "run_campaign",
+    "run_campaigns", "table4_rows",
 ]

@@ -11,17 +11,50 @@ deterministic stand-in for the paper's wall-clock budgets ("24 hours",
 The seeds themselves run first: they establish baseline function coverage
 (and regression suites are supposed to pass — a crashing seed would be a
 pre-existing bug, attributed to the pseudo-pattern ``"seed"``).
+
+Resilience (the long-campaign survival layer, :mod:`repro.robustness`):
+
+* ``faults`` installs a deterministic :class:`FaultInjector` on the
+  simulated server; the runner absorbs the injected noise (retry/backoff,
+  watchdog kills, crash reconfirmation) so the campaign reports the same
+  deduplicated bug set as a fault-free run.
+* ``checkpoint_path`` periodically snapshots the campaign;
+  ``run(resume=...)`` continues a killed campaign deterministically.  The
+  resume replays the (deterministic) generation stream, *skipping* the
+  first ``executed`` statements without executing them, then verifies the
+  campaign RNG state matches the checkpoint before running anything new.
+* A server that repeatedly fails to restart is quarantined by the circuit
+  breaker: the campaign finalizes what it has (``result.quarantined``)
+  instead of aborting, so multi-dialect sweeps degrade gracefully.
+
+Per-fault-class counters are surfaced in ``CampaignResult.outcomes`` under
+``fault.*`` keys; the plain outcome kinds (``ok``/``error``/…) still sum to
+``queries_executed``.
 """
 
 from __future__ import annotations
 
 import random
-import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple, Union
 
 from ..dialects import dialect_by_name
 from ..dialects.base import Dialect
+from ..robustness.checkpoint import (
+    CampaignCheckpoint,
+    CheckpointError,
+    rng_state_from_json,
+    rng_state_to_json,
+)
+from ..robustness.faults import FaultInjector, FaultPlan, make_fault_injector
+from ..robustness.policy import RetryPolicy, ServerQuarantined
+from ..robustness.watchdog import (
+    DEFAULT_DEADLINE_SECONDS,
+    Clock,
+    SimulatedClock,
+    WallClock,
+    Watchdog,
+)
 from .collect import Seed, SeedCollector
 from .oracle import CrashOracle, DiscoveredBug
 from .patterns import GeneratedCase, PatternEngine
@@ -30,6 +63,9 @@ from .runner import Outcome, Runner
 #: query budgets standing in for the paper's time budgets
 BUDGET_24_HOURS = 20_000
 BUDGET_TWO_WEEKS = 300_000
+
+#: default checkpoint cadence (statements between snapshots)
+DEFAULT_CHECKPOINT_EVERY = 1_000
 
 
 @dataclass
@@ -41,9 +77,13 @@ class CampaignResult:
     seeds_collected: int = 0
     bugs: List[DiscoveredBug] = field(default_factory=list)
     false_positives: List[str] = field(default_factory=list)
+    flaky_signals: List[str] = field(default_factory=list)
     triggered_functions: Set[str] = field(default_factory=set)
     branch_coverage: int = 0
-    outcomes: dict = field(default_factory=dict)  # kind -> count
+    outcomes: dict = field(default_factory=dict)  # kind -> count (+ fault.*)
+    fault_counters: Dict[str, int] = field(default_factory=dict)
+    quarantined: bool = False
+    quarantine_reason: str = ""
     elapsed_seconds: float = 0.0
 
     @property
@@ -57,6 +97,35 @@ class CampaignResult:
             out[key] = out.get(key, 0) + 1
         return out
 
+    def bug_keys(self) -> Set[Tuple[str, str]]:
+        """The deduplicated bug identities (function, crash class)."""
+        return {(b.function, b.crash_code) for b in self.bugs}
+
+    def signature(self) -> tuple:
+        """A deterministic fingerprint of the campaign outcome.
+
+        Covers every reproducible field (everything except wall-clock
+        elapsed time); two same-seed campaigns — or a killed+resumed
+        campaign and its uninterrupted twin — must produce equal
+        signatures.
+        """
+        return (
+            self.dialect,
+            self.queries_executed,
+            self.seeds_collected,
+            tuple(
+                (b.function, b.crash_code, b.pattern, b.sql, b.stage, b.query_index)
+                for b in self.bugs
+            ),
+            tuple(self.false_positives),
+            tuple(self.flaky_signals),
+            tuple(sorted(self.triggered_functions)),
+            self.branch_coverage,
+            tuple(sorted(self.outcomes.items())),
+            tuple(sorted(self.fault_counters.items())),
+            self.quarantined,
+        )
+
 
 class Campaign:
     """One SOFT campaign over one dialect."""
@@ -69,19 +138,65 @@ class Campaign:
         seed: int = 0,
         max_partners: int = 48,
         stop_when_all_found: bool = False,
+        faults: Union[None, str, FaultPlan, FaultInjector] = None,
+        fault_seed: int = 0,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+        clock: Optional[Clock] = None,
+        rng: Optional[random.Random] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        statement_deadline: float = DEFAULT_DEADLINE_SECONDS,
     ) -> None:
         self.dialect = dialect
         self.budget = budget
         self.enable_coverage = enable_coverage
-        self.rng = random.Random(seed)
+        self.seed = seed
+        self.rng = rng if rng is not None else random.Random(seed)
         self.max_partners = max_partners
         self.stop_when_all_found = stop_when_all_found
+        self.checkpoint_path = checkpoint_path
+        self.checkpoint_every = checkpoint_every
+        self.retry_policy = retry_policy
+        self.statement_deadline = statement_deadline
+        if clock is None:
+            # faulted or checkpointed campaigns need steerable, restorable
+            # time; plain campaigns keep reporting real elapsed seconds
+            wants_simulated = faults is not None or checkpoint_path is not None
+            clock = SimulatedClock() if wants_simulated else WallClock()
+        self.clock = clock
+        self.injector = make_fault_injector(faults, seed=fault_seed, clock=self.clock)
+        self._started = 0.0
+        self._elapsed_offset = 0.0
 
     # ------------------------------------------------------------------
-    def run(self) -> CampaignResult:
-        started = time.monotonic()
+    def run(
+        self, resume: Union[None, str, CampaignCheckpoint] = None
+    ) -> CampaignResult:
+        cp: Optional[CampaignCheckpoint] = None
+        if resume is not None:
+            cp = (
+                resume
+                if isinstance(resume, CampaignCheckpoint)
+                else CampaignCheckpoint.load(resume)
+            )
+            cp.validate_for(
+                self.dialect.name,
+                self.seed,
+                self.budget,
+                self.max_partners,
+                self.enable_coverage,
+            )
+        self._started = self.clock.now()
+        self._elapsed_offset = 0.0
         result = CampaignResult(dialect=self.dialect.name)
-        runner = Runner(self.dialect, enable_coverage=self.enable_coverage)
+        runner = Runner(
+            self.dialect,
+            enable_coverage=self.enable_coverage,
+            faults=self.injector,
+            retry_policy=self.retry_policy,
+            clock=self.clock,
+            watchdog=Watchdog(self.clock, deadline_seconds=self.statement_deadline),
+        )
         oracle = CrashOracle(self.dialect.name)
         expected = getattr(self.dialect, "bugs", [])
 
@@ -89,42 +204,69 @@ class Campaign:
         seeds = collector.collect()
         result.seeds_collected = len(seeds)
 
-        # step 0: replay the regression-suite seeds, observing each
-        # function's result type (used to order partner enumeration)
-        return_types = {}
-        for seed_obj in seeds:
-            if runner.executed >= self.budget:
-                break
-            outcome = runner.run(f"SELECT {seed_obj.sql};")
-            self._record(result, oracle, outcome, "seed", runner)
-            if outcome.result_type and seed_obj.function not in return_types:
-                return_types[seed_obj.function] = outcome.result_type
+        skip = 0
+        return_types: Dict[str, str] = {}
+        rng_verified = cp is None
+        if cp is not None:
+            skip = cp.executed
+            return_types = self._restore(cp, runner, oracle, result)
 
-        engine = PatternEngine(
-            seeds,
-            rng=self.rng,
-            max_partners=self.max_partners,
-            return_types=return_types,
-        )
-        for case in engine.generate_all():
-            if runner.executed >= self.budget:
-                break
-            outcome = runner.run(case.sql)
-            self._record(result, oracle, outcome, case.pattern, runner)
-            if (
-                self.stop_when_all_found
-                and expected
-                and oracle.recall_against(expected) >= 1.0
-            ):
-                break
+        position = 0
+        try:
+            # step 0: replay the regression-suite seeds, observing each
+            # function's result type (used to order partner enumeration)
+            for seed_obj in seeds:
+                if position < skip:
+                    position += 1  # executed before the checkpoint
+                    continue
+                if runner.executed >= self.budget:
+                    break
+                outcome = runner.run(f"SELECT {seed_obj.sql};")
+                self._record(result, oracle, outcome, "seed", runner)
+                if outcome.result_type and seed_obj.function not in return_types:
+                    return_types[seed_obj.function] = outcome.result_type
+                position += 1
+                self._maybe_checkpoint(runner, oracle, result, return_types)
 
-        result.queries_executed = runner.executed
-        result.bugs = list(oracle.bugs)
-        result.false_positives = list(oracle.false_positives)
-        result.triggered_functions = runner.triggered_functions
-        result.branch_coverage = runner.branch_coverage
-        result.elapsed_seconds = time.monotonic() - started
-        return result
+            # the campaign RNG is first consumed by the pattern engine; if
+            # the skip ended inside the seed phase it must still be pristine
+            if not rng_verified and position >= skip:
+                self._verify_rng(cp)
+                rng_verified = True
+
+            engine = PatternEngine(
+                seeds,
+                rng=self.rng,
+                max_partners=self.max_partners,
+                return_types=return_types,
+            )
+            for case in engine.generate_all():
+                if position < skip:
+                    position += 1  # re-generated, already executed: skip
+                    continue
+                if not rng_verified:
+                    self._verify_rng(cp)
+                    rng_verified = True
+                if runner.executed >= self.budget:
+                    break
+                outcome = runner.run(case.sql)
+                self._record(result, oracle, outcome, case.pattern, runner)
+                position += 1
+                if (
+                    self.stop_when_all_found
+                    and expected
+                    and oracle.recall_against(expected) >= 1.0
+                ):
+                    break
+                self._maybe_checkpoint(runner, oracle, result, return_types)
+        except ServerQuarantined as exc:
+            # the in-flight statement never completed; keep the outcome
+            # accounting consistent with queries_executed
+            runner.executed = max(runner.executed - 1, 0)
+            result.quarantined = True
+            result.quarantine_reason = str(exc)
+
+        return self._finalize(result, runner, oracle)
 
     # ------------------------------------------------------------------
     def _record(
@@ -142,6 +284,120 @@ class Campaign:
             )
         elif outcome.kind == "resource_kill":
             oracle.observe_resource_kill(outcome.sql, outcome.message)
+        elif outcome.kind == "flaky":
+            oracle.observe_flaky_crash(outcome.sql, outcome.message)
+
+    def _finalize(
+        self, result: CampaignResult, runner: Runner, oracle: CrashOracle
+    ) -> CampaignResult:
+        result.queries_executed = runner.executed
+        result.bugs = list(oracle.bugs)
+        result.false_positives = list(oracle.false_positives)
+        result.flaky_signals = list(oracle.flaky_signals)
+        result.triggered_functions = runner.triggered_functions
+        result.branch_coverage = runner.branch_coverage
+        merged: Dict[str, int] = dict(runner.fault_counters)
+        if self.injector is not None:
+            for kind, count in self.injector.counters.items():
+                merged[kind] = merged.get(kind, 0) + count
+        result.fault_counters = merged
+        for kind, count in sorted(merged.items()):
+            result.outcomes[f"fault.{kind}"] = count
+        result.elapsed_seconds = (
+            self.clock.now() - self._started
+        ) + self._elapsed_offset
+        return result
+
+    # ------------------------------------------------------------------
+    # checkpoint/resume plumbing
+    def _maybe_checkpoint(
+        self,
+        runner: Runner,
+        oracle: CrashOracle,
+        result: CampaignResult,
+        return_types: Dict[str, str],
+    ) -> None:
+        if self.checkpoint_path is None or self.checkpoint_every <= 0:
+            return
+        if runner.executed == 0 or runner.executed % self.checkpoint_every:
+            return
+        self._capture(runner, oracle, result, return_types).save(self.checkpoint_path)
+
+    def _capture(
+        self,
+        runner: Runner,
+        oracle: CrashOracle,
+        result: CampaignResult,
+        return_types: Dict[str, str],
+    ) -> CampaignCheckpoint:
+        coverage_arcs: List[list] = []
+        coverage_lines: List[list] = []
+        if runner.coverage is not None:
+            coverage_arcs = [list(arc) for arc in sorted(runner.coverage.arcs)]
+            coverage_lines = [list(line) for line in sorted(runner.coverage.lines)]
+        return CampaignCheckpoint(
+            dialect=self.dialect.name,
+            seed=self.seed,
+            budget=self.budget,
+            max_partners=self.max_partners,
+            enable_coverage=self.enable_coverage,
+            executed=runner.executed,
+            restarts=runner.restarts,
+            timeouts=runner.timeouts,
+            flaky_crashes=runner.flaky_crashes,
+            seeds_collected=result.seeds_collected,
+            outcomes=dict(result.outcomes),
+            fault_counters=dict(runner.fault_counters),
+            return_types=dict(return_types),
+            oracle=oracle.export_state(),
+            rng_state=rng_state_to_json(self.rng.getstate()),
+            ctx_rng_state=rng_state_to_json(runner.server.ctx.rng.getstate()),
+            injector=self.injector.state() if self.injector is not None else None,
+            triggered_functions=sorted(runner.server.ctx.triggered_functions),
+            stats=dict(runner.server.ctx.stats),
+            coverage_arcs=coverage_arcs,
+            coverage_lines=coverage_lines,
+            elapsed_seconds=(self.clock.now() - self._started)
+            + self._elapsed_offset,
+        )
+
+    def _restore(
+        self,
+        cp: CampaignCheckpoint,
+        runner: Runner,
+        oracle: CrashOracle,
+        result: CampaignResult,
+    ) -> Dict[str, str]:
+        runner.executed = cp.executed
+        runner.restarts = cp.restarts
+        runner.timeouts = cp.timeouts
+        runner.flaky_crashes = cp.flaky_crashes
+        runner.fault_counters = dict(cp.fault_counters)
+        oracle.restore_state(cp.oracle)
+        result.outcomes = dict(cp.outcomes)
+        if self.injector is not None and cp.injector is not None:
+            self.injector.restore_state(cp.injector)
+        ctx = runner.server.ctx
+        ctx.triggered_functions |= set(cp.triggered_functions)
+        ctx.stats.update(cp.stats)
+        if cp.ctx_rng_state is not None:
+            ctx.rng.setstate(rng_state_from_json(cp.ctx_rng_state))
+        if runner.coverage is not None:
+            runner.coverage.arcs |= {tuple(arc) for arc in cp.coverage_arcs}
+            runner.coverage.lines |= {tuple(line) for line in cp.coverage_lines}
+        self._elapsed_offset = cp.elapsed_seconds
+        return dict(cp.return_types)
+
+    def _verify_rng(self, cp: Optional[CampaignCheckpoint]) -> None:
+        if cp is None or cp.rng_state is None:
+            return
+        current = rng_state_to_json(self.rng.getstate())
+        if current != cp.rng_state:
+            raise CheckpointError(
+                "deterministic replay diverged: the campaign RNG state after "
+                "skipping does not match the checkpoint (was the checkpoint "
+                "written by a different code version or configuration?)"
+            )
 
 
 def run_campaign(
@@ -150,6 +406,11 @@ def run_campaign(
     enable_coverage: bool = False,
     seed: int = 0,
     stop_when_all_found: bool = False,
+    faults: Union[None, str, FaultPlan, FaultInjector] = None,
+    fault_seed: int = 0,
+    checkpoint: Optional[str] = None,
+    checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+    resume: Union[None, str, CampaignCheckpoint] = None,
 ) -> CampaignResult:
     """Convenience wrapper: run SOFT against a dialect by name."""
     dialect = dialect_by_name(dialect_name)
@@ -159,4 +420,24 @@ def run_campaign(
         enable_coverage=enable_coverage,
         seed=seed,
         stop_when_all_found=stop_when_all_found,
-    ).run()
+        faults=faults,
+        fault_seed=fault_seed,
+        checkpoint_path=checkpoint,
+        checkpoint_every=checkpoint_every,
+    ).run(resume=resume)
+
+
+def run_campaigns(
+    dialect_names: List[str],
+    **kwargs,
+) -> Dict[str, CampaignResult]:
+    """Run SOFT against several dialects, degrading gracefully.
+
+    Each dialect gets its own campaign (and its own circuit breaker); a
+    quarantined server yields a partial, ``quarantined`` result instead of
+    aborting the sweep — the remaining dialects still run.
+    """
+    results: Dict[str, CampaignResult] = {}
+    for name in dialect_names:
+        results[name] = run_campaign(name, **kwargs)
+    return results

@@ -55,7 +55,10 @@ class SeedCollector:
     def collect(self) -> List[Seed]:
         """Run both collection steps and return the deduplicated seeds."""
         known = self._known_functions()
-        seeds: Dict[str, List[Seed]] = {name: [] for name in known}
+        # sorted: set iteration order is hash-randomized per process, and the
+        # seed order feeds everything downstream (generation stream, campaign
+        # results, checkpoint resume across processes)
+        seeds: Dict[str, List[Seed]] = {name: [] for name in sorted(known)}
         seen_sql: Set[str] = set()
         for query in self.dialect.test_suite():
             for expr in self.scan_query(query, known):

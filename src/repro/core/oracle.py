@@ -42,6 +42,29 @@ class DiscoveredBug:
             return self.injected.family
         return "unknown"
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (used by campaign checkpoints)."""
+        return {
+            "dbms": self.dbms,
+            "function": self.function,
+            "crash_code": self.crash_code,
+            "pattern": self.pattern,
+            "sql": self.sql,
+            "stage": self.stage,
+            "backtrace": list(self.backtrace),
+            "message": self.message,
+            "query_index": self.query_index,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "DiscoveredBug":
+        """Rebuild a discovery; the injected-bug link is re-resolved from
+        the registry rather than serialized."""
+        bug = cls(**data)  # type: ignore[arg-type]
+        bug.backtrace = list(bug.backtrace)
+        bug.injected = find_bug(bug.dbms, bug.function, bug.crash_code)
+        return bug
+
 
 class CrashOracle:
     """Deduplicates crashes and tracks false positives for one dialect."""
@@ -50,6 +73,7 @@ class CrashOracle:
         self.dbms = dbms
         self.bugs: List[DiscoveredBug] = []
         self.false_positives: List[str] = []
+        self.flaky_signals: List[str] = []
         self._seen: Set[Tuple[str, str]] = set()
         self._fp_seen: Set[str] = set()
 
@@ -98,6 +122,35 @@ class CrashOracle:
         self._fp_seen.add(reason)
         self.false_positives.append(sql)
         return True
+
+    def observe_flaky_crash(self, sql: str, message: str = "") -> None:
+        """Record a crash that did not reproduce on re-execution.
+
+        The paper's triage discards crash reports it cannot reproduce —
+        infrastructure noise, not bugs.  We keep the signal (for the
+        campaign health report) but never promote it to a
+        :class:`DiscoveredBug`.
+        """
+        self.flaky_signals.append(sql)
+
+    # ------------------------------------------------------------------
+    # checkpoint support
+    def export_state(self) -> Dict[str, object]:
+        """Everything needed to rebuild this oracle (JSON-serializable)."""
+        return {
+            "dbms": self.dbms,
+            "bugs": [bug.to_dict() for bug in self.bugs],
+            "false_positives": list(self.false_positives),
+            "flaky_signals": list(self.flaky_signals),
+            "fp_seen": sorted(self._fp_seen),
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        self.bugs = [DiscoveredBug.from_dict(d) for d in state["bugs"]]  # type: ignore[union-attr]
+        self.false_positives = list(state["false_positives"])  # type: ignore[arg-type]
+        self.flaky_signals = list(state.get("flaky_signals", []))  # type: ignore[union-attr]
+        self._seen = {bug.key for bug in self.bugs}
+        self._fp_seen = set(state["fp_seen"])  # type: ignore[arg-type]
 
     # ------------------------------------------------------------------
     @property

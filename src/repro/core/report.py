@@ -134,6 +134,54 @@ def format_table4(rows: Sequence[Table4Row]) -> str:
 
 
 # ---------------------------------------------------------------------------
+# Campaign health / resilience roll-up
+# ---------------------------------------------------------------------------
+def resilience_summary(results: Sequence[CampaignResult]) -> Dict[str, object]:
+    """Aggregate infrastructure-noise accounting across campaigns.
+
+    Uses ``getattr`` defaults so results produced (and cached) before the
+    robustness layer existed still aggregate cleanly.
+    """
+    fault_totals: Dict[str, int] = {}
+    quarantined: List[str] = []
+    flaky = 0
+    timeouts = 0
+    for result in results:
+        for kind, count in getattr(result, "fault_counters", {}).items():
+            fault_totals[kind] = fault_totals.get(kind, 0) + count
+        flaky += len(getattr(result, "flaky_signals", []))
+        timeouts += getattr(result, "outcomes", {}).get("timeout", 0)
+        if getattr(result, "quarantined", False):
+            quarantined.append(result.dialect)
+    return {
+        "fault_counters": fault_totals,
+        "flaky_signals": flaky,
+        "timeouts": timeouts,
+        "quarantined": quarantined,
+    }
+
+
+def format_resilience(result: CampaignResult) -> str:
+    """One campaign's infrastructure-noise report (CLI surface)."""
+    summary = resilience_summary([result])
+    lines = [f"Campaign health — {result.dialect}"]
+    counters = summary["fault_counters"]
+    if counters:
+        injected = ", ".join(f"{k}({v})" for k, v in sorted(counters.items()))
+        lines.append(f"  resilience events: {injected}")
+    else:
+        lines.append("  resilience events: none")
+    lines.append(
+        f"  flaky crash signals triaged out: {summary['flaky_signals']} "
+        f"(0 promoted to bugs)"
+    )
+    lines.append(f"  statements timed out: {summary['timeouts']}")
+    if getattr(result, "quarantined", False):
+        lines.append(f"  QUARANTINED: {result.quarantine_reason}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
 # Figure 2: developer feedback roll-up
 # ---------------------------------------------------------------------------
 def feedback_summary(results: Sequence[CampaignResult]) -> Dict[str, object]:

@@ -11,26 +11,49 @@ Outcome classes:
 * ``resource_kill`` — the statement was forcibly terminated by a resource
   limit (e.g. ``REPEAT('a', 9999999999)``).  These are the paper's false
   positives (§7.3: 7 FPs); the oracle tracks them separately.
-* ``crash`` — the server process died: an SQL function bug was triggered.
+* ``crash`` — the server process died and the crash *reconfirmed* (when
+  reconfirmation is on): an SQL function bug was triggered.
+* ``timeout`` — the watchdog killed a statement that exceeded its
+  deadline even after one quiet retry (a genuine hang, not infra noise).
+* ``flaky`` — the server died but the crash did not reproduce on a clean
+  re-execution; recorded as a flaky signal, never as a bug (this mirrors
+  the paper's false-positive triage of non-reproducible crash reports).
+
+Resilience machinery (all from :mod:`repro.robustness`): transient
+connection drops are retried with exponential backoff and auto-reconnect; a
+hung statement is killed by the watchdog and retried once with faults
+suppressed; failed restarts are retried with backoff and, past the circuit
+breaker's threshold, the whole server is quarantined
+(:class:`~repro.robustness.ServerQuarantined`) so multi-dialect campaigns
+degrade gracefully instead of aborting.
 """
 
 from __future__ import annotations
 
-import time
+from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
 
 from ..dialects.base import Dialect
-from ..engine.connection import Connection, Server, ServerCrashed
+from ..engine.connection import (
+    Connection,
+    ConnectionClosed,
+    RestartFailed,
+    Server,
+    ServerCrashed,
+)
 from ..engine.coverage import CoverageTracker
 from ..engine.errors import CrashSignal, ResourceError, SQLError
+from ..robustness.faults import FaultInjector
+from ..robustness.policy import CircuitBreaker, RetryPolicy
+from ..robustness.watchdog import Clock, StatementTimeout, WallClock, Watchdog
 
 
 @dataclass
 class Outcome:
     """Classification of one executed statement."""
 
-    kind: str                      # ok | error | resource_kill | crash
+    kind: str                      # ok | error | resource_kill | crash | timeout | flaky
     sql: str
     message: str = ""
     crash: Optional[CrashSignal] = None
@@ -42,12 +65,24 @@ class Outcome:
 
 
 class Runner:
-    """Executes statements against one dialect with restart-on-crash."""
+    """Executes statements against one dialect with restart-on-crash.
+
+    ``faults`` installs a :class:`~repro.robustness.FaultInjector` on the
+    server; when it is set, crash *reconfirmation* defaults to on (every
+    crash is re-executed once after the restart, and non-reproducible
+    crashes become ``flaky`` outcomes instead of bugs).
+    """
 
     def __init__(
         self,
         dialect: Dialect,
         enable_coverage: bool = False,
+        faults: Optional[FaultInjector] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        watchdog: Optional[Watchdog] = None,
+        clock: Optional[Clock] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        reconfirm_crashes: Optional[bool] = None,
     ) -> None:
         self.dialect = dialect
         self.server: Server = dialect.create_server()
@@ -56,34 +91,156 @@ class Runner:
             self.coverage = CoverageTracker()
             self.server.ctx.coverage = self.coverage
         self.connection: Connection = self.server.connect()
+        self.clock: Clock = clock if clock is not None else WallClock()
+        self.watchdog = watchdog if watchdog is not None else Watchdog(self.clock)
+        self.injector = faults
+        if faults is not None:
+            faults.attach(self.server, self.clock)
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.breaker = breaker if breaker is not None else CircuitBreaker(dialect.name)
+        self.reconfirm_crashes = (
+            (faults is not None) if reconfirm_crashes is None else reconfirm_crashes
+        )
         self.executed = 0
         self.restarts = 0
+        self.timeouts = 0
+        self.flaky_crashes = 0
+        #: runner-level resilience event counts (injector keeps its own)
+        self.fault_counters: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     def run(self, sql: str) -> Outcome:
-        """Execute *sql* and classify the outcome."""
+        """Execute *sql* and classify the outcome, absorbing infra noise."""
         self.executed += 1
+        reconnects = 0
+        while True:
+            try:
+                # retries of the same statement run with faults suppressed:
+                # infrastructure noise is independent across attempts
+                result = self._execute(sql, quiet=reconnects > 0)
+                return self._ok(sql, result)
+            except ResourceError as exc:
+                return Outcome("resource_kill", sql, message=exc.message)
+            except SQLError as exc:
+                return Outcome("error", sql, message=exc.message)
+            except StatementTimeout:
+                return self._handle_timeout(sql)
+            except ConnectionClosed as exc:
+                reconnects += 1
+                self._count("reconnects")
+                if not self.retry_policy.allows(reconnects):
+                    return Outcome(
+                        "error",
+                        sql,
+                        message=f"connection lost after {reconnects} attempts: {exc}",
+                    )
+                self.clock.advance(self.retry_policy.delay(reconnects))
+                self._reconnect()
+            except ServerCrashed as exc:
+                return self._handle_crash(sql, exc)
+            except RecursionError:
+                # treat interpreter-level recursion like a resource kill
+                self._restart()
+                return Outcome("resource_kill", sql, message="interpreter recursion limit")
+
+    # ------------------------------------------------------------------
+    def _execute(self, sql: str, quiet: bool = False):
+        """One guarded execution attempt, optionally with faults suppressed."""
+        suppress = (
+            self.injector.quiet() if quiet and self.injector is not None else nullcontext()
+        )
+        with suppress:
+            return self.watchdog.guard(lambda: self.connection.execute(sql))
+
+    def _ok(self, sql: str, result) -> Outcome:
+        result_type = None
+        if result.rows and result.rows[0]:
+            result_type = result.rows[0][0].type_name
+        return Outcome("ok", sql, result_type=result_type)
+
+    def _count(self, kind: str) -> None:
+        self.fault_counters[kind] = self.fault_counters.get(kind, 0) + 1
+
+    # ------------------------------------------------------------------
+    def _handle_timeout(self, sql: str) -> Outcome:
+        """The watchdog killed the statement; retry once without noise.
+
+        A transient infrastructure hang recovers on the quiet retry; a
+        statement that *genuinely* overruns its deadline times out again
+        and is reported as the ``timeout`` outcome.
+        """
+        self.timeouts += 1
+        self._count("statement_kills")
         try:
-            result = self.connection.execute(sql)
-            result_type = None
-            if result.rows and result.rows[0]:
-                result_type = result.rows[0][0].type_name
-            return Outcome("ok", sql, result_type=result_type)
+            return self._ok(sql, self._execute(sql, quiet=True))
         except ResourceError as exc:
             return Outcome("resource_kill", sql, message=exc.message)
         except SQLError as exc:
             return Outcome("error", sql, message=exc.message)
+        except StatementTimeout as exc:
+            return Outcome("timeout", sql, message=str(exc))
+        except ConnectionClosed as exc:
+            self._reconnect()
+            return Outcome("error", sql, message=f"connection lost: {exc}")
         except ServerCrashed as exc:
-            self._restart()
-            return Outcome("crash", sql, message=str(exc), crash=exc.crash)
+            return self._handle_crash(sql, exc)
         except RecursionError:
-            # treat interpreter-level recursion like a resource kill
             self._restart()
             return Outcome("resource_kill", sql, message="interpreter recursion limit")
 
+    def _handle_crash(self, sql: str, exc: ServerCrashed) -> Outcome:
+        """Restart and, when reconfirmation is on, re-check reproducibility."""
+        self._restart()
+        if not self.reconfirm_crashes:
+            return Outcome("crash", sql, message=str(exc), crash=exc.crash)
+        self._count("reconfirmations")
+        try:
+            self._execute(sql, quiet=True)
+        except ServerCrashed as confirmed:
+            # reproducible: a genuine server bug.  Report the *reconfirmed*
+            # signal — its attribution is clean of injected noise.
+            self._restart()
+            return Outcome("crash", sql, message=str(confirmed), crash=confirmed.crash)
+        except (SQLError, StatementTimeout):
+            pass
+        except ConnectionClosed:
+            self._reconnect()
+        except RecursionError:
+            self._restart()
+        self.flaky_crashes += 1
+        self._count("flaky_crashes")
+        return Outcome("flaky", sql, message=str(exc), crash=exc.crash)
+
+    # ------------------------------------------------------------------
+    def _reconnect(self) -> None:
+        """Re-establish the client connection, restarting a dead server."""
+        if not self.server.alive:
+            self._restart()
+        else:
+            self.connection = self.server.connect()
+
     def _restart(self) -> None:
+        """Restart the server with backoff; quarantine when it won't return.
+
+        Exception-safe: a failed attempt leaves the server dead but intact
+        (see :meth:`Server.restart`), the stale connection is replaced only
+        after a successful restart, and repeated failures open the circuit
+        breaker instead of leaking ``RestartFailed`` into the campaign loop.
+        """
+        self.breaker.check()
+        attempt = 0
+        while True:
+            try:
+                self.server.restart(keep_coverage=True)
+                break
+            except RestartFailed:
+                attempt += 1
+                self._count("restart_retries")
+                self.breaker.record_failure()
+                self.breaker.check()  # raises ServerQuarantined past threshold
+                self.clock.advance(self.retry_policy.delay(attempt))
+        self.breaker.record_success()
         self.restarts += 1
-        self.server.restart(keep_coverage=True)
         if self.coverage is not None:
             self.server.ctx.coverage = self.coverage
         self.connection = self.server.connect()

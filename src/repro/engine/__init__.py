@@ -9,7 +9,15 @@ connection that reports crashes the way a dead server process does.
 
 from .casting import TypeLimits, cast_value
 from .catalog import Database, Table
-from .connection import Connection, ConnectionClosed, Server, ServerCrashed
+from .connection import (
+    Connection,
+    ConnectionClosed,
+    ConnectionDropped,
+    FaultHook,
+    RestartFailed,
+    Server,
+    ServerCrashed,
+)
 from .context import ExecutionContext
 from .coverage import CoverageTracker
 from .errors import (
@@ -62,7 +70,8 @@ from .values import (
 
 __all__ = [
     "AssertionFailure", "Buffer", "CallStack", "CRASH_CLASSES", "CrashSignal",
-    "Connection", "ConnectionClosed", "CoverageTracker", "Database",
+    "Connection", "ConnectionClosed", "ConnectionDropped", "CoverageTracker",
+    "Database", "FaultHook", "RestartFailed",
     "DivideByZeroCrash", "DivisionByZeroError_", "ExecutionContext",
     "Executor", "FALSE", "FeatureError", "FunctionDef", "FunctionRegistry",
     "GlobalBuffer", "GlobalBufferOverflow", "Heap", "HeapBufferOverflow",

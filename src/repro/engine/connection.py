@@ -42,6 +42,40 @@ class ConnectionClosed(Exception):
     """The server is down (a previous statement crashed it)."""
 
 
+class ConnectionDropped(ConnectionClosed):
+    """The client connection was lost transiently; the server is still up.
+
+    The real-world analogue is a reset TCP connection between harness and
+    container — reconnecting (no restart) recovers.  Raised by the fault
+    hook; the runner's retry policy handles it.
+    """
+
+
+class RestartFailed(Exception):
+    """The server process failed to come back up after a restart attempt.
+
+    The real-world analogue is a Docker restart that wedges.  The server
+    stays dead; callers retry with backoff and eventually quarantine the
+    server through the circuit breaker.
+    """
+
+
+class FaultHook:
+    """Injection points the harness can install on a :class:`Server`.
+
+    The engine calls these at the same places real infrastructure noise
+    strikes: at the start of every statement (``on_execute``) and on every
+    process restart (``on_restart``).  The default hooks do nothing; the
+    ``repro.robustness`` fault injector overrides them.
+    """
+
+    def on_execute(self, connection: "Connection", sql: str) -> None:
+        """May raise a transient fault or a :class:`CrashSignal`."""
+
+    def on_restart(self, server: "Server") -> None:
+        """May raise :class:`RestartFailed` before any state is touched."""
+
+
 class Server:
     """One simulated DBMS server process."""
 
@@ -52,17 +86,35 @@ class Server:
         self.alive = True
         self.crash_count = 0
         self.queries_executed = 0
+        self.restart_failures = 0
+        #: optional fault-injection hook (see :class:`FaultHook`)
+        self.fault_hook: Optional[FaultHook] = None
 
     def restart(self, keep_coverage: bool = True) -> None:
-        """Restart the process: fresh memory and catalog, same binary."""
+        """Restart the process: fresh memory and catalog, same binary.
+
+        Exception-safe: a failed restart (:class:`RestartFailed` from the
+        fault hook, or any error while building the new context) leaves the
+        server dead but otherwise untouched, so the caller can retry.
+        """
+        hook = self.fault_hook
+        if hook is not None:
+            try:
+                hook.on_restart(self)
+            except RestartFailed:
+                self.restart_failures += 1
+                self.alive = False
+                raise
         coverage = self.ctx.coverage if keep_coverage else None
         triggered = set(self.ctx.triggered_functions)
         stats = self.ctx.stats
-        self.ctx = self.dialect.make_context()
-        self.ctx.coverage = coverage
+        ctx = self.dialect.make_context()
+        ctx.coverage = coverage
         # function-trigger/coverage metrics are campaign-level, keep them
-        self.ctx.triggered_functions |= triggered
-        self.ctx.stats.update(stats)
+        ctx.triggered_functions |= triggered
+        ctx.stats.update(stats)
+        # commit only once the replacement state is fully built
+        self.ctx = ctx
         self.database = Database()
         self.alive = True
 
@@ -87,6 +139,12 @@ class Connection:
         server.queries_executed += 1
         ctx.stats["queries"] += 1
         try:
+            hook = server.fault_hook
+            if hook is not None:
+                # infrastructure faults strike before the statement reaches
+                # the pipeline: hangs/drops escape as-is (server stays up),
+                # spurious CrashSignals fall through to the handler below
+                hook.on_execute(self, sql)
             statements = self._parse(sql)
             result = Result()
             executor = Executor(ctx, server.database)

@@ -1,0 +1,51 @@
+"""Robustness layer: fault injection, retry/backoff, watchdog, checkpoints.
+
+Real SOFT campaigns run unattended for days against live containers; this
+package gives the reproduction the same survival machinery — a
+deterministic :class:`FaultInjector` that perturbs the simulated
+infrastructure, a :class:`RetryPolicy` + :class:`CircuitBreaker` pair that
+absorbs transient failures and quarantines unrecoverable servers, a
+:class:`Watchdog` that converts hangs into ``timeout`` outcomes, and
+:class:`CampaignCheckpoint` for kill/resume with byte-identical results.
+"""
+
+from .checkpoint import (
+    CHECKPOINT_VERSION,
+    CampaignCheckpoint,
+    CheckpointError,
+    rng_state_from_json,
+    rng_state_to_json,
+)
+from .faults import DEFAULT_RATES, FaultInjector, FaultPlan, make_fault_injector
+from .policy import CircuitBreaker, RetryPolicy, ServerQuarantined
+from .watchdog import (
+    DEFAULT_DEADLINE_SECONDS,
+    Clock,
+    SimulatedClock,
+    StatementHang,
+    StatementTimeout,
+    WallClock,
+    Watchdog,
+)
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "CampaignCheckpoint",
+    "CheckpointError",
+    "CircuitBreaker",
+    "Clock",
+    "DEFAULT_DEADLINE_SECONDS",
+    "DEFAULT_RATES",
+    "FaultInjector",
+    "FaultPlan",
+    "RetryPolicy",
+    "ServerQuarantined",
+    "SimulatedClock",
+    "StatementHang",
+    "StatementTimeout",
+    "WallClock",
+    "Watchdog",
+    "make_fault_injector",
+    "rng_state_from_json",
+    "rng_state_to_json",
+]

@@ -1,0 +1,100 @@
+"""Retry/backoff policy and the per-server circuit breaker.
+
+Long unattended campaigns survive infrastructure noise by *retrying with
+backoff* (transient connection drops, failed container restarts) and by
+*quarantining* a server that repeatedly refuses to come back — so a
+multi-dialect campaign degrades to N-1 targets instead of aborting.
+
+Everything here is deterministic: backoff jitter is a pure function of the
+policy seed and the attempt number (no hidden RNG state to checkpoint), and
+delays are charged to the harness clock rather than slept.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class ServerQuarantined(Exception):
+    """The circuit breaker gave up on a server that will not restart."""
+
+    def __init__(self, name: str, failures: int) -> None:
+        super().__init__(
+            f"server {name!r} quarantined after {failures} consecutive "
+            "failed restart attempts"
+        )
+        self.name = name
+        self.failures = failures
+
+
+def _mix32(x: int) -> int:
+    """One round of 32-bit avalanche mixing (murmur3 finalizer)."""
+    x &= 0xFFFFFFFF
+    x ^= x >> 16
+    x = (x * 0x85EBCA6B) & 0xFFFFFFFF
+    x ^= x >> 13
+    x = (x * 0xC2B2AE35) & 0xFFFFFFFF
+    x ^= x >> 16
+    return x
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with bounded attempts and deterministic jitter.
+
+    ``delay(attempt)`` returns the back-off charged before retry *attempt*
+    (1-based): ``base_delay * 2**(attempt-1)`` capped at ``max_delay``,
+    stretched by up to ``jitter`` (a fraction) derived deterministically
+    from ``(seed, attempt)`` — same seed, same schedule, every run.
+    """
+
+    max_attempts: int = 5
+    base_delay: float = 0.25
+    max_delay: float = 30.0
+    jitter: float = 0.2
+    seed: int = 0
+
+    def delay(self, attempt: int) -> float:
+        raw = min(self.base_delay * (2 ** max(attempt - 1, 0)), self.max_delay)
+        fraction = _mix32(self.seed * 1_000_003 + attempt) / 2**32
+        return raw * (1.0 + self.jitter * fraction)
+
+    def allows(self, attempt: int) -> bool:
+        """Whether retry *attempt* (1-based) is within the budget."""
+        return attempt <= self.max_attempts
+
+
+class CircuitBreaker:
+    """Counts consecutive failures; opens past a threshold.
+
+    One breaker guards one server (one dialect).  Restart attempts feed it:
+    every failure increments the streak, any success resets it, and once the
+    streak reaches ``failure_threshold`` the breaker opens — all further
+    :meth:`check` calls raise :class:`ServerQuarantined`, which the campaign
+    layer converts into a gracefully-degraded (quarantined) result.
+    """
+
+    def __init__(self, name: str = "server", failure_threshold: int = 12) -> None:
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.consecutive_failures = 0
+        self.total_failures = 0
+        self.opened = False
+
+    @property
+    def is_open(self) -> bool:
+        return self.opened
+
+    def check(self) -> None:
+        """Raise :class:`ServerQuarantined` if the breaker has opened."""
+        if self.opened:
+            raise ServerQuarantined(self.name, self.consecutive_failures)
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        self.total_failures += 1
+        if self.consecutive_failures >= self.failure_threshold:
+            self.opened = True
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0

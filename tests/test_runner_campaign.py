@@ -6,6 +6,7 @@ from repro.core.campaign import Campaign, run_campaign
 from repro.core.oracle import CrashOracle
 from repro.core.runner import Runner
 from repro.dialects import bugs_for, dialect_by_name
+from repro.engine.connection import ConnectionClosed, ServerCrashed
 from repro.engine.errors import NullPointerDereference
 
 
@@ -53,6 +54,52 @@ class TestRunner:
         first = runner.branch_coverage
         runner.run("SELECT JSON_LENGTH('[1, 2]');")
         assert runner.branch_coverage > first > 0
+
+    def test_coverage_survives_crash_restart(self):
+        runner = Runner(dialect_by_name("mariadb"), enable_coverage=True)
+        runner.run("SELECT UPPER('a');")
+        before = runner.branch_coverage
+        assert runner.run("SELECT REVERSE('');").kind == "crash"
+        # restart(keep_coverage=True) must not reset accumulated metrics
+        assert runner.branch_coverage >= before > 0
+        runner.run("SELECT JSON_LENGTH('[1, 2]');")
+        assert runner.branch_coverage > before
+
+
+class TestServerLifecycle:
+    def test_connection_closed_on_downed_server(self):
+        server = dialect_by_name("mariadb").create_server()
+        connection = server.connect()
+        with pytest.raises(ServerCrashed):
+            connection.execute("SELECT REVERSE('');")
+        assert not server.alive
+        with pytest.raises(ConnectionClosed):
+            connection.execute("SELECT 1;")
+
+    def test_restart_revives_execution(self):
+        server = dialect_by_name("mariadb").create_server()
+        connection = server.connect()
+        with pytest.raises(ServerCrashed):
+            connection.execute("SELECT REVERSE('');")
+        server.restart()
+        fresh = server.connect()
+        assert fresh.execute("SELECT 1;").rows
+
+    def test_restart_keep_coverage_preserves_metrics(self):
+        from repro.engine.coverage import CoverageTracker
+
+        server = dialect_by_name("mariadb").create_server()
+        server.ctx.coverage = CoverageTracker()
+        connection = server.connect()
+        connection.execute("SELECT UPPER('a');")
+        tracker = server.ctx.coverage
+        arcs_before = len(tracker.arcs)
+        assert arcs_before > 0
+        with pytest.raises(ServerCrashed):
+            connection.execute("SELECT REVERSE('');")
+        server.restart(keep_coverage=True)
+        assert server.ctx.coverage is tracker
+        assert len(server.ctx.coverage.arcs) >= arcs_before
 
 
 class TestOracle:
@@ -132,3 +179,16 @@ class TestCampaign:
     def test_outcome_accounting_sums_to_budget(self):
         result = run_campaign("monetdb", budget=2500)
         assert sum(result.outcomes.values()) == result.queries_executed == 2500
+
+    def test_injected_rng_and_clock_reproduce_results(self):
+        import random
+
+        from repro.robustness import SimulatedClock
+
+        dialect = dialect_by_name("monetdb")
+        a = Campaign(dialect, budget=2000, rng=random.Random(99),
+                     clock=SimulatedClock()).run()
+        b = Campaign(dialect_by_name("monetdb"), budget=2000,
+                     rng=random.Random(99), clock=SimulatedClock()).run()
+        assert a.signature() == b.signature()
+        assert a.elapsed_seconds == b.elapsed_seconds
