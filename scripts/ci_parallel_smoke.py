@@ -1,0 +1,131 @@
+#!/usr/bin/env python
+"""CI smoke test: sharded campaigns and the statement cache must be
+invisible to the fuzzing results, and the cache must actually pay for
+itself.
+
+1. a ``--jobs 4`` campaign reports the same deduplicated bug set *and*
+   the same ``CampaignResult.signature()`` as the serial run — fault-free
+   and under the default fault plan;
+2. cached execution produces the same signature as uncached;
+3. throughput regression guard: on a warm workload (every statement seen
+   before, so the parse/plan cache serves exact hits) cached execution
+   must run at >= 1.2x the uncached qps.
+
+Usage: ``PYTHONPATH=src python scripts/ci_parallel_smoke.py``
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import random
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core.campaign import run_campaign  # noqa: E402
+from repro.core.collect import SeedCollector  # noqa: E402
+from repro.core.patterns import PatternEngine  # noqa: E402
+from repro.core.runner import Runner  # noqa: E402
+from repro.dialects import dialect_by_name  # noqa: E402
+from repro.perf import run_parallel_campaign  # noqa: E402
+
+DIALECT = "duckdb"
+BUDGET = 2_000
+SEED = 3
+JOBS = 4
+FAULTS = "hang=0.01,slow=0.02,drop=0.01,flaky=0.01,restart_fail=0.1"
+FAULT_SEED = 5
+MICRO_STATEMENTS = 400
+MICRO_PASSES = 3
+MIN_SPEEDUP = 1.2
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}")
+    sys.exit(1)
+
+
+def check_parity(label: str, faults, fault_seed) -> None:
+    serial = run_campaign(
+        DIALECT, budget=BUDGET, seed=SEED, faults=faults, fault_seed=fault_seed
+    )
+    parallel = run_parallel_campaign(
+        DIALECT, jobs=JOBS, budget=BUDGET, seed=SEED,
+        faults=faults, fault_seed=fault_seed,
+    )
+    if parallel.bug_keys() != serial.bug_keys():
+        missing = serial.bug_keys() - parallel.bug_keys()
+        extra = parallel.bug_keys() - serial.bug_keys()
+        fail(f"{label}: bug-set mismatch missing={missing} extra={extra}")
+    if parallel.signature() != serial.signature():
+        fail(f"{label}: signature mismatch between --jobs {JOBS} and serial")
+    print(f"      {label}: {serial.bug_count} bugs, signatures identical")
+
+
+def micro_qps(statement_cache: bool, statements) -> float:
+    """Steady-state qps: one unmeasured warm-up pass, then timed passes.
+
+    The warm-up pass fills the cache (cached runner) and levels interpreter
+    warm-up effects (both runners), so the guard compares the regimes the
+    flag actually controls rather than cold-start noise.
+    """
+    runner = Runner(dialect_by_name(DIALECT), statement_cache=statement_cache)
+    for sql in statements:
+        runner.run(sql)
+    started = time.perf_counter()
+    for _ in range(MICRO_PASSES):
+        for sql in statements:
+            runner.run(sql)
+    elapsed = time.perf_counter() - started
+    return (MICRO_PASSES * len(statements)) / elapsed
+
+
+def main() -> None:
+    print(f"[1/3] parallel parity: {DIALECT}, budget {BUDGET}, "
+          f"seed {SEED}, jobs {JOBS}")
+    check_parity("fault-free", None, 0)
+    check_parity("faulted", FAULTS, FAULT_SEED)
+
+    print("[2/3] cached vs uncached signature parity")
+    cached = run_campaign(DIALECT, budget=BUDGET, seed=SEED)
+    uncached = run_campaign(
+        DIALECT, budget=BUDGET, seed=SEED, statement_cache=False
+    )
+    if cached.signature() != uncached.signature():
+        fail("statement cache changed campaign results")
+    if cached.cache_hits == 0:
+        fail("statement cache never hit — guard has no teeth")
+    print(f"      identical signatures; campaign hit rate "
+          f"{cached.cache_hit_rate:.1%}")
+
+    print(f"[3/3] throughput guard: warm workload, "
+          f"{MICRO_STATEMENTS} statements x {MICRO_PASSES} passes")
+    dialect = dialect_by_name(DIALECT)
+    engine = PatternEngine(
+        SeedCollector(dialect).collect(), rng=random.Random(SEED)
+    )
+    probe = Runner(dialect_by_name(DIALECT), statement_cache=False)
+    statements = []
+    for case in engine.generate_all():
+        # keep the workload crash-free so no restart invalidates the cache
+        # mid-measurement (crash handling is measured by the campaigns above)
+        if probe.run(case.sql).kind == "ok":
+            statements.append(case.sql)
+        if len(statements) >= MICRO_STATEMENTS:
+            break
+    qps_uncached = micro_qps(False, statements)
+    qps_cached = micro_qps(True, statements)
+    ratio = qps_cached / qps_uncached
+    print(f"      uncached {qps_uncached:,.0f} qps, cached {qps_cached:,.0f} "
+          f"qps ({ratio:.2f}x)")
+    if ratio < MIN_SPEEDUP:
+        fail(f"cached qps only {ratio:.2f}x uncached (need >= {MIN_SPEEDUP}x)")
+
+    print(f"OK: parallel + cached campaigns identical to serial uncached; "
+          f"warm cache {ratio:.2f}x faster")
+
+
+if __name__ == "__main__":
+    main()

@@ -3,8 +3,9 @@
 Commands:
 
 * ``soft fuzz <dialect> [--budget N] [--coverage] [--faults SPEC]
-  [--checkpoint PATH] [--resume PATH]`` — run a SOFT campaign (optionally
-  under injected infrastructure faults, with periodic checkpoints) and
+  [--checkpoint PATH] [--resume PATH] [--jobs N] [--no-stmt-cache]`` —
+  run a SOFT campaign (optionally under injected infrastructure faults,
+  with periodic checkpoints, sharded across N worker processes) and
   print the discovered bugs as disclosure-ready reports.
 * ``soft dialects`` — list the simulated DBMSs and their inventories.
 * ``soft study`` — print the bug-study summary (Findings 1-4).
@@ -47,6 +48,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="statements between checkpoints (default: 1000)")
     p_fuzz.add_argument("--resume", metavar="PATH", default=None,
                         help="resume a killed campaign from a checkpoint file")
+    p_fuzz.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="shard the campaign across N worker processes "
+                        "(same bug set and signature as the serial run)")
+    p_fuzz.add_argument("--no-stmt-cache", action="store_true",
+                        help="bypass the statement parse/plan cache")
 
     sub.add_parser("dialects", help="list simulated DBMSs")
     sub.add_parser("study", help="print the 318-bug study summary")
@@ -87,18 +93,41 @@ def _cmd_fuzz(args) -> int:
     from .core import format_resilience, render_bug_report, run_campaign
     from .robustness import CheckpointError
 
+    if args.jobs < 1:
+        print(f"error: --jobs must be >= 1 (got {args.jobs})")
+        return 1
     try:
-        result = run_campaign(
-            args.dialect,
-            budget=args.budget,
-            enable_coverage=args.coverage,
-            seed=args.seed,
-            faults=args.faults,
-            fault_seed=args.fault_seed,
-            checkpoint=args.checkpoint,
-            checkpoint_every=args.checkpoint_every,
-            resume=args.resume,
-        )
+        if args.jobs > 1:
+            from .perf import run_parallel_campaign
+
+            # for a sharded run --resume reuses the per-shard sidecar
+            # checkpoints written next to the --checkpoint/--resume path
+            result = run_parallel_campaign(
+                args.dialect,
+                jobs=args.jobs,
+                budget=args.budget,
+                enable_coverage=args.coverage,
+                seed=args.seed,
+                faults=args.faults,
+                fault_seed=args.fault_seed,
+                checkpoint=args.resume or args.checkpoint,
+                checkpoint_every=args.checkpoint_every,
+                resume=args.resume is not None,
+                statement_cache=not args.no_stmt_cache,
+            )
+        else:
+            result = run_campaign(
+                args.dialect,
+                budget=args.budget,
+                enable_coverage=args.coverage,
+                seed=args.seed,
+                faults=args.faults,
+                fault_seed=args.fault_seed,
+                checkpoint=args.checkpoint,
+                checkpoint_every=args.checkpoint_every,
+                resume=args.resume,
+                statement_cache=not args.no_stmt_cache,
+            )
     except (CheckpointError, ValueError) as exc:
         print(f"error: {exc}")
         return 1
@@ -116,7 +145,13 @@ def _cmd_fuzz(args) -> int:
             print(f"  [{bug.crash_code}] {bug.function} via {bug.pattern}: {bug.sql}")
     if result.false_positives:
         print(f"  ({len(result.false_positives)} false positives from resource kills)")
-    if args.faults or args.resume or result.fault_counters or result.quarantined:
+    if (
+        args.faults
+        or args.resume
+        or args.jobs > 1
+        or result.fault_counters
+        or result.quarantined
+    ):
         print(format_resilience(result))
     return 0
 

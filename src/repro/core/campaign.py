@@ -35,6 +35,7 @@ Per-fault-class counters are surfaced in ``CampaignResult.outcomes`` under
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple, Union
 
@@ -85,10 +86,27 @@ class CampaignResult:
     quarantined: bool = False
     quarantine_reason: str = ""
     elapsed_seconds: float = 0.0
+    #: throughput instrumentation — real wall-clock time (monotonic), even
+    #: when the campaign itself runs on a simulated clock, plus the parse/
+    #: plan cache counters.  None of these enter :meth:`signature`.
+    wall_seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def bug_count(self) -> int:
         return len(self.bugs)
+
+    @property
+    def statements_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.queries_executed / self.wall_seconds
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
 
     def bugs_by(self, attr: str) -> dict:
         out: dict = {}
@@ -146,11 +164,13 @@ class Campaign:
         rng: Optional[random.Random] = None,
         retry_policy: Optional[RetryPolicy] = None,
         statement_deadline: float = DEFAULT_DEADLINE_SECONDS,
+        statement_cache: bool = True,
     ) -> None:
         self.dialect = dialect
         self.budget = budget
         self.enable_coverage = enable_coverage
         self.seed = seed
+        self.statement_cache = statement_cache
         self.rng = rng if rng is not None else random.Random(seed)
         self.max_partners = max_partners
         self.stop_when_all_found = stop_when_all_found
@@ -167,6 +187,7 @@ class Campaign:
         self.injector = make_fault_injector(faults, seed=fault_seed, clock=self.clock)
         self._started = 0.0
         self._elapsed_offset = 0.0
+        self._wall_started = 0.0
 
     # ------------------------------------------------------------------
     def run(
@@ -188,6 +209,7 @@ class Campaign:
             )
         self._started = self.clock.now()
         self._elapsed_offset = 0.0
+        self._wall_started = time.monotonic()
         result = CampaignResult(dialect=self.dialect.name)
         runner = Runner(
             self.dialect,
@@ -196,6 +218,7 @@ class Campaign:
             retry_policy=self.retry_policy,
             clock=self.clock,
             watchdog=Watchdog(self.clock, deadline_seconds=self.statement_deadline),
+            statement_cache=self.statement_cache,
         )
         oracle = CrashOracle(self.dialect.name)
         expected = getattr(self.dialect, "bugs", [])
@@ -221,7 +244,7 @@ class Campaign:
                     continue
                 if runner.executed >= self.budget:
                     break
-                outcome = runner.run(f"SELECT {seed_obj.sql};")
+                outcome = runner.run(f"SELECT {seed_obj.sql};", position=position)
                 self._record(result, oracle, outcome, "seed", runner)
                 if outcome.result_type and seed_obj.function not in return_types:
                     return_types[seed_obj.function] = outcome.result_type
@@ -249,7 +272,7 @@ class Campaign:
                     rng_verified = True
                 if runner.executed >= self.budget:
                     break
-                outcome = runner.run(case.sql)
+                outcome = runner.run(case.sql, position=position)
                 self._record(result, oracle, outcome, case.pattern, runner)
                 position += 1
                 if (
@@ -306,6 +329,9 @@ class Campaign:
         result.elapsed_seconds = (
             self.clock.now() - self._started
         ) + self._elapsed_offset
+        result.wall_seconds = time.monotonic() - self._wall_started
+        result.cache_hits = runner.cache_hits
+        result.cache_misses = runner.cache_misses
         return result
 
     # ------------------------------------------------------------------
@@ -411,6 +437,7 @@ def run_campaign(
     checkpoint: Optional[str] = None,
     checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
     resume: Union[None, str, CampaignCheckpoint] = None,
+    statement_cache: bool = True,
 ) -> CampaignResult:
     """Convenience wrapper: run SOFT against a dialect by name."""
     dialect = dialect_by_name(dialect_name)
@@ -424,6 +451,7 @@ def run_campaign(
         fault_seed=fault_seed,
         checkpoint_path=checkpoint,
         checkpoint_every=checkpoint_every,
+        statement_cache=statement_cache,
     ).run(resume=resume)
 
 

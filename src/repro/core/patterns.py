@@ -23,8 +23,7 @@ from __future__ import annotations
 
 import itertools
 import random
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
 
 from ..sqlast import (
     ArrayExpr,
@@ -74,14 +73,51 @@ DIGIT_RUNS = ("99999", "9" * 25)
 DUPLICATION_FACTORS = (2, 4)
 
 
-@dataclass
 class GeneratedCase:
-    """One generated test statement."""
+    """One generated test statement.
 
-    sql: str
-    pattern: str
-    seed_function: str
-    seed_family: str
+    The statement text is materialized lazily: pattern generators describe
+    the AST surgery as a thunk, and the clone/splice/print work only runs
+    when :attr:`sql` is first read.  Parallel shard workers enumerate the
+    full generation stream but execute only their own shard's cases, so
+    skipped cases must cost an allocation, not a tree build.
+    """
+
+    __slots__ = ("_sql", "_build", "pattern", "seed_function", "seed_family")
+
+    def __init__(
+        self, sql: str, pattern: str, seed_function: str, seed_family: str
+    ) -> None:
+        self._sql: Optional[str] = sql
+        self._build: Optional[Callable[[], str]] = None
+        self.pattern = pattern
+        self.seed_function = seed_function
+        self.seed_family = seed_family
+
+    @classmethod
+    def deferred(
+        cls,
+        build: Callable[[], str],
+        pattern: str,
+        seed_function: str,
+        seed_family: str,
+    ) -> "GeneratedCase":
+        """A case whose SQL is produced by *build* on first access."""
+        case = cls.__new__(cls)
+        case._sql = None
+        case._build = build
+        case.pattern = pattern
+        case.seed_function = seed_function
+        case.seed_family = seed_family
+        return case
+
+    @property
+    def sql(self) -> str:
+        if self._sql is None:
+            assert self._build is not None
+            self._sql = self._build()
+            self._build = None
+        return self._sql
 
     def __str__(self) -> str:  # pragma: no cover - debugging aid
         return f"[{self.pattern}] {self.sql}"
@@ -270,10 +306,14 @@ class PatternEngine:
         arity = len(seed.expression.args)
         for arg_index in range(arity):
             for literal in self.pool:
-                tree = clone(seed.expression)
-                replace_node(tree, tree.args[arg_index], clone(literal))
-                yield GeneratedCase(
-                    _as_statement(tree), "P1.2", seed.function, seed.family
+                # default-arg binding freezes the loop variables per case
+                def build(seed=seed, arg_index=arg_index, literal=literal):
+                    tree = clone(seed.expression)
+                    replace_node(tree, tree.args[arg_index], clone(literal))
+                    return _as_statement(tree)
+
+                yield GeneratedCase.deferred(
+                    build, "P1.2", seed.function, seed.family
                 )
         if arity == 0:
             return
@@ -290,14 +330,22 @@ class PatternEngine:
             positions = sorted({0, len(text) // 2, len(text) - 1})
             for position in positions:
                 for run in DIGIT_RUNS:
-                    mutated = text[:position] + run + text[position + 1 :]
-                    replacement = self._reparse_literal(
-                        mutated, quote=isinstance(original, StringLit)
-                    )
-                    tree = clone(seed.expression)
-                    replace_node(tree, tree.args[arg_index], replacement)
-                    yield GeneratedCase(
-                        _as_statement(tree), "P1.3", seed.function, seed.family
+                    def build(
+                        seed=seed,
+                        arg_index=arg_index,
+                        text=text,
+                        position=position,
+                        run=run,
+                        quote=isinstance(original, StringLit),
+                    ):
+                        mutated = text[:position] + run + text[position + 1 :]
+                        replacement = self._reparse_literal(mutated, quote=quote)
+                        tree = clone(seed.expression)
+                        replace_node(tree, tree.args[arg_index], replacement)
+                        return _as_statement(tree)
+
+                    yield GeneratedCase.deferred(
+                        build, "P1.3", seed.function, seed.family
                     )
 
     # ------------------------------------------------------------------
@@ -320,18 +368,26 @@ class PatternEngine:
                     break
             for position in positions:
                 for factor in DUPLICATION_FACTORS:
-                    mutated = (
-                        text[:position]
-                        + text[position] * factor
-                        + text[position + 1 :]
-                    )
-                    replacement = self._reparse_literal(
-                        mutated, quote=isinstance(original, StringLit)
-                    )
-                    tree = clone(seed.expression)
-                    replace_node(tree, tree.args[arg_index], replacement)
-                    yield GeneratedCase(
-                        _as_statement(tree), "P1.4", seed.function, seed.family
+                    def build(
+                        seed=seed,
+                        arg_index=arg_index,
+                        text=text,
+                        position=position,
+                        factor=factor,
+                        quote=isinstance(original, StringLit),
+                    ):
+                        mutated = (
+                            text[:position]
+                            + text[position] * factor
+                            + text[position + 1 :]
+                        )
+                        replacement = self._reparse_literal(mutated, quote=quote)
+                        tree = clone(seed.expression)
+                        replace_node(tree, tree.args[arg_index], replacement)
+                        return _as_statement(tree)
+
+                    yield GeneratedCase.deferred(
+                        build, "P1.4", seed.function, seed.family
                     )
 
     @staticmethod
@@ -355,13 +411,18 @@ class PatternEngine:
     def p2_1(self, seed: Seed) -> Iterator[GeneratedCase]:
         for arg_index in range(len(seed.expression.args)):
             for target in CAST_TARGETS:
-                tree = clone(seed.expression)
-                original = tree.args[arg_index]
-                replace_node(
-                    tree, original, Cast(original, TypeName(target.name, list(target.params)))
-                )
-                yield GeneratedCase(
-                    _as_statement(tree), "P2.1", seed.function, seed.family
+                def build(seed=seed, arg_index=arg_index, target=target):
+                    tree = clone(seed.expression)
+                    original = tree.args[arg_index]
+                    replace_node(
+                        tree,
+                        original,
+                        Cast(original, TypeName(target.name, list(target.params))),
+                    )
+                    return _as_statement(tree)
+
+                yield GeneratedCase.deferred(
+                    build, "P2.1", seed.function, seed.family
                 )
 
     # ------------------------------------------------------------------
@@ -377,24 +438,27 @@ class PatternEngine:
         ]
         for arg_index in range(len(seed.expression.args)):
             for other in others:
-                tree = clone(seed.expression)
-                original = tree.args[arg_index]
-                if other is None:
-                    union: SetOp = SetOp(
-                        "UNION",
-                        Select([SelectItem(original)]),
-                        Select([SelectItem(clone(original))]),
-                        all=True,
-                    )
-                else:
-                    union = SetOp(
-                        "UNION",
-                        Select([SelectItem(original)]),
-                        Select([SelectItem(clone(other))]),
-                    )
-                replace_node(tree, original, SubqueryExpr(union))
-                yield GeneratedCase(
-                    _as_statement(tree), "P2.2", seed.function, seed.family
+                def build(seed=seed, arg_index=arg_index, other=other):
+                    tree = clone(seed.expression)
+                    original = tree.args[arg_index]
+                    if other is None:
+                        union: SetOp = SetOp(
+                            "UNION",
+                            Select([SelectItem(original)]),
+                            Select([SelectItem(clone(original))]),
+                            all=True,
+                        )
+                    else:
+                        union = SetOp(
+                            "UNION",
+                            Select([SelectItem(original)]),
+                            Select([SelectItem(clone(other))]),
+                        )
+                    replace_node(tree, original, SubqueryExpr(union))
+                    return _as_statement(tree)
+
+                yield GeneratedCase.deferred(
+                    build, "P2.2", seed.function, seed.family
                 )
 
     # ------------------------------------------------------------------
@@ -407,19 +471,28 @@ class PatternEngine:
         # format-diverse donors come first, so they lead the stream
         for donor in self._donors:
             for arg_index in range(arity):
-                tree = clone(call)
-                replace_node(tree, tree.args[arg_index], clone(donor))
-                yield GeneratedCase(
-                    _as_statement(tree), "P2.3", seed.function, seed.family
+                def build(call=call, arg_index=arg_index, donor=donor):
+                    tree = clone(call)
+                    replace_node(tree, tree.args[arg_index], clone(donor))
+                    return _as_statement(tree)
+
+                yield GeneratedCase.deferred(
+                    build, "P2.3", seed.function, seed.family
                 )
         # (b) wholesale transplant when the arity is compatible
         for partner in self.partners_for(seed):
             partner_args = partner.expression.args
             if partner_args and len(partner_args) == arity:
-                tree = FuncCall(call.name, [clone(a) for a in partner_args],
-                                distinct=call.distinct)
-                yield GeneratedCase(
-                    _as_statement(tree), "P2.3", seed.function, seed.family
+                def build(call=call, partner_args=partner_args):
+                    tree = FuncCall(
+                        call.name,
+                        [clone(a) for a in partner_args],
+                        distinct=call.distinct,
+                    )
+                    return _as_statement(tree)
+
+                yield GeneratedCase.deferred(
+                    build, "P2.3", seed.function, seed.family
                 )
 
     # ------------------------------------------------------------------
@@ -438,13 +511,18 @@ class PatternEngine:
                 if not prefix:
                     continue
                 for count in self.repeat_counts:
-                    tree = clone(seed.expression)
-                    repeat = FuncCall(
-                        "REPEAT", [StringLit(prefix), IntegerLit(str(count))]
-                    )
-                    replace_node(tree, tree.args[arg_index], repeat)
-                    yield GeneratedCase(
-                        _as_statement(tree), "P3.1", seed.function, seed.family
+                    def build(
+                        seed=seed, arg_index=arg_index, prefix=prefix, count=count
+                    ):
+                        tree = clone(seed.expression)
+                        repeat = FuncCall(
+                            "REPEAT", [StringLit(prefix), IntegerLit(str(count))]
+                        )
+                        replace_node(tree, tree.args[arg_index], repeat)
+                        return _as_statement(tree)
+
+                    yield GeneratedCase.deferred(
+                        build, "P3.1", seed.function, seed.family
                     )
 
     # ------------------------------------------------------------------
@@ -459,14 +537,17 @@ class PatternEngine:
             if not inner_proto.args:
                 continue
             for arg_index in range(len(call.args)):
-                tree = clone(call)
-                original = tree.args[arg_index]
-                inner_args: List[Expr] = [original]
-                inner_args.extend(clone(a) for a in inner_proto.args[1:])
-                wrapped = FuncCall(inner_proto.name, inner_args)
-                replace_node(tree, original, wrapped)
-                yield GeneratedCase(
-                    _as_statement(tree), "P3.2", seed.function, seed.family
+                def build(call=call, arg_index=arg_index, inner_proto=inner_proto):
+                    tree = clone(call)
+                    original = tree.args[arg_index]
+                    inner_args: List[Expr] = [original]
+                    inner_args.extend(clone(a) for a in inner_proto.args[1:])
+                    wrapped = FuncCall(inner_proto.name, inner_args)
+                    replace_node(tree, original, wrapped)
+                    return _as_statement(tree)
+
+                yield GeneratedCase.deferred(
+                    build, "P3.2", seed.function, seed.family
                 )
 
     # ------------------------------------------------------------------
@@ -480,10 +561,13 @@ class PatternEngine:
             if count_function_calls(partner.expression) >= MAX_FUNCTION_CALLS:
                 continue
             for arg_index in range(len(call.args)):
-                tree = clone(call)
-                replace_node(
-                    tree, tree.args[arg_index], clone(partner.expression)
-                )
-                yield GeneratedCase(
-                    _as_statement(tree), "P3.3", seed.function, seed.family
+                def build(call=call, arg_index=arg_index, partner=partner):
+                    tree = clone(call)
+                    replace_node(
+                        tree, tree.args[arg_index], clone(partner.expression)
+                    )
+                    return _as_statement(tree)
+
+                yield GeneratedCase.deferred(
+                    build, "P3.3", seed.function, seed.family
                 )

@@ -176,6 +176,20 @@ def format_resilience(result: CampaignResult) -> str:
         f"(0 promoted to bugs)"
     )
     lines.append(f"  statements timed out: {summary['timeouts']}")
+    qps = getattr(result, "statements_per_second", 0.0)
+    if qps:
+        lines.append(
+            f"  throughput: {qps:,.0f} statements/s "
+            f"({getattr(result, 'wall_seconds', 0.0):.2f}s wall)"
+        )
+    hits = getattr(result, "cache_hits", 0)
+    misses = getattr(result, "cache_misses", 0)
+    if hits or misses:
+        rate = getattr(result, "cache_hit_rate", 0.0)
+        lines.append(
+            f"  statement cache: {rate:.1%} hit rate "
+            f"({hits:,} hits / {misses:,} misses)"
+        )
     if getattr(result, "quarantined", False):
         lines.append(f"  QUARANTINED: {result.quarantine_reason}")
     return "\n".join(lines)

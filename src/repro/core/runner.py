@@ -83,9 +83,12 @@ class Runner:
         clock: Optional[Clock] = None,
         breaker: Optional[CircuitBreaker] = None,
         reconfirm_crashes: Optional[bool] = None,
+        statement_cache: bool = True,
     ) -> None:
         self.dialect = dialect
         self.server: Server = dialect.create_server()
+        if not statement_cache:
+            self.server.stmt_cache = None
         self.coverage: Optional[CoverageTracker] = None
         if enable_coverage:
             self.coverage = CoverageTracker()
@@ -109,9 +112,19 @@ class Runner:
         self.fault_counters: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
-    def run(self, sql: str) -> Outcome:
-        """Execute *sql* and classify the outcome, absorbing infra noise."""
+    def run(self, sql: str, position: Optional[int] = None) -> Outcome:
+        """Execute *sql* and classify the outcome, absorbing infra noise.
+
+        *position* is the statement's global campaign position, keying the
+        fault injector's per-statement random stream; it defaults to this
+        runner's own execution count, which matches the campaign position
+        for a serial run.  Parallel shard workers pass it explicitly.
+        """
         self.executed += 1
+        if self.injector is not None:
+            self.injector.set_position(
+                self.executed - 1 if position is None else position
+            )
         reconnects = 0
         while True:
             try:
@@ -146,6 +159,11 @@ class Runner:
     # ------------------------------------------------------------------
     def _execute(self, sql: str, quiet: bool = False):
         """One guarded execution attempt, optionally with faults suppressed."""
+        # every attempt starts from clean sequence state: a test case whose
+        # outcome leaked in from an earlier statement's NEXTVAL would not be
+        # a reproducible PoC, and would make shard workers (which see only a
+        # slice of the stream) diverge from the serial run
+        self.server.ctx.clear_sequence_state()
         suppress = (
             self.injector.quiet() if quiet and self.injector is not None else nullcontext()
         )
@@ -171,22 +189,37 @@ class Runner:
         """
         self.timeouts += 1
         self._count("statement_kills")
-        try:
-            return self._ok(sql, self._execute(sql, quiet=True))
-        except ResourceError as exc:
-            return Outcome("resource_kill", sql, message=exc.message)
-        except SQLError as exc:
-            return Outcome("error", sql, message=exc.message)
-        except StatementTimeout as exc:
-            return Outcome("timeout", sql, message=str(exc))
-        except ConnectionClosed as exc:
-            self._reconnect()
-            return Outcome("error", sql, message=f"connection lost: {exc}")
-        except ServerCrashed as exc:
-            return self._handle_crash(sql, exc)
-        except RecursionError:
-            self._restart()
-            return Outcome("resource_kill", sql, message="interpreter recursion limit")
+        reconnects = 0
+        while True:
+            try:
+                return self._ok(sql, self._execute(sql, quiet=True))
+            except ResourceError as exc:
+                return Outcome("resource_kill", sql, message=exc.message)
+            except SQLError as exc:
+                return Outcome("error", sql, message=exc.message)
+            except StatementTimeout as exc:
+                return Outcome("timeout", sql, message=str(exc))
+            except ConnectionClosed as exc:
+                # same backoff contract as the main loop: a lost connection
+                # during the quiet retry is still transient infra noise, not
+                # grounds to give up on the statement after one attempt
+                reconnects += 1
+                self._count("reconnects")
+                if not self.retry_policy.allows(reconnects):
+                    return Outcome(
+                        "error",
+                        sql,
+                        message=f"connection lost after {reconnects} attempts: {exc}",
+                    )
+                self.clock.advance(self.retry_policy.delay(reconnects))
+                self._reconnect()
+            except ServerCrashed as exc:
+                return self._handle_crash(sql, exc)
+            except RecursionError:
+                self._restart()
+                return Outcome(
+                    "resource_kill", sql, message="interpreter recursion limit"
+                )
 
     def _handle_crash(self, sql: str, exc: ServerCrashed) -> Outcome:
         """Restart and, when reconfirmation is on, re-check reproducibility."""
@@ -253,3 +286,18 @@ class Runner:
     @property
     def branch_coverage(self) -> int:
         return self.coverage.branch_count if self.coverage else 0
+
+    @property
+    def cache_hits(self) -> int:
+        cache = self.server.stmt_cache
+        return cache.hits if cache is not None else 0
+
+    @property
+    def cache_misses(self) -> int:
+        cache = self.server.stmt_cache
+        return cache.misses if cache is not None else 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        cache = self.server.stmt_cache
+        return cache.hit_rate if cache is not None else 0.0

@@ -17,12 +17,17 @@ from __future__ import annotations
 import time
 from typing import TYPE_CHECKING, List, Optional
 
+from ..perf.stmtcache import StatementCache
 from ..sqlast import ParseError, parse_statements
 from ..sqlast import nodes as n
 from .catalog import Database
 from .errors import CrashSignal, SQLError, SyntaxError_
 from .executor import Executor, Result
 from .optimizer import optimize_statement
+
+#: statement shapes eligible for the parse/plan cache — read-only queries
+#: whose execution cannot change catalog or session state
+_CACHEABLE_STATEMENTS = (n.Select, n.SetOp)
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..dialects.base import Dialect
@@ -89,6 +94,8 @@ class Server:
         self.restart_failures = 0
         #: optional fault-injection hook (see :class:`FaultHook`)
         self.fault_hook: Optional[FaultHook] = None
+        #: parse/plan cache; set to None to bypass caching entirely
+        self.stmt_cache: Optional[StatementCache] = StatementCache()
 
     def restart(self, keep_coverage: bool = True) -> None:
         """Restart the process: fresh memory and catalog, same binary.
@@ -116,6 +123,10 @@ class Server:
         # commit only once the replacement state is fully built
         self.ctx = ctx
         self.database = Database()
+        if self.stmt_cache is not None:
+            # plans may embed optimize-stage decisions tied to the dead
+            # process's config; a fresh process re-derives them
+            self.stmt_cache.invalidate_all("restart")
         self.alive = True
 
     def connect(self) -> "Connection":
@@ -136,8 +147,13 @@ class Connection:
             raise ConnectionClosed("server is not running")
         ctx = server.ctx
         ctx.reset_query_state()
+        # RAND()/UUID() draws are keyed to the statement text so results do
+        # not depend on what executed before (cache hits, retries, and
+        # parallel shard workers all see the serial run's values)
+        ctx.reseed_statement_rng(sql)
         server.queries_executed += 1
         ctx.stats["queries"] += 1
+        cache = server.stmt_cache
         try:
             hook = server.fault_hook
             if hook is not None:
@@ -145,11 +161,37 @@ class Connection:
                 # the pipeline: hangs/drops escape as-is (server stays up),
                 # spurious CrashSignals fall through to the handler below
                 hook.on_execute(self, sql)
-            statements = self._parse(sql)
+            if cache is not None:
+                plan = cache.fetch(server.dialect.name, sql)
+                if plan is not None:
+                    stmt = plan.stmt
+                    if plan.needs_optimize:
+                        stmt = optimize_statement(ctx, stmt)
+                    ctx.stage = "execute"
+                    return Executor(ctx, server.database).execute(stmt)
+            probe = cache.probe_tokens(sql) if cache is not None else None
+            statements = self._parse(sql, tokens=probe)
             result = Result()
             executor = Executor(ctx, server.database)
+            # only single read-only statements are cacheable: caching part
+            # of a multi-statement batch would reorder its optimize/execute
+            # interleaving on replay
+            cacheable = (
+                cache is not None
+                and len(statements) == 1
+                and isinstance(statements[0], _CACHEABLE_STATEMENTS)
+            )
             for stmt in statements:
+                if cache is not None and not isinstance(stmt, _CACHEABLE_STATEMENTS):
+                    # DDL/DML/SET may change what any cached plan means
+                    # (catalog contents, fold_functions); drop everything
+                    # before it runs so even a crash leaves the cache safe
+                    cache.invalidate_all("non-select statement")
                 optimized = optimize_statement(ctx, stmt)
+                if cacheable:
+                    # insert *before* execution: an execute-stage crash must
+                    # leave the plan behind so reconfirmation replays it
+                    cache.insert(server.dialect.name, sql, stmt, optimized, ctx)
                 ctx.stage = "execute"
                 result = executor.execute(optimized)
             return result
@@ -162,11 +204,11 @@ class Connection:
             server.crash_count += 1
             raise ServerCrashed(crash, sql) from None
 
-    def _parse(self, sql: str) -> List[n.Statement]:
+    def _parse(self, sql: str, tokens=None) -> List[n.Statement]:
         ctx = self.server.ctx
         ctx.stage = "parse"
         try:
-            statements = parse_statements(sql)
+            statements = parse_statements(sql, tokens=tokens)
         except ParseError as exc:
             raise SyntaxError_(str(exc)) from None
         except RecursionError:

@@ -10,6 +10,7 @@ the next connection gets a fresh context.
 from __future__ import annotations
 
 import random
+import zlib
 from collections import Counter
 from typing import TYPE_CHECKING, Callable, Dict, Optional, Set
 
@@ -41,6 +42,7 @@ class ExecutionContext:
         self.config: Dict[str, str] = dict(config or {})
         self.heap = Heap()
         self.stack = CallStack(max_depth=stack_depth)
+        self.seed = seed
         self.rng = random.Random(seed)
         #: processing stage for crash attribution: parse | optimize | execute
         self.stage = "execute"
@@ -67,6 +69,31 @@ class ExecutionContext:
         self.stack.reset()
         self.stage = "execute"
         self.current_function = None
+
+    def reseed_statement_rng(self, sql: str) -> None:
+        """Reseed :attr:`rng` from ``(context seed, statement text)``.
+
+        RAND()/UUID() draw from this stream.  Keying it to the statement —
+        rather than letting state accumulate across statements — makes
+        rng-dependent results a pure function of the statement, so crash
+        reconfirmation replays them faithfully and parallel shard workers
+        observe the same values as a serial run.  crc32 (not ``hash()``):
+        string hashing is salted per process.
+        """
+        digest = zlib.crc32(sql.encode("utf-8", "surrogatepass"))
+        self.rng.seed(((self.seed + 1) << 32) ^ digest)
+
+    def clear_sequence_state(self) -> None:
+        """Drop NEXTVAL/SETVAL sequence counters (``seq::`` config keys).
+
+        Sequences are session state: a plain ``SELECT NEXTVAL('s')`` mutates
+        it, and a later ``CURRVAL('s')`` observes it.  The fuzzing harness
+        clears it between test cases (see ``Runner._execute``) so every
+        statement's outcome is a pure function of the statement itself —
+        raw :class:`Connection` users keep ordinary session semantics.
+        """
+        for key in [k for k in self.config if k.startswith("seq::")]:
+            del self.config[key]
 
     def get_config(self, name: str, default: str = "") -> str:
         return self.config.get(name.lower(), default)

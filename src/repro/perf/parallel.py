@@ -1,0 +1,594 @@
+"""Sharded multi-process campaigns (``--jobs N``).
+
+The paper's evaluation is embarrassingly parallel: each of the "24 hours
+per DBMS" campaigns executes an enormous stream of *independent* SELECT
+statements.  :class:`ParallelCampaign` exploits that while preserving the
+serial campaign's exact observable result — ``CampaignResult.signature()``
+of a ``jobs=N`` run equals the serial run's, faults on or off.
+
+Architecture (see DESIGN.md for the full determinism argument):
+
+* The **parent** replays the seed phase itself (positions ``0..S-1``) —
+  it is cheap, and the pattern engine needs the observed seed return
+  types before any generated statement can exist.
+* The generated stream is sharded **round-robin by pattern index**:
+  worker ``w`` of ``N`` executes generated case ``i`` iff
+  ``i % N == w``.  Every worker re-derives the full deterministic stream
+  (seed collection is pure, generation is seeded) and skips foreign
+  cases — skipping is an allocation, not work, because
+  :class:`~repro.core.patterns.GeneratedCase` renders SQL lazily.
+* Statement behaviour is **history-independent** by construction
+  (per-statement engine RNG reseed, position-keyed fault streams), so a
+  worker executing the sub-stream ``w, w+N, w+2N, …`` observes exactly
+  the outcomes the serial run observes at those positions.
+* Workers return plain-dict **shard reports**: outcome counts, ordered
+  oracle-relevant observations (crash/resource_kill/flaky) tagged with
+  their global position, triggered functions, coverage sets, cache and
+  fault counters.  The parent replays all observations *sorted by
+  position* into one master oracle — the same first-occurrence dedup
+  order as the serial loop — and merges the counters.
+
+Checkpoint/resume: each worker writes its own sidecar checkpoint
+(``<path>.shard<w>``).  On resume the parent re-runs its cheap seed phase
+from scratch (sound: statements are history-independent and fault draws
+are position-keyed) and each worker skips the prefix of its shard it
+already executed.  No RNG state needs to be carried at all.
+
+Known semantic divergence: a server quarantine aborts only the shard that
+hit it, so a quarantined parallel run may have executed statements a
+serial run would not have reached (and vice versa).  Quarantine requires
+``CircuitBreaker.failure_threshold`` *consecutive* restart failures drawn
+from a single position's fault stream — at realistic fault rates the
+probability is negligible, and the merged report still flags
+``quarantined=True``.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import random
+import time
+from typing import Any, Dict, List, Optional, Union
+
+from ..core.campaign import (
+    BUDGET_24_HOURS,
+    CampaignResult,
+    DEFAULT_CHECKPOINT_EVERY,
+)
+from ..core.collect import SeedCollector
+from ..core.oracle import CrashOracle
+from ..core.patterns import PatternEngine
+from ..core.runner import Runner
+from ..dialects import dialect_by_name
+from ..dialects.base import Dialect
+from ..robustness.checkpoint import CHECKPOINT_VERSION, CheckpointError
+from ..robustness.faults import FaultInjector, FaultPlan, make_fault_injector
+from ..robustness.policy import ServerQuarantined
+from ..robustness.watchdog import (
+    DEFAULT_DEADLINE_SECONDS,
+    SimulatedClock,
+    Watchdog,
+)
+
+
+class _CrashFacts:
+    """Duck-typed stand-in for a :class:`CrashSignal` crossing processes.
+
+    Exceptions don't pickle their keyword attributes reliably, so workers
+    ship crashes as plain dicts and the parent rebuilds just the attributes
+    the oracle reads (``function``, ``code``, ``stage``, ``backtrace``,
+    ``message``).
+    """
+
+    __slots__ = ("function", "code", "stage", "backtrace", "message")
+
+    def __init__(self, d: Dict[str, Any]) -> None:
+        self.function = d.get("function")
+        self.code = d.get("code")
+        self.stage = d.get("stage")
+        self.backtrace = d.get("backtrace")
+        self.message = d.get("message", "")
+
+    def describe(self) -> str:
+        return self.message
+
+
+def _crash_to_dict(crash: Any) -> Dict[str, Any]:
+    return {
+        "function": getattr(crash, "function", None),
+        "code": getattr(crash, "code", None),
+        "stage": getattr(crash, "stage", None),
+        "backtrace": getattr(crash, "backtrace", None),
+        "message": crash.describe() if hasattr(crash, "describe") else str(crash),
+    }
+
+
+def _shard_checkpoint_path(path: str, worker: int) -> str:
+    return f"{path}.shard{worker}"
+
+
+def _run_shard(
+    dialect_name: str,
+    worker: int,
+    jobs: int,
+    seed: int,
+    budget: int,
+    seed_count: int,
+    return_types: Dict[str, str],
+    max_partners: int,
+    enable_coverage: bool,
+    faults_spec: Optional[str],
+    fault_seed: int,
+    statement_deadline: float,
+    statement_cache: bool,
+    checkpoint_path: Optional[str],
+    checkpoint_every: int,
+    resume: bool,
+    stop_after: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Execute one worker's share of the generated stream.
+
+    Runs in a child process (or inline for ``jobs=1``); everything it
+    receives and returns must be picklable.  ``stop_after`` caps how many
+    statements this shard executes before returning early — a test hook
+    that simulates a mid-campaign kill for resume testing.
+    """
+    dialect = dialect_by_name(dialect_name)
+    clock = SimulatedClock()
+    injector = make_fault_injector(faults_spec, seed=fault_seed, clock=clock)
+    runner = Runner(
+        dialect,
+        enable_coverage=enable_coverage,
+        faults=injector,
+        clock=clock,
+        watchdog=Watchdog(clock, deadline_seconds=statement_deadline),
+        statement_cache=statement_cache,
+    )
+    # the engine rng is seeded but never consumed by generation; passing a
+    # fresh Random(seed) in every process keeps the constructor contract
+    engine = PatternEngine(
+        SeedCollector(dialect).collect(),
+        rng=random.Random(seed),
+        max_partners=max_partners,
+        return_types=dict(return_types),
+    )
+
+    skip_in_shard = 0
+    observations: List[Dict[str, Any]] = []
+    outcome_counts: Dict[str, int] = {}
+    if resume and checkpoint_path is not None:
+        state = _load_shard_checkpoint(
+            _shard_checkpoint_path(checkpoint_path, worker),
+            dialect_name, seed, budget, max_partners,
+            enable_coverage, jobs, worker,
+        )
+        if state is not None:
+            skip_in_shard = state["shard_executed"]
+            observations = list(state["observations"])
+            outcome_counts = dict(state["outcomes"])
+            runner.fault_counters = dict(state["fault_counters"])
+            runner.server.ctx.triggered_functions |= set(state["triggered"])
+            if runner.coverage is not None:
+                runner.coverage.arcs |= {tuple(a) for a in state["coverage_arcs"]}
+                runner.coverage.lines |= {tuple(l) for l in state["coverage_lines"]}
+
+    generated_budget = max(budget - seed_count, 0)
+    shard_executed = 0
+    executed_this_run = 0
+    quarantined = False
+    quarantine_reason = ""
+    wall_started = time.monotonic()
+
+    def maybe_checkpoint() -> None:
+        if checkpoint_path is None or checkpoint_every <= 0:
+            return
+        if shard_executed == 0 or shard_executed % checkpoint_every:
+            return
+        _save_shard_checkpoint(
+            _shard_checkpoint_path(checkpoint_path, worker),
+            dialect_name, seed, budget, max_partners, enable_coverage,
+            jobs, worker, shard_executed, observations, outcome_counts,
+            runner,
+        )
+
+    try:
+        for index, case in enumerate(engine.generate_all()):
+            if index >= generated_budget:
+                break
+            if index % jobs != worker:
+                continue  # lazy case: skipping costs no SQL rendering
+            if shard_executed < skip_in_shard:
+                shard_executed += 1
+                continue
+            position = seed_count + index
+            outcome = runner.run(case.sql, position=position)
+            outcome_counts[outcome.kind] = outcome_counts.get(outcome.kind, 0) + 1
+            if outcome.kind in ("crash", "resource_kill", "flaky"):
+                observations.append(
+                    {
+                        "position": position,
+                        "kind": outcome.kind,
+                        "sql": outcome.sql,
+                        "message": outcome.message,
+                        "pattern": case.pattern,
+                        "crash": _crash_to_dict(outcome.crash)
+                        if outcome.crash is not None
+                        else None,
+                    }
+                )
+            shard_executed += 1
+            executed_this_run += 1
+            maybe_checkpoint()
+            if stop_after is not None and executed_this_run >= stop_after:
+                break
+    except ServerQuarantined as exc:
+        shard_executed = max(shard_executed - 1, 0)
+        quarantined = True
+        quarantine_reason = str(exc)
+
+    report: Dict[str, Any] = {
+        "worker": worker,
+        "shard_executed": shard_executed,
+        "outcomes": outcome_counts,
+        "observations": observations,
+        "fault_counters": dict(runner.fault_counters),
+        "injector_counters": dict(injector.counters) if injector is not None else {},
+        "triggered": sorted(runner.server.ctx.triggered_functions),
+        "coverage_arcs": [list(a) for a in runner.coverage.arcs]
+        if runner.coverage is not None
+        else [],
+        "coverage_lines": [list(l) for l in runner.coverage.lines]
+        if runner.coverage is not None
+        else [],
+        "cache_hits": runner.cache_hits,
+        "cache_misses": runner.cache_misses,
+        "restarts": runner.restarts,
+        "timeouts": runner.timeouts,
+        "flaky_crashes": runner.flaky_crashes,
+        "quarantined": quarantined,
+        "quarantine_reason": quarantine_reason,
+        "wall_seconds": time.monotonic() - wall_started,
+    }
+    if checkpoint_path is not None:
+        _save_shard_checkpoint(
+            _shard_checkpoint_path(checkpoint_path, worker),
+            dialect_name, seed, budget, max_partners, enable_coverage,
+            jobs, worker, shard_executed, observations, outcome_counts,
+            runner,
+        )
+    return report
+
+
+# ----------------------------------------------------------------------
+# per-shard sidecar checkpoints
+# ----------------------------------------------------------------------
+def _shard_spec(
+    dialect: str, seed: int, budget: int, max_partners: int,
+    enable_coverage: bool, jobs: int, worker: int,
+) -> Dict[str, Any]:
+    return {
+        "version": CHECKPOINT_VERSION,
+        "dialect": dialect,
+        "seed": seed,
+        "budget": budget,
+        "max_partners": max_partners,
+        "enable_coverage": enable_coverage,
+        "jobs": jobs,
+        "worker": worker,
+    }
+
+
+def _save_shard_checkpoint(
+    path: str,
+    dialect: str, seed: int, budget: int, max_partners: int,
+    enable_coverage: bool, jobs: int, worker: int,
+    shard_executed: int,
+    observations: List[Dict[str, Any]],
+    outcomes: Dict[str, int],
+    runner: Runner,
+) -> None:
+    payload = {
+        "spec": _shard_spec(
+            dialect, seed, budget, max_partners, enable_coverage, jobs, worker
+        ),
+        "shard_executed": shard_executed,
+        "observations": observations,
+        "outcomes": outcomes,
+        "fault_counters": dict(runner.fault_counters),
+        "triggered": sorted(runner.server.ctx.triggered_functions),
+        "coverage_arcs": [list(a) for a in runner.coverage.arcs]
+        if runner.coverage is not None
+        else [],
+        "coverage_lines": [list(l) for l in runner.coverage.lines]
+        if runner.coverage is not None
+        else [],
+    }
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh)
+    os.replace(tmp, path)
+
+
+def _load_shard_checkpoint(
+    path: str,
+    dialect: str, seed: int, budget: int, max_partners: int,
+    enable_coverage: bool, jobs: int, worker: int,
+) -> Optional[Dict[str, Any]]:
+    if not os.path.exists(path):
+        return None
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    expected = _shard_spec(
+        dialect, seed, budget, max_partners, enable_coverage, jobs, worker
+    )
+    if payload.get("spec") != expected:
+        raise CheckpointError(
+            f"shard checkpoint {path!r} was written for a different campaign "
+            f"configuration ({payload.get('spec')!r} != {expected!r})"
+        )
+    return payload
+
+
+# ----------------------------------------------------------------------
+# the parallel campaign
+# ----------------------------------------------------------------------
+class ParallelCampaign:
+    """Shards one campaign's generated stream across worker processes.
+
+    Constructor mirrors :class:`~repro.core.campaign.Campaign` where the
+    options make sense for a sharded run.  ``faults`` must be ``None`` or a
+    CLI spec string (injectors don't cross process boundaries);
+    ``stop_when_all_found`` is unsupported (its early exit depends on
+    cross-shard execution order).
+    """
+
+    def __init__(
+        self,
+        dialect: Union[Dialect, str],
+        jobs: int = 2,
+        budget: int = BUDGET_24_HOURS,
+        enable_coverage: bool = False,
+        seed: int = 0,
+        max_partners: int = 48,
+        faults: Union[None, str, FaultPlan] = None,
+        fault_seed: int = 0,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+        statement_deadline: float = DEFAULT_DEADLINE_SECONDS,
+        statement_cache: bool = True,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if isinstance(faults, FaultInjector):
+            raise TypeError(
+                "ParallelCampaign needs a fault *spec* (string/FaultPlan), "
+                "not a FaultInjector: each worker builds its own injector"
+            )
+        self.dialect = (
+            dialect_by_name(dialect) if isinstance(dialect, str) else dialect
+        )
+        self.jobs = jobs
+        self.budget = budget
+        self.enable_coverage = enable_coverage
+        self.seed = seed
+        self.max_partners = max_partners
+        self.faults_spec = self._normalize_faults(faults)
+        self.fault_seed = fault_seed
+        self.checkpoint_path = checkpoint_path
+        self.checkpoint_every = checkpoint_every
+        self.statement_deadline = statement_deadline
+        self.statement_cache = statement_cache
+        #: test hook — see ``_run_shard``'s ``stop_after``
+        self._stop_after: Optional[int] = None
+
+    @staticmethod
+    def _normalize_faults(faults: Union[None, str, FaultPlan]) -> Optional[str]:
+        if faults is None:
+            return None
+        if isinstance(faults, FaultPlan):
+            # re-encode as a spec string so it crosses process boundaries
+            return ",".join(
+                f"{name}={getattr(faults, name)}"
+                for name in (
+                    "hang_rate", "slow_rate", "drop_rate",
+                    "flaky_crash_rate", "restart_failure_rate",
+                )
+            )
+        return faults
+
+    # ------------------------------------------------------------------
+    def run(self, resume: bool = False) -> CampaignResult:
+        wall_started = time.monotonic()
+        # ---- parent: seed phase (positions 0..S-1) -------------------
+        clock = SimulatedClock()
+        injector = make_fault_injector(
+            self.faults_spec, seed=self.fault_seed, clock=clock
+        )
+        runner = Runner(
+            self.dialect,
+            enable_coverage=self.enable_coverage,
+            faults=injector,
+            clock=clock,
+            watchdog=Watchdog(clock, deadline_seconds=self.statement_deadline),
+            statement_cache=self.statement_cache,
+        )
+        oracle = CrashOracle(self.dialect.name)
+        result = CampaignResult(dialect=self.dialect.name)
+        seeds = SeedCollector(self.dialect).collect()
+        result.seeds_collected = len(seeds)
+
+        return_types: Dict[str, str] = {}
+        seed_observations: List[Dict[str, Any]] = []
+        position = 0
+        quarantined = False
+        quarantine_reason = ""
+        try:
+            for seed_obj in seeds:
+                if position >= self.budget:
+                    break
+                outcome = runner.run(f"SELECT {seed_obj.sql};", position=position)
+                result.outcomes[outcome.kind] = (
+                    result.outcomes.get(outcome.kind, 0) + 1
+                )
+                if outcome.kind in ("crash", "resource_kill", "flaky"):
+                    seed_observations.append(
+                        {
+                            "position": position,
+                            "kind": outcome.kind,
+                            "sql": outcome.sql,
+                            "message": outcome.message,
+                            "pattern": "seed",
+                            "crash": _crash_to_dict(outcome.crash)
+                            if outcome.crash is not None
+                            else None,
+                        }
+                    )
+                if outcome.result_type and seed_obj.function not in return_types:
+                    return_types[seed_obj.function] = outcome.result_type
+                position += 1
+        except ServerQuarantined as exc:
+            runner.executed = max(runner.executed - 1, 0)
+            position = runner.executed
+            quarantined = True
+            quarantine_reason = str(exc)
+
+        seed_count = position
+
+        # ---- fan out the generated stream ----------------------------
+        reports: List[Dict[str, Any]] = []
+        if not quarantined and seed_count < self.budget:
+            shard_args = [
+                (
+                    self.dialect.name, worker, self.jobs, self.seed,
+                    self.budget, seed_count, return_types, self.max_partners,
+                    self.enable_coverage, self.faults_spec, self.fault_seed,
+                    self.statement_deadline, self.statement_cache,
+                    self.checkpoint_path, self.checkpoint_every, resume,
+                    self._stop_after,
+                )
+                for worker in range(self.jobs)
+            ]
+            if self.jobs == 1:
+                reports = [_run_shard(*shard_args[0])]
+            else:
+                ctx = multiprocessing.get_context(
+                    "fork" if "fork" in multiprocessing.get_all_start_methods()
+                    else "spawn"
+                )
+                with ctx.Pool(processes=self.jobs) as pool:
+                    reports = pool.starmap(_run_shard, shard_args)
+
+        # ---- merge ----------------------------------------------------
+        return self._merge(
+            result, runner, oracle, injector, seed_count,
+            seed_observations, reports, quarantined, quarantine_reason,
+            wall_started,
+        )
+
+    # ------------------------------------------------------------------
+    def _merge(
+        self,
+        result: CampaignResult,
+        seed_runner: Runner,
+        oracle: CrashOracle,
+        seed_injector: Optional[FaultInjector],
+        seed_count: int,
+        seed_observations: List[Dict[str, Any]],
+        reports: List[Dict[str, Any]],
+        quarantined: bool,
+        quarantine_reason: str,
+        wall_started: float,
+    ) -> CampaignResult:
+        observations = list(seed_observations)
+        for report in reports:
+            observations.extend(report["observations"])
+        # replay in global position order — the exact sequence the serial
+        # loop would have fed the oracle, so first-occurrence dedup of
+        # bugs/false-positives/flaky signals matches statement for statement
+        observations.sort(key=lambda ob: ob["position"])
+        for ob in observations:
+            # serial `_record` passes runner.executed (1-based) as the
+            # bug's query index
+            query_index = ob["position"] + 1
+            if ob["kind"] == "crash" and ob["crash"] is not None:
+                oracle.observe_crash(
+                    _CrashFacts(ob["crash"]), ob["sql"], ob["pattern"], query_index
+                )
+            elif ob["kind"] == "resource_kill":
+                oracle.observe_resource_kill(ob["sql"], ob["message"])
+            elif ob["kind"] == "flaky":
+                oracle.observe_flaky_crash(ob["sql"], ob["message"])
+
+        executed = seed_count
+        triggered = set(seed_runner.server.ctx.triggered_functions)
+        arcs = set(seed_runner.coverage.arcs) if seed_runner.coverage else set()
+        lines = set(seed_runner.coverage.lines) if seed_runner.coverage else set()
+        fault_counters: Dict[str, int] = dict(seed_runner.fault_counters)
+        if seed_injector is not None:
+            for kind, count in seed_injector.counters.items():
+                fault_counters[kind] = fault_counters.get(kind, 0) + count
+        cache_hits = seed_runner.cache_hits
+        cache_misses = seed_runner.cache_misses
+        for report in reports:
+            executed += report["shard_executed"]
+            triggered |= set(report["triggered"])
+            arcs |= {tuple(a) for a in report["coverage_arcs"]}
+            lines |= {tuple(l) for l in report["coverage_lines"]}
+            for kind, count in report["outcomes"].items():
+                result.outcomes[kind] = result.outcomes.get(kind, 0) + count
+            for kind, count in report["fault_counters"].items():
+                fault_counters[kind] = fault_counters.get(kind, 0) + count
+            for kind, count in report["injector_counters"].items():
+                fault_counters[kind] = fault_counters.get(kind, 0) + count
+            cache_hits += report["cache_hits"]
+            cache_misses += report["cache_misses"]
+            if report["quarantined"]:
+                quarantined = True
+                quarantine_reason = quarantine_reason or report["quarantine_reason"]
+
+        result.queries_executed = executed
+        result.bugs = list(oracle.bugs)
+        result.false_positives = list(oracle.false_positives)
+        result.flaky_signals = list(oracle.flaky_signals)
+        result.triggered_functions = triggered
+        result.branch_coverage = len(arcs)
+        result.fault_counters = fault_counters
+        for kind, count in sorted(fault_counters.items()):
+            result.outcomes[f"fault.{kind}"] = count
+        result.quarantined = quarantined
+        result.quarantine_reason = quarantine_reason
+        result.cache_hits = cache_hits
+        result.cache_misses = cache_misses
+        result.wall_seconds = time.monotonic() - wall_started
+        result.elapsed_seconds = result.wall_seconds
+        return result
+
+
+def run_parallel_campaign(
+    dialect_name: str,
+    jobs: int = 2,
+    budget: int = BUDGET_24_HOURS,
+    enable_coverage: bool = False,
+    seed: int = 0,
+    faults: Optional[str] = None,
+    fault_seed: int = 0,
+    checkpoint: Optional[str] = None,
+    checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+    resume: bool = False,
+    statement_cache: bool = True,
+) -> CampaignResult:
+    """Convenience wrapper mirroring :func:`repro.core.run_campaign`."""
+    return ParallelCampaign(
+        dialect_name,
+        jobs=jobs,
+        budget=budget,
+        enable_coverage=enable_coverage,
+        seed=seed,
+        faults=faults,
+        fault_seed=fault_seed,
+        checkpoint_path=checkpoint,
+        checkpoint_every=checkpoint_every,
+        statement_cache=statement_cache,
+    ).run(resume=resume)

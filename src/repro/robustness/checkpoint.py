@@ -34,8 +34,11 @@ import os
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional
 
-#: bump when the on-disk layout changes incompatibly
-CHECKPOINT_VERSION = 1
+#: bump when the on-disk layout changes incompatibly.
+#: v2: the fault injector's random stream became position-keyed (see
+#: repro.robustness.faults) — a v1 checkpoint's saved injector RNG state
+#: no longer describes the schedule, so v1 resumes must be refused.
+CHECKPOINT_VERSION = 2
 
 
 class CheckpointError(Exception):

@@ -26,11 +26,18 @@ fault class        behaviour
                    retried with backoff, eventually circuit-broken
 =================  ====================================================
 
-Determinism contract: the injector draws **exactly one** random number per
-statement (first attempt only — retries and reconfirmations run inside
-:meth:`FaultInjector.quiet`) and one per restart attempt.  The fault
-schedule is therefore a pure function of ``(fault seed, event sequence)``,
-and :meth:`state`/:meth:`restore_state` carry it across checkpoint/resume.
+Determinism contract: the fault stream is **keyed by statement position**.
+Before a statement executes, the harness calls
+:meth:`FaultInjector.set_position` with the statement's global campaign
+position, which reseeds the RNG from ``(fault seed, position)``; the
+statement's one ``on_execute`` draw plus any restart-attempt draws from
+handling its crash all come from that per-position stream (retries and
+reconfirmations run inside :meth:`FaultInjector.quiet` and draw nothing).
+The schedule for a statement is therefore a pure function of
+``(fault seed, position)`` — independent of which process executes it and
+of everything executed before it — which is what lets sharded parallel
+campaigns and checkpoint resume reproduce a serial run's fault schedule
+exactly, without carrying RNG state.
 """
 
 from __future__ import annotations
@@ -160,6 +167,8 @@ class FaultInjector(FaultHook):
         self.counters: Dict[str, int] = {}
         self._quiet_depth = 0
         self._clock = clock
+        #: global campaign position of the statement currently executing
+        self.position = -1
 
     # ------------------------------------------------------------------
     def attach(self, server: "Server", clock: Optional[Clock] = None) -> None:
@@ -185,6 +194,20 @@ class FaultInjector(FaultHook):
     @property
     def is_quiet(self) -> bool:
         return self._quiet_depth > 0
+
+    def set_position(self, position: int) -> None:
+        """Re-key the fault stream to global statement *position*.
+
+        All draws attributable to the statement at this position — its
+        ``on_execute`` draw plus any restart-attempt draws from handling
+        its crash — come from a stream seeded by ``(fault seed,
+        position)``.  See the module docstring's determinism contract.
+        """
+        self.position = position
+        # Knuth multiplicative hash decorrelates adjacent positions; +1 on
+        # both terms keeps seed=0/position=0 off the degenerate zero seed
+        mixed = (2_654_435_761 * (position + 1)) & 0xFFFFFFFF
+        self.rng.seed(((self.seed + 1) << 32) ^ mixed)
 
     def _count(self, kind: str) -> None:
         self.counters[kind] = self.counters.get(kind, 0) + 1

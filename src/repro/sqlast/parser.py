@@ -104,9 +104,9 @@ _EXPR_TERMINATORS = {
 class Parser:
     """Token-stream parser producing :mod:`repro.sqlast.nodes` trees."""
 
-    def __init__(self, source: str) -> None:
+    def __init__(self, source: str, tokens: Optional[List[Token]] = None) -> None:
         self.source = source
-        self._tokens = tokenize(source)
+        self._tokens = tokenize(source) if tokens is None else tokens
         self._index = 0
 
     # ------------------------------------------------------------------
@@ -817,9 +817,15 @@ class Parser:
 # ---------------------------------------------------------------------------
 # convenience wrappers
 # ---------------------------------------------------------------------------
-def parse_statements(source: str) -> List[Statement]:
-    """Parse *source* as a ``;``-separated script."""
-    return Parser(source).parse_statements()
+def parse_statements(
+    source: str, tokens: Optional[List[Token]] = None
+) -> List[Statement]:
+    """Parse *source* as a ``;``-separated script.
+
+    *tokens* lets a caller that already lexed *source* (the statement
+    cache's fingerprint probe) skip the second tokenize pass.
+    """
+    return Parser(source, tokens=tokens).parse_statements()
 
 
 def parse_statement(source: str) -> Statement:

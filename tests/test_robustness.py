@@ -207,15 +207,31 @@ class TestFaultInjection:
         with pytest.raises(ServerQuarantined):
             runner._restart()
 
+    def test_fault_stream_is_keyed_by_statement_position(self):
+        # the schedule for a statement depends only on (fault seed,
+        # position) — not on what executed before it.  Run two statements
+        # in order, then replay the second alone on a fresh injector: the
+        # draw it sees must be identical.
+        runner, injector, _ = faulted_runner("slow=0.0")  # all rates zero
+        runner.run("SELECT 1;")
+        injector.set_position(1)
+        expected = injector.rng.random()
+        fresh_runner, fresh_injector, _ = faulted_runner("slow=0.0")
+        fresh_injector.set_position(1)
+        assert fresh_injector.rng.random() == expected
+
     def test_one_rng_draw_per_statement(self):
         runner, injector, _ = faulted_runner("slow=0.0")  # all rates zero
-        before = injector.rng.getstate()
         runner.run("SELECT 1;")
         after = injector.rng.getstate()
-        assert before != after  # exactly one draw happened
-        injector.rng.setstate(before)
-        injector.rng.random()
+        # exactly one draw: re-keying to the same position and drawing
+        # once reproduces the post-statement RNG state
+        injector.set_position(0)
+        first_draw = injector.rng.random()
         assert injector.rng.getstate() == after
+        # adjacent positions get decorrelated streams
+        injector.set_position(1)
+        assert injector.rng.random() != first_draw
 
 
 class TestConnectionFaults:
