@@ -3,10 +3,11 @@
 Commands:
 
 * ``soft fuzz <dialect> [--budget N] [--coverage] [--faults SPEC]
-  [--checkpoint PATH] [--resume PATH] [--jobs N] [--no-stmt-cache]`` —
-  run a SOFT campaign (optionally under injected infrastructure faults,
-  with periodic checkpoints, sharded across N worker processes) and
-  print the discovered bugs as disclosure-ready reports.
+  [--checkpoint PATH] [--resume PATH] [--jobs N] [--no-stmt-cache]
+  [--oracles NAMES]`` — run a SOFT campaign (optionally under injected
+  infrastructure faults, with periodic checkpoints, sharded across N
+  worker processes, with extra logic-bug oracles) and print the
+  discovered bugs as disclosure-ready reports.
 * ``soft dialects`` — list the simulated DBMSs and their inventories.
 * ``soft study`` — print the bug-study summary (Findings 1-4).
 * ``soft compare [--budget N]`` — the Tables 5/6 tool comparison.
@@ -53,6 +54,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                         "(same bug set and signature as the serial run)")
     p_fuzz.add_argument("--no-stmt-cache", action="store_true",
                         help="bypass the statement parse/plan cache")
+    p_fuzz.add_argument("--oracles", metavar="NAMES", default="crash",
+                        help="comma-separated detection oracles: "
+                        "crash,differential,conformance (default: crash)")
 
     sub.add_parser("dialects", help="list simulated DBMSs")
     sub.add_parser("study", help="print the 318-bug study summary")
@@ -90,7 +94,12 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 def _cmd_fuzz(args) -> int:
-    from .core import format_resilience, render_bug_report, run_campaign
+    from .core import (
+        format_resilience,
+        render_bug_report,
+        render_finding,
+        run_campaign,
+    )
     from .robustness import CheckpointError
 
     if args.jobs < 1:
@@ -114,6 +123,7 @@ def _cmd_fuzz(args) -> int:
                 checkpoint_every=args.checkpoint_every,
                 resume=args.resume is not None,
                 statement_cache=not args.no_stmt_cache,
+                oracles=args.oracles,
             )
         else:
             result = run_campaign(
@@ -127,6 +137,7 @@ def _cmd_fuzz(args) -> int:
                 checkpoint_every=args.checkpoint_every,
                 resume=args.resume,
                 statement_cache=not args.no_stmt_cache,
+                oracles=args.oracles,
             )
     except (CheckpointError, ValueError) as exc:
         print(f"error: {exc}")
@@ -143,6 +154,15 @@ def _cmd_fuzz(args) -> int:
             print(render_bug_report(bug))
         else:
             print(f"  [{bug.crash_code}] {bug.function} via {bug.pattern}: {bug.sql}")
+    findings = getattr(result, "findings", [])
+    if findings:
+        print(f"  logic-oracle findings: {len(findings)}")
+        for finding in findings:
+            if args.reports:
+                print("\n" + "=" * 70)
+                print(render_finding(finding))
+            else:
+                print(f"  {finding.one_liner()}")
     if result.false_positives:
         print(f"  ({len(result.false_positives)} false positives from resource kills)")
     if (

@@ -1,8 +1,9 @@
 """SOFT — the paper's primary contribution.
 
 Seed collection from docs and regression suites, the ten
-boundary-value-generation patterns, the execution runner, the crash oracle,
-and campaign orchestration.
+boundary-value-generation patterns, the execution runner, the pluggable
+oracle pipeline (crash, differential, error-conformance), and campaign
+orchestration.
 """
 
 from .campaign import (
@@ -18,15 +19,33 @@ from .clauses import ClauseBoundaryGenerator
 from .collect import Seed, SeedCollector
 from .literals import boundary_literals, boundary_repeat_counts
 from .logic import LogicCheckResult, LogicOracle, LogicViolation, check_norec, check_tlp
-from .minimize import MinimizationResult, Minimizer, minimize_poc
+from .minimize import (
+    CrashProbe,
+    DivergenceProbe,
+    MinimizationResult,
+    Minimizer,
+    Probe,
+    minimize_poc,
+)
 from .oracle import CrashOracle, DiscoveredBug
+from .oracles import (
+    ConformanceFinding,
+    DivergenceFinding,
+    Finding,
+    OraclePipeline,
+    OracleStateError,
+    build_pipeline,
+    parse_oracle_names,
+)
 from .patterns import CAST_TARGETS, GeneratedCase, PatternEngine
 from .report import (
     Table4Row,
     feedback_summary,
+    format_findings,
     format_resilience,
     format_table4,
     render_bug_report,
+    render_finding,
     resilience_summary,
     table4_rows,
 )
@@ -34,13 +53,15 @@ from .runner import Outcome, Runner
 
 __all__ = [
     "BUDGET_24_HOURS", "BUDGET_TWO_WEEKS", "CAST_TARGETS", "Campaign",
-    "CampaignResult", "ClauseBoundaryGenerator", "CrashOracle",
-    "DEFAULT_CHECKPOINT_EVERY", "DiscoveredBug", "GeneratedCase",
-    "LogicCheckResult", "LogicOracle", "LogicViolation",
-    "MinimizationResult", "Minimizer", "Outcome", "PatternEngine", "Runner",
-    "Seed", "SeedCollector", "Table4Row", "boundary_literals",
-    "boundary_repeat_counts", "check_norec", "check_tlp",
-    "feedback_summary", "format_resilience", "format_table4", "minimize_poc",
-    "render_bug_report", "resilience_summary", "run_campaign",
-    "run_campaigns", "table4_rows",
+    "CampaignResult", "ClauseBoundaryGenerator", "ConformanceFinding",
+    "CrashOracle", "CrashProbe", "DEFAULT_CHECKPOINT_EVERY",
+    "DiscoveredBug", "DivergenceFinding", "DivergenceProbe", "Finding",
+    "GeneratedCase", "LogicCheckResult", "LogicOracle", "LogicViolation",
+    "MinimizationResult", "Minimizer", "OraclePipeline", "OracleStateError",
+    "Outcome", "PatternEngine", "Probe", "Runner", "Seed", "SeedCollector",
+    "Table4Row", "boundary_literals", "boundary_repeat_counts",
+    "build_pipeline", "check_norec", "check_tlp", "feedback_summary",
+    "format_findings", "format_resilience", "format_table4", "minimize_poc",
+    "parse_oracle_names", "render_bug_report", "render_finding",
+    "resilience_summary", "run_campaign", "run_campaigns", "table4_rows",
 ]

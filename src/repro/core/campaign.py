@@ -57,7 +57,16 @@ from ..robustness.watchdog import (
     Watchdog,
 )
 from .collect import Seed, SeedCollector
-from .oracle import CrashOracle, DiscoveredBug
+from .oracles import (
+    CaseInfo,
+    Finding,
+    OraclePipeline,
+    OracleStateError,
+    build_pipeline,
+    parse_oracle_names,
+)
+from .oracles.base import OracleSpec
+from .oracles.crash import DiscoveredBug
 from .patterns import GeneratedCase, PatternEngine
 from .runner import Outcome, Runner
 
@@ -79,6 +88,9 @@ class CampaignResult:
     bugs: List[DiscoveredBug] = field(default_factory=list)
     false_positives: List[str] = field(default_factory=list)
     flaky_signals: List[str] = field(default_factory=list)
+    #: non-crash oracle findings (divergences, conformance violations);
+    #: empty under the default crash-only pipeline
+    findings: List[Finding] = field(default_factory=list)
     triggered_functions: Set[str] = field(default_factory=set)
     branch_coverage: int = 0
     outcomes: dict = field(default_factory=dict)  # kind -> count (+ fault.*)
@@ -127,7 +139,7 @@ class CampaignResult:
         campaign and its uninterrupted twin — must produce equal
         signatures.
         """
-        return (
+        base = (
             self.dialect,
             self.queries_executed,
             self.seeds_collected,
@@ -143,6 +155,11 @@ class CampaignResult:
             tuple(sorted(self.fault_counters.items())),
             self.quarantined,
         )
+        if not self.findings:
+            # crash-only campaigns keep the historical signature layout
+            # byte-identical to the pre-pipeline code
+            return base
+        return base + (tuple(f.signature_tuple() for f in self.findings),)
 
 
 class Campaign:
@@ -165,9 +182,11 @@ class Campaign:
         retry_policy: Optional[RetryPolicy] = None,
         statement_deadline: float = DEFAULT_DEADLINE_SECONDS,
         statement_cache: bool = True,
+        oracles: OracleSpec = None,
     ) -> None:
         self.dialect = dialect
         self.budget = budget
+        self.oracle_names = parse_oracle_names(oracles)
         self.enable_coverage = enable_coverage
         self.seed = seed
         self.statement_cache = statement_cache
@@ -211,6 +230,9 @@ class Campaign:
         self._elapsed_offset = 0.0
         self._wall_started = time.monotonic()
         result = CampaignResult(dialect=self.dialect.name)
+        # the pipeline comes first: non-crash oracles install the dialect's
+        # logic flaws, which must be patched in before the server is built
+        pipeline = build_pipeline(self.dialect, self.oracle_names)
         runner = Runner(
             self.dialect,
             enable_coverage=self.enable_coverage,
@@ -220,7 +242,8 @@ class Campaign:
             watchdog=Watchdog(self.clock, deadline_seconds=self.statement_deadline),
             statement_cache=self.statement_cache,
         )
-        oracle = CrashOracle(self.dialect.name)
+        runner.capture_fingerprints = pipeline.needs_fingerprints
+        crash_oracle = pipeline.get("crash")
         expected = getattr(self.dialect, "bugs", [])
 
         collector = SeedCollector(self.dialect)
@@ -232,7 +255,7 @@ class Campaign:
         rng_verified = cp is None
         if cp is not None:
             skip = cp.executed
-            return_types = self._restore(cp, runner, oracle, result)
+            return_types = self._restore(cp, runner, pipeline, result)
 
         position = 0
         try:
@@ -245,11 +268,17 @@ class Campaign:
                 if runner.executed >= self.budget:
                     break
                 outcome = runner.run(f"SELECT {seed_obj.sql};", position=position)
-                self._record(result, oracle, outcome, "seed", runner)
+                self._record(
+                    result,
+                    pipeline,
+                    outcome,
+                    CaseInfo("seed", seed_obj.function, seed_obj.family),
+                    position,
+                )
                 if outcome.result_type and seed_obj.function not in return_types:
                     return_types[seed_obj.function] = outcome.result_type
                 position += 1
-                self._maybe_checkpoint(runner, oracle, result, return_types)
+                self._maybe_checkpoint(runner, pipeline, result, return_types)
 
             # the campaign RNG is first consumed by the pattern engine; if
             # the skip ended inside the seed phase it must still be pristine
@@ -273,15 +302,22 @@ class Campaign:
                 if runner.executed >= self.budget:
                     break
                 outcome = runner.run(case.sql, position=position)
-                self._record(result, oracle, outcome, case.pattern, runner)
+                self._record(
+                    result,
+                    pipeline,
+                    outcome,
+                    CaseInfo(case.pattern, case.seed_function, case.seed_family),
+                    position,
+                )
                 position += 1
                 if (
                     self.stop_when_all_found
                     and expected
-                    and oracle.recall_against(expected) >= 1.0
+                    and crash_oracle is not None
+                    and crash_oracle.recall_against(expected) >= 1.0
                 ):
                     break
-                self._maybe_checkpoint(runner, oracle, result, return_types)
+                self._maybe_checkpoint(runner, pipeline, result, return_types)
         except ServerQuarantined as exc:
             # the in-flight statement never completed; keep the outcome
             # accounting consistent with queries_executed
@@ -289,34 +325,30 @@ class Campaign:
             result.quarantined = True
             result.quarantine_reason = str(exc)
 
-        return self._finalize(result, runner, oracle)
+        return self._finalize(result, runner, pipeline)
 
     # ------------------------------------------------------------------
     def _record(
         self,
         result: CampaignResult,
-        oracle: CrashOracle,
+        pipeline: OraclePipeline,
         outcome: Outcome,
-        pattern: str,
-        runner: Runner,
+        case: CaseInfo,
+        position: int,
     ) -> None:
         result.outcomes[outcome.kind] = result.outcomes.get(outcome.kind, 0) + 1
-        if outcome.kind == "crash" and outcome.crash is not None:
-            oracle.observe_crash(
-                outcome.crash, outcome.sql, pattern, runner.executed
-            )
-        elif outcome.kind == "resource_kill":
-            oracle.observe_resource_kill(outcome.sql, outcome.message)
-        elif outcome.kind == "flaky":
-            oracle.observe_flaky_crash(outcome.sql, outcome.message)
+        pipeline.observe(outcome, case, position)
 
     def _finalize(
-        self, result: CampaignResult, runner: Runner, oracle: CrashOracle
+        self, result: CampaignResult, runner: Runner, pipeline: OraclePipeline
     ) -> CampaignResult:
         result.queries_executed = runner.executed
-        result.bugs = list(oracle.bugs)
-        result.false_positives = list(oracle.false_positives)
-        result.flaky_signals = list(oracle.flaky_signals)
+        crash = pipeline.get("crash")
+        if crash is not None:
+            result.bugs = list(crash.bugs)
+            result.false_positives = list(crash.false_positives)
+            result.flaky_signals = list(crash.flaky_signals)
+        result.findings = pipeline.extra_findings()
         result.triggered_functions = runner.triggered_functions
         result.branch_coverage = runner.branch_coverage
         merged: Dict[str, int] = dict(runner.fault_counters)
@@ -339,7 +371,7 @@ class Campaign:
     def _maybe_checkpoint(
         self,
         runner: Runner,
-        oracle: CrashOracle,
+        pipeline: OraclePipeline,
         result: CampaignResult,
         return_types: Dict[str, str],
     ) -> None:
@@ -347,12 +379,12 @@ class Campaign:
             return
         if runner.executed == 0 or runner.executed % self.checkpoint_every:
             return
-        self._capture(runner, oracle, result, return_types).save(self.checkpoint_path)
+        self._capture(runner, pipeline, result, return_types).save(self.checkpoint_path)
 
     def _capture(
         self,
         runner: Runner,
-        oracle: CrashOracle,
+        pipeline: OraclePipeline,
         result: CampaignResult,
         return_types: Dict[str, str],
     ) -> CampaignCheckpoint:
@@ -375,7 +407,7 @@ class Campaign:
             outcomes=dict(result.outcomes),
             fault_counters=dict(runner.fault_counters),
             return_types=dict(return_types),
-            oracle=oracle.export_state(),
+            oracle=pipeline.export_state(),
             rng_state=rng_state_to_json(self.rng.getstate()),
             ctx_rng_state=rng_state_to_json(runner.server.ctx.rng.getstate()),
             injector=self.injector.state() if self.injector is not None else None,
@@ -391,7 +423,7 @@ class Campaign:
         self,
         cp: CampaignCheckpoint,
         runner: Runner,
-        oracle: CrashOracle,
+        pipeline: OraclePipeline,
         result: CampaignResult,
     ) -> Dict[str, str]:
         runner.executed = cp.executed
@@ -399,7 +431,10 @@ class Campaign:
         runner.timeouts = cp.timeouts
         runner.flaky_crashes = cp.flaky_crashes
         runner.fault_counters = dict(cp.fault_counters)
-        oracle.restore_state(cp.oracle)
+        try:
+            pipeline.restore_state(cp.oracle)
+        except OracleStateError as exc:
+            raise CheckpointError(str(exc)) from exc
         result.outcomes = dict(cp.outcomes)
         if self.injector is not None and cp.injector is not None:
             self.injector.restore_state(cp.injector)
@@ -438,6 +473,7 @@ def run_campaign(
     checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
     resume: Union[None, str, CampaignCheckpoint] = None,
     statement_cache: bool = True,
+    oracles: OracleSpec = None,
 ) -> CampaignResult:
     """Convenience wrapper: run SOFT against a dialect by name."""
     dialect = dialect_by_name(dialect_name)
@@ -452,6 +488,7 @@ def run_campaign(
         checkpoint_path=checkpoint,
         checkpoint_every=checkpoint_every,
         statement_cache=statement_cache,
+        oracles=oracles,
     ).run(resume=resume)
 
 

@@ -17,6 +17,11 @@ class), using AST-level reductions rather than textual chunking:
 The reduction loop is a fixpoint: passes repeat until no pass shrinks the
 statement further.  Every candidate runs against a fresh server, so
 minimisation is immune to crash-induced state loss.
+
+What must stay invariant is pluggable (mirroring the oracle pipeline): the
+default :class:`CrashProbe` preserves the crash identity, while
+:class:`DivergenceProbe` preserves a cross-dialect result divergence, so
+logic-oracle findings minimise through the same reduction passes.
 """
 
 from __future__ import annotations
@@ -27,6 +32,7 @@ from typing import Callable, List, Optional, Tuple
 from ..dialects.base import Dialect
 from ..engine.connection import ServerCrashed
 from ..engine.errors import SQLError
+from ..engine.fingerprint import divergence_class, fingerprint_result
 from ..sqlast import (
     Cast,
     DecimalLit,
@@ -51,6 +57,93 @@ class CrashIdentity:
     crash_code: str
 
 
+class Probe:
+    """What must stay invariant across reductions (the minimiser's oracle).
+
+    ``identity(sql)`` observes the finding on a fresh server and returns
+    its identity, or ``None`` when the statement no longer reproduces it;
+    ``same`` decides whether a candidate's identity matches the original.
+    """
+
+    def identity(self, sql: str):
+        raise NotImplementedError
+
+    @staticmethod
+    def same(found, original) -> bool:
+        return found == original
+
+    def no_reproduce_message(self, sql: str) -> str:
+        return f"statement does not reproduce the finding: {sql!r}"
+
+
+class CrashProbe(Probe):
+    """The historical default: preserve ``(function, crash class)``."""
+
+    def __init__(self, dialect: Dialect) -> None:
+        self.dialect = dialect
+
+    def identity(self, sql: str) -> Optional[CrashIdentity]:
+        connection = self.dialect.create_server().connect()
+        try:
+            connection.execute(sql)
+            return None
+        except SQLError:
+            return None
+        except ServerCrashed as crashed:
+            return CrashIdentity(
+                crashed.crash.function or "unknown", crashed.crash.code
+            )
+        except RecursionError:
+            return None
+
+    @staticmethod
+    def same(found, original) -> bool:
+        return (
+            found.function == original.function
+            and found.crash_code == original.crash_code
+        )
+
+    def no_reproduce_message(self, sql: str) -> str:
+        return f"statement does not crash the server: {sql!r}"
+
+
+class DivergenceProbe(Probe):
+    """Preserve a cross-dialect result divergence (differential findings).
+
+    Identity is the :func:`~repro.engine.fingerprint.divergence_class`
+    between the subject dialect and the peer — a reduction is accepted only
+    while the same class of divergence (cardinality/type/value) persists.
+    The subject dialect is used as configured by the campaign (logic flaws
+    installed); the peer executes vanilla, exactly as the differential
+    oracle ran it.
+    """
+
+    def __init__(self, dialect: Dialect, peer: Dialect) -> None:
+        self.dialect = dialect
+        self.peer = peer
+
+    def identity(self, sql: str) -> Optional[str]:
+        own = self._fingerprint(self.dialect, sql)
+        other = self._fingerprint(self.peer, sql)
+        if own is None or other is None:
+            return None
+        return divergence_class(own, other)
+
+    @staticmethod
+    def _fingerprint(dialect: Dialect, sql: str):
+        connection = dialect.create_server().connect()
+        try:
+            return fingerprint_result(connection.execute(sql))
+        except (SQLError, ServerCrashed, RecursionError):
+            return None
+
+    def no_reproduce_message(self, sql: str) -> str:
+        return (
+            f"statement does not diverge between {self.dialect.name} "
+            f"and {self.peer.name}: {sql!r}"
+        )
+
+
 @dataclass
 class MinimizationResult:
     original: str
@@ -68,8 +161,14 @@ class MinimizationResult:
 class Minimizer:
     """Shrinks a crashing statement for one dialect."""
 
-    def __init__(self, dialect: Dialect, max_attempts: int = 2_000) -> None:
+    def __init__(
+        self,
+        dialect: Dialect,
+        max_attempts: int = 2_000,
+        probe: Optional[Probe] = None,
+    ) -> None:
         self.dialect = dialect
+        self.probe = probe if probe is not None else CrashProbe(dialect)
         self.max_attempts = max_attempts
         self.attempts = 0
         self.successes = 0
@@ -77,24 +176,13 @@ class Minimizer:
     # ------------------------------------------------------------------
     def crash_identity(self, sql: str) -> Optional[CrashIdentity]:
         """Execute *sql* on a fresh server; return its crash identity."""
-        connection = self.dialect.create_server().connect()
-        try:
-            connection.execute(sql)
-            return None
-        except SQLError:
-            return None
-        except ServerCrashed as crashed:
-            return CrashIdentity(
-                crashed.crash.function or "unknown", crashed.crash.code
-            )
-        except RecursionError:
-            return None
+        return CrashProbe(self.dialect).identity(sql)
 
     def minimize(self, sql: str) -> MinimizationResult:
-        """Shrink *sql* while preserving its crash identity."""
-        identity = self.crash_identity(sql)
+        """Shrink *sql* while the probe's finding identity is preserved."""
+        identity = self.probe.identity(sql)
         if identity is None:
-            raise ValueError(f"statement does not crash the server: {sql!r}")
+            raise ValueError(self.probe.no_reproduce_message(sql))
         current = parse_statement(sql)
         changed = True
         while changed and self.attempts < self.max_attempts:
@@ -119,7 +207,7 @@ class Minimizer:
         )
 
     # ------------------------------------------------------------------
-    def _still_crashes(self, stmt, identity: CrashIdentity) -> bool:
+    def _still_crashes(self, stmt, identity) -> bool:
         self.attempts += 1
         if self.attempts > self.max_attempts:
             return False
@@ -128,12 +216,8 @@ class Minimizer:
             parse_statement(sql)
         except (ParseError, TypeError):
             return False
-        found = self.crash_identity(sql)
-        ok = (
-            found is not None
-            and found.function == identity.function
-            and found.crash_code == identity.crash_code
-        )
+        found = self.probe.identity(sql)
+        ok = found is not None and self.probe.same(found, identity)
         if ok:
             self.successes += 1
         return ok
@@ -310,6 +394,11 @@ class Minimizer:
         return None
 
 
-def minimize_poc(dialect: Dialect, sql: str, max_attempts: int = 2_000) -> MinimizationResult:
+def minimize_poc(
+    dialect: Dialect,
+    sql: str,
+    max_attempts: int = 2_000,
+    probe: Optional[Probe] = None,
+) -> MinimizationResult:
     """Convenience wrapper around :class:`Minimizer`."""
-    return Minimizer(dialect, max_attempts=max_attempts).minimize(sql)
+    return Minimizer(dialect, max_attempts=max_attempts, probe=probe).minimize(sql)

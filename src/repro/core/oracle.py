@@ -1,165 +1,12 @@
-"""Crash oracle: deduplication and attribution of observed crashes.
+"""Back-compat shim: the crash oracle moved to :mod:`repro.core.oracles`.
 
-A crash is identified by ``(crashing function, crash class)`` within one
-DBMS — the same granularity developers use when marking reports as
-duplicates.  When the repository's injected-bug registry knows the identity,
-the discovery is attributed to it (this is how the benchmarks check recall
-against Table 4); unknown identities are still recorded, so the oracle works
-unchanged against user-supplied dialects.
+The detection stack is pluggable now (crash / differential / conformance
+oracles behind one pipeline — see :mod:`repro.core.oracles.base`); this
+historical import path keeps working for existing callers.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from .oracles.crash import CrashOracle, DiscoveredBug
 
-from ..dialects.bugs import InjectedBug, find_bug
-from ..engine.errors import CrashSignal
-
-
-@dataclass
-class DiscoveredBug:
-    """One deduplicated crash discovery."""
-
-    dbms: str
-    function: str            # crashing built-in function
-    crash_code: str          # NPD | SEGV | ...
-    pattern: str             # pattern of the generated statement ("seed" if none)
-    sql: str                 # the triggering statement
-    stage: str               # parse | optimize | execute
-    backtrace: List[str]
-    message: str
-    query_index: int         # how many statements had run when it surfaced
-    injected: Optional[InjectedBug] = None
-
-    @property
-    def key(self) -> Tuple[str, str]:
-        return (self.function, self.crash_code)
-
-    @property
-    def family(self) -> str:
-        if self.injected is not None:
-            return self.injected.family
-        return "unknown"
-
-    def to_dict(self) -> Dict[str, object]:
-        """JSON-serializable form (used by campaign checkpoints)."""
-        return {
-            "dbms": self.dbms,
-            "function": self.function,
-            "crash_code": self.crash_code,
-            "pattern": self.pattern,
-            "sql": self.sql,
-            "stage": self.stage,
-            "backtrace": list(self.backtrace),
-            "message": self.message,
-            "query_index": self.query_index,
-        }
-
-    @classmethod
-    def from_dict(cls, data: Dict[str, object]) -> "DiscoveredBug":
-        """Rebuild a discovery; the injected-bug link is re-resolved from
-        the registry rather than serialized."""
-        bug = cls(**data)  # type: ignore[arg-type]
-        bug.backtrace = list(bug.backtrace)
-        bug.injected = find_bug(bug.dbms, bug.function, bug.crash_code)
-        return bug
-
-
-class CrashOracle:
-    """Deduplicates crashes and tracks false positives for one dialect."""
-
-    def __init__(self, dbms: str) -> None:
-        self.dbms = dbms
-        self.bugs: List[DiscoveredBug] = []
-        self.false_positives: List[str] = []
-        self.flaky_signals: List[str] = []
-        self._seen: Set[Tuple[str, str]] = set()
-        self._fp_seen: Set[str] = set()
-
-    # ------------------------------------------------------------------
-    def observe_crash(
-        self,
-        crash: CrashSignal,
-        sql: str,
-        pattern: str,
-        query_index: int,
-    ) -> Optional[DiscoveredBug]:
-        """Record a crash; returns the discovery when it is new."""
-        function = (crash.function or "unknown").lower()
-        key = (function, crash.code)
-        if key in self._seen:
-            return None
-        self._seen.add(key)
-        discovery = DiscoveredBug(
-            dbms=self.dbms,
-            function=function,
-            crash_code=crash.code,
-            pattern=pattern,
-            sql=sql,
-            stage=crash.stage or "execute",
-            backtrace=list(crash.backtrace),
-            message=crash.message,
-            query_index=query_index,
-            injected=find_bug(self.dbms, function, crash.code),
-        )
-        self.bugs.append(discovery)
-        return discovery
-
-    def observe_resource_kill(self, sql: str, message: str = "") -> bool:
-        """Record a forcibly-terminated query (false-positive candidate).
-
-        Deduplicated by the normalised kill reason: one runaway argument
-        pattern ("REPEAT('a', 9999999999) exceeds the memory limit") is one
-        false positive no matter how many functions it was fed to — which
-        is how the paper counts its 7 FPs.
-        """
-        import re as _re
-
-        reason = _re.sub(r"\d+", "N", message or sql.split("(", 1)[0]).lower()
-        if reason in self._fp_seen:
-            return False
-        self._fp_seen.add(reason)
-        self.false_positives.append(sql)
-        return True
-
-    def observe_flaky_crash(self, sql: str, message: str = "") -> None:
-        """Record a crash that did not reproduce on re-execution.
-
-        The paper's triage discards crash reports it cannot reproduce —
-        infrastructure noise, not bugs.  We keep the signal (for the
-        campaign health report) but never promote it to a
-        :class:`DiscoveredBug`.
-        """
-        self.flaky_signals.append(sql)
-
-    # ------------------------------------------------------------------
-    # checkpoint support
-    def export_state(self) -> Dict[str, object]:
-        """Everything needed to rebuild this oracle (JSON-serializable)."""
-        return {
-            "dbms": self.dbms,
-            "bugs": [bug.to_dict() for bug in self.bugs],
-            "false_positives": list(self.false_positives),
-            "flaky_signals": list(self.flaky_signals),
-            "fp_seen": sorted(self._fp_seen),
-        }
-
-    def restore_state(self, state: Dict[str, object]) -> None:
-        self.bugs = [DiscoveredBug.from_dict(d) for d in state["bugs"]]  # type: ignore[union-attr]
-        self.false_positives = list(state["false_positives"])  # type: ignore[arg-type]
-        self.flaky_signals = list(state.get("flaky_signals", []))  # type: ignore[union-attr]
-        self._seen = {bug.key for bug in self.bugs}
-        self._fp_seen = set(state["fp_seen"])  # type: ignore[arg-type]
-
-    # ------------------------------------------------------------------
-    @property
-    def attributed(self) -> List[DiscoveredBug]:
-        return [b for b in self.bugs if b.injected is not None]
-
-    def recall_against(self, expected: List[InjectedBug]) -> float:
-        """Fraction of *expected* injected bugs discovered so far."""
-        if not expected:
-            return 1.0
-        found = {b.injected.bug_id for b in self.attributed}
-        return sum(1 for bug in expected if bug.bug_id in found) / len(expected)
+__all__ = ["CrashOracle", "DiscoveredBug"]

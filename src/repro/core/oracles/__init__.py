@@ -1,0 +1,40 @@
+"""Pluggable detection oracles.
+
+``crash`` is the paper's oracle (SOFT detects bugs by crashing the
+server); ``differential`` and ``conformance`` extend detection to
+non-crashing logic bugs.  See :mod:`.base` for the protocol and
+:func:`build_pipeline` for the ``--oracles`` entry point.
+"""
+
+from .base import (
+    DEFAULT_ORACLES,
+    ORACLE_NAMES,
+    CaseInfo,
+    Finding,
+    Oracle,
+    OraclePipeline,
+    OracleStateError,
+    build_pipeline,
+    parse_oracle_names,
+)
+from .conformance import ConformanceFinding, ErrorConformanceOracle
+from .crash import CrashOracle, DiscoveredBug
+from .differential import DifferentialOracle, DivergenceFinding
+
+__all__ = [
+    "CaseInfo",
+    "ConformanceFinding",
+    "CrashOracle",
+    "DEFAULT_ORACLES",
+    "DifferentialOracle",
+    "DiscoveredBug",
+    "DivergenceFinding",
+    "ErrorConformanceOracle",
+    "Finding",
+    "ORACLE_NAMES",
+    "Oracle",
+    "OraclePipeline",
+    "OracleStateError",
+    "build_pipeline",
+    "parse_oracle_names",
+]

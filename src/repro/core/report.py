@@ -13,7 +13,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..dialects import all_bugs, dialect_by_name
 from ..engine.errors import CRASH_CLASSES
 from .campaign import CampaignResult
-from .oracle import DiscoveredBug
+from .oracles import DiscoveredBug, Finding
 
 
 def render_bug_report(bug: DiscoveredBug, version: Optional[str] = None) -> str:
@@ -43,6 +43,52 @@ def render_bug_report(bug: DiscoveredBug, version: Optional[str] = None) -> str:
         status = "fixed" if bug.injected.fixed else "confirmed"
         lines.append("")
         lines.append(f"Vendor status: {status} ({bug.injected.bug_id})")
+    return "\n".join(lines)
+
+
+def render_finding(finding: Finding, version: Optional[str] = None) -> str:
+    """Disclosure-ready report for any finding, crash or logic.
+
+    Crash findings keep the historical :func:`render_bug_report` layout;
+    other oracle kinds render from the polymorphic :class:`Finding`
+    surface, so a new oracle needs no report-layer changes to show up.
+    """
+    if isinstance(finding, DiscoveredBug):
+        return render_bug_report(finding, version)
+    if version is None:
+        try:
+            version = dialect_by_name(finding.dbms).version
+        except KeyError:
+            version = "unknown"
+    lines = [
+        f"Title: {finding.bug_type_label} result from "
+        f"{finding.function.upper()} ({finding.dbms} {version})",
+        f"Severity: logic ({finding.kind})",
+        f"Found by: SOFT pattern {finding.pattern}",
+        "",
+        "Proof of concept:",
+        f"    {finding.sql}",
+    ]
+    message = getattr(finding, "message", "")
+    if message:
+        lines.append("")
+        lines.append(f"Error message: {message}")
+    peer = getattr(finding, "peer", "")
+    if peer:
+        lines.append("")
+        lines.append(f"Diverges from: {peer}")
+    flaw = finding.attribution
+    if flaw is not None:
+        lines.append("")
+        lines.append(f"Root cause: {flaw.description} ({flaw.flaw_id})")
+    return "\n".join(lines)
+
+
+def format_findings(result: CampaignResult) -> str:
+    """The campaign's logic-oracle findings section (CLI surface)."""
+    findings = getattr(result, "findings", [])
+    lines = [f"Logic findings — {result.dialect}: {len(findings)}"]
+    lines.extend(f"  {finding.one_liner()}" for finding in findings)
     return "\n".join(lines)
 
 
@@ -77,11 +123,16 @@ class Table4Row:
 
 
 def table4_rows(results: Sequence[CampaignResult]) -> List[Table4Row]:
-    """Aggregate campaign discoveries into Table 4's row structure."""
-    cells: Dict[Tuple[str, str], List[DiscoveredBug]] = {}
+    """Aggregate campaign discoveries into Table 4's row structure.
+
+    Totals over every :class:`Finding` subtype — crash bugs and attributed
+    logic-oracle findings alike — via the polymorphic ``bug_type_label`` /
+    ``attribution`` surface rather than crash-only fields.
+    """
+    cells: Dict[Tuple[str, str], List[Finding]] = {}
     for result in results:
-        for bug in result.bugs:
-            if bug.injected is None:
+        for bug in list(result.bugs) + list(getattr(result, "findings", [])):
+            if bug.attribution is None:
                 continue
             cells.setdefault((bug.dbms, bug.family), []).append(bug)
     rows: List[Table4Row] = []
@@ -90,10 +141,11 @@ def table4_rows(results: Sequence[CampaignResult]) -> List[Table4Row]:
         patterns: Dict[str, int] = {}
         fixed = 0
         for bug in bugs:
-            bug_types[bug.crash_code] = bug_types.get(bug.crash_code, 0) + 1
-            pattern = bug.injected.pattern if bug.injected else bug.pattern
+            label = bug.bug_type_label
+            bug_types[label] = bug_types.get(label, 0) + 1
+            pattern = bug.attribution.pattern
             patterns[pattern] = patterns.get(pattern, 0) + 1
-            if bug.injected and bug.injected.fixed:
+            if bug.attribution.fixed:
                 fixed += 1
         rows.append(
             Table4Row(

@@ -44,6 +44,7 @@ from ..engine.connection import (
 )
 from ..engine.coverage import CoverageTracker
 from ..engine.errors import CrashSignal, ResourceError, SQLError
+from ..engine.fingerprint import ResultFingerprint, fingerprint_result
 from ..robustness.faults import FaultInjector
 from ..robustness.policy import CircuitBreaker, RetryPolicy
 from ..robustness.watchdog import Clock, StatementTimeout, WallClock, Watchdog
@@ -58,6 +59,9 @@ class Outcome:
     message: str = ""
     crash: Optional[CrashSignal] = None
     result_type: Optional[str] = None  # type of the first result cell
+    #: result-set fingerprint, computed only when an oracle asks for it
+    #: (Runner.capture_fingerprints) — None otherwise
+    fingerprint: Optional["ResultFingerprint"] = None
 
     @property
     def is_crash(self) -> bool:
@@ -107,6 +111,9 @@ class Runner:
         self.executed = 0
         self.restarts = 0
         self.timeouts = 0
+        #: set by the campaign when a registered oracle needs result-set
+        #: fingerprints (OraclePipeline.needs_fingerprints)
+        self.capture_fingerprints = False
         self.flaky_crashes = 0
         #: runner-level resilience event counts (injector keeps its own)
         self.fault_counters: Dict[str, int] = {}
@@ -174,7 +181,10 @@ class Runner:
         result_type = None
         if result.rows and result.rows[0]:
             result_type = result.rows[0][0].type_name
-        return Outcome("ok", sql, result_type=result_type)
+        fingerprint = (
+            fingerprint_result(result) if self.capture_fingerprints else None
+        )
+        return Outcome("ok", sql, result_type=result_type, fingerprint=fingerprint)
 
     def _count(self, kind: str) -> None:
         self.fault_counters[kind] = self.fault_counters.get(kind, 0) + 1

@@ -65,6 +65,15 @@ class Dialect:
         self.registry = build_base_registry()
         self.customize_registry(self.registry)
         self.inject_bugs(self.registry)
+        # logic flaws are declared eagerly (they are ground truth for the
+        # logic-bug oracles) but installed only on demand — the default
+        # crash-only pipeline keeps this dialect's behaviour untouched
+        from .bugs import register_logic_flaws
+
+        self.logic_flaws = register_logic_flaws(
+            self.name, self.declare_logic_flaws()
+        )
+        self._logic_flaws_installed = False
 
     # -- extension points ---------------------------------------------------
     def make_limits(self) -> TypeLimits:
@@ -78,6 +87,33 @@ class Dialect:
 
     def inject_bugs(self, registry: FunctionRegistry) -> None:
         """Patch flawed implementations (the dialect's injected bugs)."""
+
+    def declare_logic_flaws(self) -> List[tuple]:
+        """Rows for :func:`~repro.dialects.bugs.register_logic_flaws` —
+        wrong-result / over-strict defects installed only when a logic-bug
+        oracle asks for them."""
+        return []
+
+    def install_logic_flaws(self) -> None:
+        """Patch the declared logic flaws into this instance's registry.
+
+        Idempotent, and scoped to this instance: other instances of the
+        same dialect (differential-oracle peers, minimizer probes) stay
+        clean unless they install explicitly.
+        """
+        if self._logic_flaws_installed:
+            return
+        from .bugs import make_trigger
+        from .flaws import install_logic_flaw
+
+        for flaw in self.logic_flaws:
+            install_logic_flaw(
+                self.registry,
+                flaw.function,
+                make_trigger(flaw.trigger_spec),
+                flaw.kind,
+            )
+        self._logic_flaws_installed = True
 
     def install_context_hooks(self, ctx: ExecutionContext) -> None:
         """Install cast overrides and other per-process hooks."""

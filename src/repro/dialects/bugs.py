@@ -179,6 +179,94 @@ def find_bug(dbms: str, function: str, crash: str) -> Optional[InjectedBug]:
     return None
 
 
+# ---------------------------------------------------------------------------
+# logic flaws: the wrong-result / over-strict ground truth
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class LogicFlaw:
+    """One seeded non-crashing defect (the logic-bug oracles' ground truth).
+
+    Unlike :class:`InjectedBug`, a logic flaw is *declared* at dialect
+    construction but only *installed* on demand
+    (:meth:`~repro.dialects.base.Dialect.install_logic_flaws`): the default
+    crash-only pipeline must keep every campaign byte-identical to the
+    pre-pipeline code, which a permanently miscomputing function would not.
+    """
+
+    flaw_id: str         # e.g. "MYSQL-LOGIC-001"
+    dbms: str            # dialect name
+    function: str        # flawed built-in function (lower-case)
+    family: str          # function type
+    kind: str            # "wrong" (miscomputes) | "strict" (spurious error)
+    pattern: str         # P1.1..P3.3 — pattern expected to trigger it
+    poc: str             # proof-of-concept SQL statement
+    description: str     # one-line root-cause description
+    trigger_spec: Tuple = ()
+
+    #: logic flaws have no upstream fix cycle in the simulation
+    fixed: bool = False
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        return (self.dbms, self.function, self.kind)
+
+
+_ALL_LOGIC_FLAWS: List[LogicFlaw] = []
+
+
+def register_logic_flaws(dbms: str, rows: Sequence[Tuple]) -> List[LogicFlaw]:
+    """Declare a dialect's logic flaws (without installing them).
+
+    Each row: (function, family, kind, pattern, trigger_spec, poc,
+    description).  Installation happens lazily via
+    :meth:`Dialect.install_logic_flaws` when a logic-bug oracle is enabled.
+    """
+    declared: List[LogicFlaw] = []
+    for index, row in enumerate(rows, start=1):
+        function, family, kind, pattern, trigger_spec, poc, description = row
+        if kind not in flaws.LOGIC_KINDS:
+            raise ValueError(f"unknown logic-flaw kind {kind!r}")
+        flaw = LogicFlaw(
+            flaw_id=f"{dbms.upper()}-LOGIC-{index:03d}",
+            dbms=dbms,
+            function=function.lower(),
+            family=family,
+            kind=kind,
+            pattern=pattern,
+            poc=poc,
+            description=description,
+            trigger_spec=tuple(trigger_spec),
+        )
+        declared.append(flaw)
+        if not any(f.flaw_id == flaw.flaw_id for f in _ALL_LOGIC_FLAWS):
+            _ALL_LOGIC_FLAWS.append(flaw)
+    return declared
+
+
+def all_logic_flaws() -> List[LogicFlaw]:
+    """Every declared logic flaw across all dialects."""
+    from . import all_dialect_classes
+
+    for cls in all_dialect_classes():
+        cls()  # instantiation declares the flaws
+    return list(_ALL_LOGIC_FLAWS)
+
+
+def logic_flaws_for(dbms: str) -> List[LogicFlaw]:
+    return [f for f in all_logic_flaws() if f.dbms == dbms]
+
+
+def find_logic_flaw(
+    dbms: str, function: str, kind: Optional[str] = None
+) -> Optional[LogicFlaw]:
+    for flaw in all_logic_flaws():
+        if flaw.dbms != dbms or flaw.function != function.lower():
+            continue
+        if kind is None or flaw.kind == kind:
+            return flaw
+    return None
+
+
 def table4_totals() -> Dict[str, int]:
     """Aggregates used by the Table 4 benchmark and the tests."""
     bugs = all_bugs()

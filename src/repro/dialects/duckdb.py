@@ -96,10 +96,32 @@ _BUG_ROWS = [
 ]
 
 
+#: non-crashing defects for the logic-bug oracles (installed on demand only;
+#: see Dialect.install_logic_flaws) — rows are (function, family, kind,
+#: pattern, trigger_spec, poc, description)
+_LOGIC_FLAW_ROWS = [
+    ("floor", "math", "wrong", "P1.3", ("wide", 5, 0),
+     "SELECT FLOOR(99999.8);",
+     "the wide-decimal path rounds half-up before flooring, so FLOOR lands "
+     "one above the correct integer for five-digit-and-wider inputs"),
+    ("lower", "string", "wrong", "P1.3", ("digitrun", 5, 0),
+     "SELECT LOWER('A99999B');",
+     "the case-folding scratch buffer is sized before digit runs are "
+     "copied, losing the final character of the result"),
+    ("space", "string", "strict", "P1.2", ("big", 1, 0),
+     "SELECT SPACE(4);",
+     "the padding-length validation reuses the negative-count error path "
+     "for every positive count"),
+]
+
+
 class DuckDBDialect(Dialect):
     name = "duckdb"
     version = "0.10.1"
     stack_depth = 256
+
+    def declare_logic_flaws(self) -> List[tuple]:
+        return _LOGIC_FLAW_ROWS
 
     def make_limits(self) -> TypeLimits:
         return TypeLimits(

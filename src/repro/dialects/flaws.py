@@ -42,7 +42,7 @@ from __future__ import annotations
 from typing import Callable, List, Optional
 
 from ..engine.context import ExecutionContext
-from ..engine.errors import AssertionFailure, DivideByZeroCrash
+from ..engine.errors import AssertionFailure, DivideByZeroCrash, ValueError_
 from ..engine.functions.registry import FunctionDef, FunctionRegistry
 from ..engine.memory import GlobalBuffer, Pointer, sql_assert
 from ..engine.values import (
@@ -368,6 +368,78 @@ CRASH_ACTIONS = {
     "AF": crash_af,
     "DBZ": crash_dbz,
 }
+
+
+# ---------------------------------------------------------------------------
+# logic flaws: defects that miscompute instead of crashing
+# ---------------------------------------------------------------------------
+#: recognised logic-flaw kinds — "wrong" silently returns a corrupted
+#: result, "strict" rejects documented-valid arguments with an SQL error
+LOGIC_KINDS = ("wrong", "strict")
+
+
+def miscompute(value: SQLValue) -> SQLValue:
+    """Deterministically corrupt a correct scalar result.
+
+    The corruption is small and type-preserving — an off-by-one, a
+    truncated byte — the shape real wrong-result bugs take (a misplaced
+    boundary comparison, a length field measured before the last write).
+    NULL and exotic types pass through untouched: a logic flaw that turned
+    NULL into a value would be caught by trivial type checks, not by a
+    differential oracle.
+    """
+    if isinstance(value, SQLBoolean):
+        return SQLBoolean(not value.value)
+    if isinstance(value, SQLInteger):
+        return SQLInteger(value.value + 1)
+    if isinstance(value, SQLDecimal):
+        return SQLDecimal(value.value + 1)
+    if isinstance(value, SQLString):
+        if value.value:
+            return SQLString(value.value[:-1])
+        return SQLString("?")
+    return value
+
+
+def install_logic_flaw(
+    registry: FunctionRegistry,
+    function: str,
+    trigger: Trigger,
+    kind: str,
+) -> None:
+    """Wrap *function*'s implementation with a non-crashing defect.
+
+    ``wrong`` computes the correct result and corrupts it when the boundary
+    condition holds (the function's metadata — documentation, signature —
+    stays untouched, which is exactly why cross-dialect differential
+    comparison remains sound).  ``strict`` raises an ordinary SQL error for
+    arguments the documentation declares valid.
+    """
+    definition = registry.lookup(function)
+    if definition.is_aggregate:
+        raise ValueError(
+            f"logic flaws are scalar-only; {function!r} is an aggregate"
+        )
+    original = definition.impl
+    if kind == "wrong":
+        def flawed(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+            result = original(ctx, args)
+            if trigger(ctx, args):
+                return miscompute(result)
+            return result
+    elif kind == "strict":
+        def flawed(ctx: ExecutionContext, args: List[SQLValue]) -> SQLValue:
+            if trigger(ctx, args):
+                raise ValueError_(
+                    f"{function.upper()}: argument out of supported range"
+                )
+            return original(ctx, args)
+    else:
+        raise ValueError(f"unknown logic-flaw kind {kind!r}")
+
+    flawed.__name__ = f"logic_flawed_{function}"
+    flawed.__qualname__ = f"logic_flawed_{function}"
+    registry.patch(function, flawed)
 
 
 # ---------------------------------------------------------------------------

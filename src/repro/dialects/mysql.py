@@ -88,10 +88,32 @@ _BUG_ROWS = [
 ]
 
 
+#: non-crashing defects for the logic-bug oracles (installed on demand only;
+#: see Dialect.install_logic_flaws) — rows are (function, family, kind,
+#: pattern, trigger_spec, poc, description)
+_LOGIC_FLAW_ROWS = [
+    ("ascii", "string", "wrong", "P1.2", ("empty", 0),
+     "SELECT ASCII('');",
+     "the empty-string guard is off by one: ASCII('') reports code point 1 "
+     "instead of 0"),
+    ("sign", "math", "wrong", "P1.2", ("neg", 0),
+     "SELECT SIGN(-2.5);",
+     "the comparison runs on an unsigned image of the value, so negative "
+     "arguments report 0 instead of -1"),
+    ("chr", "string", "strict", "P1.2", ("big", 1, 0),
+     "SELECT CHR(65);",
+     "the code-point range check compares against the wrong constant and "
+     "rejects every documented positive code point"),
+]
+
+
 class MySQLDialect(Dialect):
     name = "mysql"
     version = "8.3.0"
     stack_depth = 256
+
+    def declare_logic_flaws(self) -> List[tuple]:
+        return _LOGIC_FLAW_ROWS
 
     def make_limits(self) -> TypeLimits:
         return TypeLimits(

@@ -1,0 +1,89 @@
+"""Result-set fingerprints for differential oracles.
+
+A fingerprint is a normalized summary of a successful statement's result
+set: the row count, the multiset of per-cell type tags, and a digest over
+the *sorted* rendered rows.  Sorting makes the digest a row-multiset hash —
+two result sets that differ only in row order fingerprint identically,
+because SQL makes no ordering promise without ORDER BY and the simulated
+dialects are free to disagree about unordered output.
+
+Fingerprints deliberately summarize the client-visible rendering, not the
+internal value objects: a wrong-result bug that a user could observe must
+change the rendering, and renderings survive JSON checkpoints and process
+boundaries unchanged.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ResultFingerprint:
+    """Normalized summary of one result set."""
+
+    row_count: int
+    type_tags: Tuple[str, ...]   # sorted, deduplicated cell type names
+    digest: str                  # sha256 over the sorted rendered rows
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "row_count": self.row_count,
+            "type_tags": list(self.type_tags),
+            "digest": self.digest,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ResultFingerprint":
+        return cls(
+            row_count=int(data["row_count"]),
+            type_tags=tuple(data["type_tags"]),
+            digest=str(data["digest"]),
+        )
+
+
+def fingerprint_result(result) -> ResultFingerprint:
+    """Fingerprint an :class:`~repro.engine.executor.Result`."""
+    rows = []
+    tags = set()
+    for row in result.rows:
+        cells = []
+        for cell in row:
+            tags.add(cell.type_name)
+            cells.append((cell.type_name, cell.render()))
+        rows.append(tuple(cells))
+    rows.sort()
+    hasher = hashlib.sha256()
+    for row in rows:
+        for type_name, rendering in row:
+            hasher.update(type_name.encode("utf-8"))
+            hasher.update(b"\x1f")
+            hasher.update(rendering.encode("utf-8", "surrogatepass"))
+            hasher.update(b"\x1e")
+        hasher.update(b"\x1d")
+    return ResultFingerprint(
+        row_count=len(rows),
+        type_tags=tuple(sorted(tags)),
+        digest=hasher.hexdigest()[:16],
+    )
+
+
+def divergence_class(
+    a: ResultFingerprint, b: ResultFingerprint
+) -> Optional[str]:
+    """Classify how two fingerprints differ (None = identical).
+
+    The classes are ordered by how blatant the disagreement is: a type
+    disagreement subsumes a value one, a cardinality disagreement subsumes
+    both.  Differential findings dedupe on this class, so the ordering also
+    fixes which label a (function, dialect-pair) discovery carries.
+    """
+    if a.row_count != b.row_count:
+        return "cardinality"
+    if a.type_tags != b.type_tags:
+        return "type"
+    if a.digest != b.digest:
+        return "value"
+    return None

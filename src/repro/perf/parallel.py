@@ -21,18 +21,21 @@ Architecture (see DESIGN.md for the full determinism argument):
   (per-statement engine RNG reseed, position-keyed fault streams), so a
   worker executing the sub-stream ``w, w+N, w+2N, …`` observes exactly
   the outcomes the serial run observes at those positions.
-* Workers return plain-dict **shard reports**: outcome counts, ordered
-  oracle-relevant observations (crash/resource_kill/flaky) tagged with
-  their global position, triggered functions, coverage sets, cache and
-  fault counters.  The parent replays all observations *sorted by
-  position* into one master oracle — the same first-occurrence dedup
-  order as the serial loop — and merges the counters.
+* Each worker runs its own full :class:`~repro.core.oracles.OraclePipeline`
+  over its slice and ships the pipeline's exported state in its plain-dict
+  **shard report** (alongside outcome counts, triggered functions,
+  coverage sets, cache and fault counters).  The parent folds the shard
+  states into its own pipeline via ``Oracle.merge``, which re-sorts every
+  oracle's kept records by global stream position and re-deduplicates —
+  the same first-occurrence order as the serial loop, so the merged
+  findings match a serial run record for record.
 
 Checkpoint/resume: each worker writes its own sidecar checkpoint
-(``<path>.shard<w>``).  On resume the parent re-runs its cheap seed phase
-from scratch (sound: statements are history-independent and fault draws
-are position-keyed) and each worker skips the prefix of its shard it
-already executed.  No RNG state needs to be carried at all.
+(``<path>.shard<w>``) carrying its pipeline state.  On resume the parent
+re-runs its cheap seed phase from scratch (sound: statements are
+history-independent and fault draws are position-keyed) and each worker
+skips the prefix of its shard it already executed.  No RNG state needs to
+be carried at all.
 
 Known semantic divergence: a server quarantine aborts only the shard that
 hit it, so a quarantined parallel run may have executed statements a
@@ -58,7 +61,8 @@ from ..core.campaign import (
     DEFAULT_CHECKPOINT_EVERY,
 )
 from ..core.collect import SeedCollector
-from ..core.oracle import CrashOracle
+from ..core.oracles import CaseInfo, OraclePipeline, OracleStateError, build_pipeline
+from ..core.oracles.base import OracleSpec, parse_oracle_names
 from ..core.patterns import PatternEngine
 from ..core.runner import Runner
 from ..dialects import dialect_by_name
@@ -73,36 +77,10 @@ from ..robustness.watchdog import (
 )
 
 
-class _CrashFacts:
-    """Duck-typed stand-in for a :class:`CrashSignal` crossing processes.
-
-    Exceptions don't pickle their keyword attributes reliably, so workers
-    ship crashes as plain dicts and the parent rebuilds just the attributes
-    the oracle reads (``function``, ``code``, ``stage``, ``backtrace``,
-    ``message``).
-    """
-
-    __slots__ = ("function", "code", "stage", "backtrace", "message")
-
-    def __init__(self, d: Dict[str, Any]) -> None:
-        self.function = d.get("function")
-        self.code = d.get("code")
-        self.stage = d.get("stage")
-        self.backtrace = d.get("backtrace")
-        self.message = d.get("message", "")
-
-    def describe(self) -> str:
-        return self.message
-
-
-def _crash_to_dict(crash: Any) -> Dict[str, Any]:
-    return {
-        "function": getattr(crash, "function", None),
-        "code": getattr(crash, "code", None),
-        "stage": getattr(crash, "stage", None),
-        "backtrace": getattr(crash, "backtrace", None),
-        "message": crash.describe() if hasattr(crash, "describe") else str(crash),
-    }
+#: sidecar layout version: bumped when the shard report/checkpoint schema
+#: changes (v2 replaced the replayed-observation list with per-shard oracle
+#: pipeline state); old sidecars are refused with a CheckpointError
+SHARD_FORMAT_VERSION = 2
 
 
 def _shard_checkpoint_path(path: str, worker: int) -> str:
@@ -126,6 +104,7 @@ def _run_shard(
     checkpoint_path: Optional[str],
     checkpoint_every: int,
     resume: bool,
+    oracle_names: tuple = ("crash",),
     stop_after: Optional[int] = None,
 ) -> Dict[str, Any]:
     """Execute one worker's share of the generated stream.
@@ -136,6 +115,9 @@ def _run_shard(
     that simulates a mid-campaign kill for resume testing.
     """
     dialect = dialect_by_name(dialect_name)
+    # pipeline before runner: logic-flaw installation must precede server
+    # construction, exactly as in the serial campaign
+    pipeline = build_pipeline(dialect, oracle_names)
     clock = SimulatedClock()
     injector = make_fault_injector(faults_spec, seed=fault_seed, clock=clock)
     runner = Runner(
@@ -146,6 +128,7 @@ def _run_shard(
         watchdog=Watchdog(clock, deadline_seconds=statement_deadline),
         statement_cache=statement_cache,
     )
+    runner.capture_fingerprints = pipeline.needs_fingerprints
     # the engine rng is seeded but never consumed by generation; passing a
     # fresh Random(seed) in every process keeps the constructor contract
     engine = PatternEngine(
@@ -156,18 +139,20 @@ def _run_shard(
     )
 
     skip_in_shard = 0
-    observations: List[Dict[str, Any]] = []
     outcome_counts: Dict[str, int] = {}
     if resume and checkpoint_path is not None:
         state = _load_shard_checkpoint(
             _shard_checkpoint_path(checkpoint_path, worker),
             dialect_name, seed, budget, max_partners,
-            enable_coverage, jobs, worker,
+            enable_coverage, jobs, worker, oracle_names,
         )
         if state is not None:
             skip_in_shard = state["shard_executed"]
-            observations = list(state["observations"])
             outcome_counts = dict(state["outcomes"])
+            try:
+                pipeline.restore_state(state["oracle_state"])
+            except OracleStateError as exc:
+                raise CheckpointError(str(exc)) from exc
             runner.fault_counters = dict(state["fault_counters"])
             runner.server.ctx.triggered_functions |= set(state["triggered"])
             if runner.coverage is not None:
@@ -189,8 +174,8 @@ def _run_shard(
         _save_shard_checkpoint(
             _shard_checkpoint_path(checkpoint_path, worker),
             dialect_name, seed, budget, max_partners, enable_coverage,
-            jobs, worker, shard_executed, observations, outcome_counts,
-            runner,
+            jobs, worker, oracle_names, shard_executed, pipeline,
+            outcome_counts, runner,
         )
 
     try:
@@ -205,19 +190,11 @@ def _run_shard(
             position = seed_count + index
             outcome = runner.run(case.sql, position=position)
             outcome_counts[outcome.kind] = outcome_counts.get(outcome.kind, 0) + 1
-            if outcome.kind in ("crash", "resource_kill", "flaky"):
-                observations.append(
-                    {
-                        "position": position,
-                        "kind": outcome.kind,
-                        "sql": outcome.sql,
-                        "message": outcome.message,
-                        "pattern": case.pattern,
-                        "crash": _crash_to_dict(outcome.crash)
-                        if outcome.crash is not None
-                        else None,
-                    }
-                )
+            pipeline.observe(
+                outcome,
+                CaseInfo(case.pattern, case.seed_function, case.seed_family),
+                position,
+            )
             shard_executed += 1
             executed_this_run += 1
             maybe_checkpoint()
@@ -232,7 +209,7 @@ def _run_shard(
         "worker": worker,
         "shard_executed": shard_executed,
         "outcomes": outcome_counts,
-        "observations": observations,
+        "oracle_state": pipeline.export_state(),
         "fault_counters": dict(runner.fault_counters),
         "injector_counters": dict(injector.counters) if injector is not None else {},
         "triggered": sorted(runner.server.ctx.triggered_functions),
@@ -255,8 +232,8 @@ def _run_shard(
         _save_shard_checkpoint(
             _shard_checkpoint_path(checkpoint_path, worker),
             dialect_name, seed, budget, max_partners, enable_coverage,
-            jobs, worker, shard_executed, observations, outcome_counts,
-            runner,
+            jobs, worker, oracle_names, shard_executed, pipeline,
+            outcome_counts, runner,
         )
     return report
 
@@ -267,9 +244,11 @@ def _run_shard(
 def _shard_spec(
     dialect: str, seed: int, budget: int, max_partners: int,
     enable_coverage: bool, jobs: int, worker: int,
+    oracle_names: tuple,
 ) -> Dict[str, Any]:
     return {
         "version": CHECKPOINT_VERSION,
+        "shard_format": SHARD_FORMAT_VERSION,
         "dialect": dialect,
         "seed": seed,
         "budget": budget,
@@ -277,6 +256,7 @@ def _shard_spec(
         "enable_coverage": enable_coverage,
         "jobs": jobs,
         "worker": worker,
+        "oracles": list(oracle_names),
     }
 
 
@@ -284,17 +264,19 @@ def _save_shard_checkpoint(
     path: str,
     dialect: str, seed: int, budget: int, max_partners: int,
     enable_coverage: bool, jobs: int, worker: int,
+    oracle_names: tuple,
     shard_executed: int,
-    observations: List[Dict[str, Any]],
+    pipeline: OraclePipeline,
     outcomes: Dict[str, int],
     runner: Runner,
 ) -> None:
     payload = {
         "spec": _shard_spec(
-            dialect, seed, budget, max_partners, enable_coverage, jobs, worker
+            dialect, seed, budget, max_partners, enable_coverage, jobs,
+            worker, oracle_names,
         ),
         "shard_executed": shard_executed,
-        "observations": observations,
+        "oracle_state": pipeline.export_state(),
         "outcomes": outcomes,
         "fault_counters": dict(runner.fault_counters),
         "triggered": sorted(runner.server.ctx.triggered_functions),
@@ -315,13 +297,15 @@ def _load_shard_checkpoint(
     path: str,
     dialect: str, seed: int, budget: int, max_partners: int,
     enable_coverage: bool, jobs: int, worker: int,
+    oracle_names: tuple,
 ) -> Optional[Dict[str, Any]]:
     if not os.path.exists(path):
         return None
     with open(path, "r", encoding="utf-8") as fh:
         payload = json.load(fh)
     expected = _shard_spec(
-        dialect, seed, budget, max_partners, enable_coverage, jobs, worker
+        dialect, seed, budget, max_partners, enable_coverage, jobs, worker,
+        oracle_names,
     )
     if payload.get("spec") != expected:
         raise CheckpointError(
@@ -358,6 +342,7 @@ class ParallelCampaign:
         checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
         statement_deadline: float = DEFAULT_DEADLINE_SECONDS,
         statement_cache: bool = True,
+        oracles: OracleSpec = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -380,6 +365,7 @@ class ParallelCampaign:
         self.checkpoint_every = checkpoint_every
         self.statement_deadline = statement_deadline
         self.statement_cache = statement_cache
+        self.oracle_names = parse_oracle_names(oracles)
         #: test hook — see ``_run_shard``'s ``stop_after``
         self._stop_after: Optional[int] = None
 
@@ -402,6 +388,9 @@ class ParallelCampaign:
     def run(self, resume: bool = False) -> CampaignResult:
         wall_started = time.monotonic()
         # ---- parent: seed phase (positions 0..S-1) -------------------
+        # pipeline before runner: logic-flaw installation must precede
+        # server construction, exactly as in the serial campaign
+        pipeline = build_pipeline(self.dialect, self.oracle_names)
         clock = SimulatedClock()
         injector = make_fault_injector(
             self.faults_spec, seed=self.fault_seed, clock=clock
@@ -414,13 +403,12 @@ class ParallelCampaign:
             watchdog=Watchdog(clock, deadline_seconds=self.statement_deadline),
             statement_cache=self.statement_cache,
         )
-        oracle = CrashOracle(self.dialect.name)
+        runner.capture_fingerprints = pipeline.needs_fingerprints
         result = CampaignResult(dialect=self.dialect.name)
         seeds = SeedCollector(self.dialect).collect()
         result.seeds_collected = len(seeds)
 
         return_types: Dict[str, str] = {}
-        seed_observations: List[Dict[str, Any]] = []
         position = 0
         quarantined = False
         quarantine_reason = ""
@@ -432,19 +420,11 @@ class ParallelCampaign:
                 result.outcomes[outcome.kind] = (
                     result.outcomes.get(outcome.kind, 0) + 1
                 )
-                if outcome.kind in ("crash", "resource_kill", "flaky"):
-                    seed_observations.append(
-                        {
-                            "position": position,
-                            "kind": outcome.kind,
-                            "sql": outcome.sql,
-                            "message": outcome.message,
-                            "pattern": "seed",
-                            "crash": _crash_to_dict(outcome.crash)
-                            if outcome.crash is not None
-                            else None,
-                        }
-                    )
+                pipeline.observe(
+                    outcome,
+                    CaseInfo("seed", seed_obj.function, seed_obj.family),
+                    position,
+                )
                 if outcome.result_type and seed_obj.function not in return_types:
                     return_types[seed_obj.function] = outcome.result_type
                 position += 1
@@ -466,7 +446,7 @@ class ParallelCampaign:
                     self.enable_coverage, self.faults_spec, self.fault_seed,
                     self.statement_deadline, self.statement_cache,
                     self.checkpoint_path, self.checkpoint_every, resume,
-                    self._stop_after,
+                    self.oracle_names, self._stop_after,
                 )
                 for worker in range(self.jobs)
             ]
@@ -482,9 +462,8 @@ class ParallelCampaign:
 
         # ---- merge ----------------------------------------------------
         return self._merge(
-            result, runner, oracle, injector, seed_count,
-            seed_observations, reports, quarantined, quarantine_reason,
-            wall_started,
+            result, runner, pipeline, injector, seed_count,
+            reports, quarantined, quarantine_reason, wall_started,
         )
 
     # ------------------------------------------------------------------
@@ -492,34 +471,22 @@ class ParallelCampaign:
         self,
         result: CampaignResult,
         seed_runner: Runner,
-        oracle: CrashOracle,
+        pipeline: OraclePipeline,
         seed_injector: Optional[FaultInjector],
         seed_count: int,
-        seed_observations: List[Dict[str, Any]],
         reports: List[Dict[str, Any]],
         quarantined: bool,
         quarantine_reason: str,
         wall_started: float,
     ) -> CampaignResult:
-        observations = list(seed_observations)
-        for report in reports:
-            observations.extend(report["observations"])
-        # replay in global position order — the exact sequence the serial
-        # loop would have fed the oracle, so first-occurrence dedup of
-        # bugs/false-positives/flaky signals matches statement for statement
-        observations.sort(key=lambda ob: ob["position"])
-        for ob in observations:
-            # serial `_record` passes runner.executed (1-based) as the
-            # bug's query index
-            query_index = ob["position"] + 1
-            if ob["kind"] == "crash" and ob["crash"] is not None:
-                oracle.observe_crash(
-                    _CrashFacts(ob["crash"]), ob["sql"], ob["pattern"], query_index
-                )
-            elif ob["kind"] == "resource_kill":
-                oracle.observe_resource_kill(ob["sql"], ob["message"])
-            elif ob["kind"] == "flaky":
-                oracle.observe_flaky_crash(ob["sql"], ob["message"])
+        # fold every shard's oracle state into the parent pipeline; each
+        # oracle re-sorts its kept records by global stream position and
+        # re-deduplicates — the exact first-occurrence order the serial
+        # loop would have used, statement for statement
+        try:
+            pipeline.merge([report["oracle_state"] for report in reports])
+        except OracleStateError as exc:
+            raise CheckpointError(str(exc)) from exc
 
         executed = seed_count
         triggered = set(seed_runner.server.ctx.triggered_functions)
@@ -549,9 +516,12 @@ class ParallelCampaign:
                 quarantine_reason = quarantine_reason or report["quarantine_reason"]
 
         result.queries_executed = executed
-        result.bugs = list(oracle.bugs)
-        result.false_positives = list(oracle.false_positives)
-        result.flaky_signals = list(oracle.flaky_signals)
+        crash = pipeline.get("crash")
+        if crash is not None:
+            result.bugs = list(crash.bugs)
+            result.false_positives = list(crash.false_positives)
+            result.flaky_signals = list(crash.flaky_signals)
+        result.findings = pipeline.extra_findings()
         result.triggered_functions = triggered
         result.branch_coverage = len(arcs)
         result.fault_counters = fault_counters
@@ -578,6 +548,7 @@ def run_parallel_campaign(
     checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
     resume: bool = False,
     statement_cache: bool = True,
+    oracles: OracleSpec = None,
 ) -> CampaignResult:
     """Convenience wrapper mirroring :func:`repro.core.run_campaign`."""
     return ParallelCampaign(
@@ -591,4 +562,5 @@ def run_parallel_campaign(
         checkpoint_path=checkpoint,
         checkpoint_every=checkpoint_every,
         statement_cache=statement_cache,
+        oracles=oracles,
     ).run(resume=resume)

@@ -311,3 +311,47 @@ class TestLazyCases:
         case = GeneratedCase("SELECT 2;", "P1.3", "abs", "math")
         assert case.sql == "SELECT 2;"
         assert case.pattern == "P1.3"
+
+
+# ---------------------------------------------------------------------------
+# parallel campaigns: oracle pipelines merge shard-by-shard
+# ---------------------------------------------------------------------------
+class TestParallelOracles:
+    ALL = "crash,differential,conformance"
+
+    def test_all_oracles_signature_equals_serial(self):
+        serial = run_campaign("duckdb", budget=2_000, seed=3, oracles=self.ALL)
+        parallel = run_parallel_campaign(
+            "duckdb", jobs=4, budget=2_000, seed=3, oracles=self.ALL
+        )
+        assert serial.findings  # the logic oracles saw the seeded flaws
+        assert parallel.signature() == serial.signature()
+        assert [f.signature_tuple() for f in parallel.findings] == \
+            [f.signature_tuple() for f in serial.findings]
+
+    def test_all_oracles_signature_equals_serial_with_faults(self):
+        serial = run_campaign(
+            "duckdb", budget=2_000, seed=3, oracles=self.ALL,
+            faults=FAULT_SPEC, fault_seed=5,
+        )
+        parallel = run_parallel_campaign(
+            "duckdb", jobs=4, budget=2_000, seed=3, oracles=self.ALL,
+            faults=FAULT_SPEC, fault_seed=5,
+        )
+        assert parallel.signature() == serial.signature()
+
+    def test_resume_refuses_different_oracle_set(self, tmp_path):
+        from repro.robustness.checkpoint import CheckpointError
+
+        path = str(tmp_path / "campaign.ckpt")
+        interrupted = ParallelCampaign(
+            "duckdb", jobs=2, budget=1_200, seed=3, oracles=self.ALL,
+            checkpoint_path=path, checkpoint_every=100,
+        )
+        interrupted._stop_after = 150
+        interrupted.run()
+        with pytest.raises(CheckpointError):
+            ParallelCampaign(
+                "duckdb", jobs=2, budget=1_200, seed=3,  # crash-only now
+                checkpoint_path=path, checkpoint_every=100,
+            ).run(resume=True)
