@@ -13,7 +13,7 @@ import random
 import pytest
 
 from repro.core.collect import SeedCollector
-from repro.core.oracle import CrashOracle
+from repro.core.oracles import CrashOracle
 from repro.core.patterns import PatternEngine
 from repro.core.runner import Runner
 from repro.dialects import bugs_for, dialect_by_name

@@ -15,7 +15,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Sequence, Set
 
-from ..core.oracle import CrashOracle, DiscoveredBug
+from ..core.oracles import CrashOracle, DiscoveredBug
 from ..core.runner import Runner
 from ..dialects import dialect_by_name
 from ..dialects.base import Dialect

@@ -4,10 +4,12 @@ Commands:
 
 * ``soft fuzz <dialect> [--budget N] [--coverage] [--faults SPEC]
   [--checkpoint PATH] [--resume PATH] [--jobs N] [--no-stmt-cache]
-  [--oracles NAMES]`` — run a SOFT campaign (optionally under injected
-  infrastructure faults, with periodic checkpoints, sharded across N
-  worker processes, with extra logic-bug oracles) and print the
-  discovered bugs as disclosure-ready reports.
+  [--oracles NAMES] [--sandbox] [--budgets SPEC]`` — run a SOFT campaign
+  (optionally under injected infrastructure faults, with periodic
+  checkpoints, sharded across N worker processes, with extra logic-bug
+  oracles, inside a subprocess execution sandbox, and/or under
+  per-statement resource budgets) and print the discovered bugs as
+  disclosure-ready reports.
 * ``soft dialects`` — list the simulated DBMSs and their inventories.
 * ``soft study`` — print the bug-study summary (Findings 1-4).
 * ``soft compare [--budget N]`` — the Tables 5/6 tool comparison.
@@ -57,6 +59,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_fuzz.add_argument("--oracles", metavar="NAMES", default="crash",
                         help="comma-separated detection oracles: "
                         "crash,differential,conformance (default: crash)")
+    p_fuzz.add_argument("--sandbox", action="store_true",
+                        help="execute statements in a SIGKILL-able "
+                        "subprocess worker with crash-loop containment "
+                        "(incompatible with --faults and --coverage)")
+    p_fuzz.add_argument("--budgets", metavar="SPEC", default=None,
+                        help="per-statement resource budgets, e.g. "
+                        "'depth=64,rows=100000,cells=1000000,"
+                        "bytes=16777216,wall_ms=2000'")
 
     sub.add_parser("dialects", help="list simulated DBMSs")
     sub.add_parser("study", help="print the 318-bug study summary")
@@ -124,6 +134,8 @@ def _cmd_fuzz(args) -> int:
                 resume=args.resume is not None,
                 statement_cache=not args.no_stmt_cache,
                 oracles=args.oracles,
+                budgets=args.budgets,
+                sandbox=args.sandbox,
             )
         else:
             result = run_campaign(
@@ -138,6 +150,8 @@ def _cmd_fuzz(args) -> int:
                 resume=args.resume,
                 statement_cache=not args.no_stmt_cache,
                 oracles=args.oracles,
+                budgets=args.budgets,
+                sandbox=args.sandbox,
             )
     except (CheckpointError, ValueError) as exc:
         print(f"error: {exc}")
@@ -169,6 +183,8 @@ def _cmd_fuzz(args) -> int:
         args.faults
         or args.resume
         or args.jobs > 1
+        or args.sandbox
+        or args.budgets
         or result.fault_counters
         or result.quarantined
     ):

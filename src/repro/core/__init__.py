@@ -27,9 +27,10 @@ from .minimize import (
     Probe,
     minimize_poc,
 )
-from .oracle import CrashOracle, DiscoveredBug
 from .oracles import (
     ConformanceFinding,
+    CrashOracle,
+    DiscoveredBug,
     DivergenceFinding,
     Finding,
     OraclePipeline,

@@ -48,7 +48,9 @@ from ..robustness.checkpoint import (
     rng_state_to_json,
 )
 from ..robustness.faults import FaultInjector, FaultPlan, make_fault_injector
+from ..robustness.governor import ResourceBudgets
 from ..robustness.policy import RetryPolicy, ServerQuarantined
+from ..robustness.sandbox import ContainmentState, make_sandbox_config
 from ..robustness.watchdog import (
     DEFAULT_DEADLINE_SECONDS,
     Clock,
@@ -104,6 +106,15 @@ class CampaignResult:
     wall_seconds: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: sandbox supervisor health (``--sandbox`` campaigns only; the
+    #: default-config signature layout is untouched when inactive)
+    sandbox_active: bool = False
+    sandbox_kills: int = 0          # SIGKILLs after blown wall deadlines
+    sandbox_worker_deaths: int = 0  # workers that died on their own
+    sandbox_respawns: int = 0
+    open_breakers: List[str] = field(default_factory=list)
+    quarantined_statements: int = 0
+    skipped_statements: int = 0
 
     @property
     def bug_count(self) -> int:
@@ -155,11 +166,22 @@ class CampaignResult:
             tuple(sorted(self.fault_counters.items())),
             self.quarantined,
         )
-        if not self.findings:
-            # crash-only campaigns keep the historical signature layout
-            # byte-identical to the pre-pipeline code
-            return base
-        return base + (tuple(f.signature_tuple() for f in self.findings),)
+        if self.findings:
+            base = base + (tuple(f.signature_tuple() for f in self.findings),)
+        if self.sandbox_active:
+            # sandbox campaigns fold the containment outcome in; default
+            # campaigns keep the historical signature layout byte-identical
+            base = base + (
+                (
+                    tuple(self.open_breakers),
+                    self.quarantined_statements,
+                    self.skipped_statements,
+                    self.sandbox_kills,
+                    self.sandbox_worker_deaths,
+                    self.sandbox_respawns,
+                ),
+            )
+        return base
 
 
 class Campaign:
@@ -183,10 +205,27 @@ class Campaign:
         statement_deadline: float = DEFAULT_DEADLINE_SECONDS,
         statement_cache: bool = True,
         oracles: OracleSpec = None,
+        budgets: Union[None, str, ResourceBudgets] = None,
+        sandbox: Union[None, bool, object] = None,
     ) -> None:
         self.dialect = dialect
         self.budget = budget
         self.oracle_names = parse_oracle_names(oracles)
+        if isinstance(budgets, str):
+            budgets = ResourceBudgets.parse(budgets)
+        self.budgets = budgets
+        self.sandbox_config = make_sandbox_config(sandbox)
+        if self.sandbox_config is not None and faults is not None:
+            raise ValueError(
+                "--sandbox and --faults are mutually exclusive: the fault "
+                "injector simulates infrastructure noise in-process, the "
+                "sandbox contains the real thing"
+            )
+        self.containment: Optional[ContainmentState] = (
+            ContainmentState.from_config(self.sandbox_config)
+            if self.sandbox_config is not None
+            else None
+        )
         self.enable_coverage = enable_coverage
         self.seed = seed
         self.statement_cache = statement_cache
@@ -241,6 +280,8 @@ class Campaign:
             clock=self.clock,
             watchdog=Watchdog(self.clock, deadline_seconds=self.statement_deadline),
             statement_cache=self.statement_cache,
+            budgets=self.budgets,
+            sandbox=self.sandbox_config,
         )
         runner.capture_fingerprints = pipeline.needs_fingerprints
         crash_oracle = pipeline.get("crash")
@@ -254,7 +295,14 @@ class Campaign:
         return_types: Dict[str, str] = {}
         rng_verified = cp is None
         if cp is not None:
-            skip = cp.executed
+            # stream_position counts containment skips too; older
+            # checkpoints (no skipped statements possible) fall back to
+            # the executed count
+            skip = (
+                cp.stream_position
+                if cp.stream_position is not None
+                else cp.executed
+            )
             return_types = self._restore(cp, runner, pipeline, result)
 
         position = 0
@@ -265,20 +313,18 @@ class Campaign:
                 if position < skip:
                     position += 1  # executed before the checkpoint
                     continue
-                if runner.executed >= self.budget:
+                if self._processed(runner) >= self.budget:
                     break
-                outcome = runner.run(f"SELECT {seed_obj.sql};", position=position)
-                self._record(
-                    result,
-                    pipeline,
-                    outcome,
-                    CaseInfo("seed", seed_obj.function, seed_obj.family),
-                    position,
-                )
+                sql = f"SELECT {seed_obj.sql};"
+                case = CaseInfo("seed", seed_obj.function, seed_obj.family)
+                outcome = self._contained_run(runner, sql, case, position)
+                self._record(result, pipeline, outcome, case, position)
                 if outcome.result_type and seed_obj.function not in return_types:
                     return_types[seed_obj.function] = outcome.result_type
                 position += 1
-                self._maybe_checkpoint(runner, pipeline, result, return_types)
+                self._maybe_checkpoint(
+                    runner, pipeline, result, return_types, position
+                )
 
             # the campaign RNG is first consumed by the pattern engine; if
             # the skip ended inside the seed phase it must still be pristine
@@ -299,16 +345,11 @@ class Campaign:
                 if not rng_verified:
                     self._verify_rng(cp)
                     rng_verified = True
-                if runner.executed >= self.budget:
+                if self._processed(runner) >= self.budget:
                     break
-                outcome = runner.run(case.sql, position=position)
-                self._record(
-                    result,
-                    pipeline,
-                    outcome,
-                    CaseInfo(case.pattern, case.seed_function, case.seed_family),
-                    position,
-                )
+                info = CaseInfo(case.pattern, case.seed_function, case.seed_family)
+                outcome = self._contained_run(runner, case.sql, info, position)
+                self._record(result, pipeline, outcome, info, position)
                 position += 1
                 if (
                     self.stop_when_all_found
@@ -317,7 +358,9 @@ class Campaign:
                     and crash_oracle.recall_against(expected) >= 1.0
                 ):
                     break
-                self._maybe_checkpoint(runner, pipeline, result, return_types)
+                self._maybe_checkpoint(
+                    runner, pipeline, result, return_types, position
+                )
         except ServerQuarantined as exc:
             # the in-flight statement never completed; keep the outcome
             # accounting consistent with queries_executed
@@ -326,6 +369,40 @@ class Campaign:
             result.quarantine_reason = str(exc)
 
         return self._finalize(result, runner, pipeline)
+
+    # ------------------------------------------------------------------
+    def _processed(self, runner: Runner) -> int:
+        """Stream positions consumed so far: executions plus containment
+        skips.  The budget caps *processed* positions, so a skipped
+        statement spends its slot — this keeps serial and sharded runs on
+        exactly the same stream prefix (a shard cannot know how many
+        statements its siblings skipped).  Without containment this is
+        just ``runner.executed``, i.e. the historical behaviour.
+        """
+        skipped = self.containment.skipped if self.containment is not None else 0
+        return runner.executed + skipped
+
+    def _contained_run(
+        self, runner: Runner, sql: str, case: CaseInfo, position: int
+    ) -> Outcome:
+        """Run one statement through the crash-loop containment layer.
+
+        A statement that is quarantined (it killed a worker before) or
+        whose function family's circuit breaker is open is *skipped*: it
+        produces exactly one ``skipped`` outcome and never reaches the
+        runner.  Everything else executes normally and feeds the
+        containment state.
+        """
+        containment = self.containment
+        if containment is None:
+            return runner.run(sql, position=position)
+        reason = containment.should_skip(sql, case.family)
+        if reason is not None:
+            containment.note_skip()
+            return Outcome("skipped", sql, message=reason)
+        outcome = runner.run(sql, position=position)
+        containment.observe(outcome.kind, sql, case.family, outcome.message)
+        return outcome
 
     # ------------------------------------------------------------------
     def _record(
@@ -364,6 +441,16 @@ class Campaign:
         result.wall_seconds = time.monotonic() - self._wall_started
         result.cache_hits = runner.cache_hits
         result.cache_misses = runner.cache_misses
+        if self.containment is not None:
+            result.sandbox_active = True
+            result.open_breakers = self.containment.open_breakers
+            result.quarantined_statements = len(self.containment.quarantine)
+            result.skipped_statements = self.containment.skipped
+            if runner.sandbox is not None:
+                result.sandbox_kills = runner.sandbox.kills
+                result.sandbox_worker_deaths = runner.sandbox.worker_deaths
+                result.sandbox_respawns = runner.sandbox.respawns
+        runner.close()
         return result
 
     # ------------------------------------------------------------------
@@ -374,12 +461,15 @@ class Campaign:
         pipeline: OraclePipeline,
         result: CampaignResult,
         return_types: Dict[str, str],
+        position: int,
     ) -> None:
         if self.checkpoint_path is None or self.checkpoint_every <= 0:
             return
         if runner.executed == 0 or runner.executed % self.checkpoint_every:
             return
-        self._capture(runner, pipeline, result, return_types).save(self.checkpoint_path)
+        self._capture(runner, pipeline, result, return_types, position).save(
+            self.checkpoint_path
+        )
 
     def _capture(
         self,
@@ -387,12 +477,21 @@ class Campaign:
         pipeline: OraclePipeline,
         result: CampaignResult,
         return_types: Dict[str, str],
+        position: int,
     ) -> CampaignCheckpoint:
         coverage_arcs: List[list] = []
         coverage_lines: List[list] = []
         if runner.coverage is not None:
             coverage_arcs = [list(arc) for arc in sorted(runner.coverage.arcs)]
             coverage_lines = [list(line) for line in sorted(runner.coverage.lines)]
+        sandbox_state = None
+        if self.containment is not None and runner.sandbox is not None:
+            sandbox_state = {
+                "containment": self.containment.export_state(),
+                "kills": runner.sandbox.kills,
+                "worker_deaths": runner.sandbox.worker_deaths,
+                "respawns": runner.sandbox.respawns,
+            }
         return CampaignCheckpoint(
             dialect=self.dialect.name,
             seed=self.seed,
@@ -417,6 +516,8 @@ class Campaign:
             coverage_lines=coverage_lines,
             elapsed_seconds=(self.clock.now() - self._started)
             + self._elapsed_offset,
+            stream_position=position,
+            sandbox=sandbox_state,
         )
 
     def _restore(
@@ -446,6 +547,12 @@ class Campaign:
         if runner.coverage is not None:
             runner.coverage.arcs |= {tuple(arc) for arc in cp.coverage_arcs}
             runner.coverage.lines |= {tuple(line) for line in cp.coverage_lines}
+        if cp.sandbox is not None and self.containment is not None:
+            self.containment.restore_state(cp.sandbox["containment"])
+            if runner.sandbox is not None:
+                runner.sandbox.kills = cp.sandbox["kills"]
+                runner.sandbox.worker_deaths = cp.sandbox["worker_deaths"]
+                runner.sandbox.respawns = cp.sandbox["respawns"]
         self._elapsed_offset = cp.elapsed_seconds
         return dict(cp.return_types)
 
@@ -474,6 +581,8 @@ def run_campaign(
     resume: Union[None, str, CampaignCheckpoint] = None,
     statement_cache: bool = True,
     oracles: OracleSpec = None,
+    budgets: Union[None, str, ResourceBudgets] = None,
+    sandbox: Union[None, bool, object] = None,
 ) -> CampaignResult:
     """Convenience wrapper: run SOFT against a dialect by name."""
     dialect = dialect_by_name(dialect_name)
@@ -489,6 +598,8 @@ def run_campaign(
         checkpoint_every=checkpoint_every,
         statement_cache=statement_cache,
         oracles=oracles,
+        budgets=budgets,
+        sandbox=sandbox,
     ).run(resume=resume)
 
 

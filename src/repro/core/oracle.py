@@ -1,12 +1,23 @@
-"""Back-compat shim: the crash oracle moved to :mod:`repro.core.oracles`.
+"""Deprecated back-compat shim: use :mod:`repro.core.oracles` instead.
 
-The detection stack is pluggable now (crash / differential / conformance
-oracles behind one pipeline — see :mod:`repro.core.oracles.base`); this
-historical import path keeps working for existing callers.
+The crash oracle moved into the pluggable :mod:`repro.core.oracles`
+package (crash / differential / conformance oracles behind one pipeline —
+see :mod:`repro.core.oracles.base`).  This historical import path still
+works but emits a :class:`DeprecationWarning`; import from
+``repro.core.oracles`` (or ``repro.core.oracles.crash``) directly.
 """
 
 from __future__ import annotations
 
+import warnings
+
 from .oracles.crash import CrashOracle, DiscoveredBug
+
+warnings.warn(
+    "repro.core.oracle is deprecated; import CrashOracle and DiscoveredBug "
+    "from repro.core.oracles instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 __all__ = ["CrashOracle", "DiscoveredBug"]

@@ -198,6 +198,13 @@ def resilience_summary(results: Sequence[CampaignResult]) -> Dict[str, object]:
     quarantined: List[str] = []
     flaky = 0
     timeouts = 0
+    sandbox_kills = 0
+    worker_deaths = 0
+    respawns = 0
+    open_breakers: List[str] = []
+    quarantined_statements = 0
+    skipped = 0
+    sandbox_active = False
     for result in results:
         for kind, count in getattr(result, "fault_counters", {}).items():
             fault_totals[kind] = fault_totals.get(kind, 0) + count
@@ -205,11 +212,26 @@ def resilience_summary(results: Sequence[CampaignResult]) -> Dict[str, object]:
         timeouts += getattr(result, "outcomes", {}).get("timeout", 0)
         if getattr(result, "quarantined", False):
             quarantined.append(result.dialect)
+        if getattr(result, "sandbox_active", False):
+            sandbox_active = True
+            sandbox_kills += getattr(result, "sandbox_kills", 0)
+            worker_deaths += getattr(result, "sandbox_worker_deaths", 0)
+            respawns += getattr(result, "sandbox_respawns", 0)
+            open_breakers.extend(getattr(result, "open_breakers", []))
+            quarantined_statements += getattr(result, "quarantined_statements", 0)
+            skipped += getattr(result, "skipped_statements", 0)
     return {
         "fault_counters": fault_totals,
         "flaky_signals": flaky,
         "timeouts": timeouts,
         "quarantined": quarantined,
+        "sandbox_active": sandbox_active,
+        "sandbox_kills": sandbox_kills,
+        "sandbox_worker_deaths": worker_deaths,
+        "sandbox_respawns": respawns,
+        "open_breakers": sorted(set(open_breakers)),
+        "quarantined_statements": quarantined_statements,
+        "skipped_statements": skipped,
     }
 
 
@@ -244,6 +266,22 @@ def format_resilience(result: CampaignResult) -> str:
         )
     if getattr(result, "quarantined", False):
         lines.append(f"  QUARANTINED: {result.quarantine_reason}")
+    if summary["sandbox_active"]:
+        lines.append("  sandbox supervisor:")
+        lines.append(
+            f"    worker kills (hung): {summary['sandbox_kills']}, "
+            f"worker deaths: {summary['sandbox_worker_deaths']}, "
+            f"respawns: {summary['sandbox_respawns']}"
+        )
+        lines.append(
+            f"    quarantined statements: {summary['quarantined_statements']}, "
+            f"skipped by containment: {summary['skipped_statements']}"
+        )
+        breakers = summary["open_breakers"]
+        lines.append(
+            "    open family breakers: "
+            + (", ".join(breakers) if breakers else "none")
+        )
     return "\n".join(lines)
 
 

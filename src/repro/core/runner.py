@@ -18,6 +18,14 @@ Outcome classes:
 * ``flaky`` — the server died but the crash did not reproduce on a clean
   re-execution; recorded as a flaky signal, never as a bug (this mirrors
   the paper's false-positive triage of non-reproducible crash reports).
+* ``resource_exhausted`` — an opt-in governor budget (``--budgets``)
+  tripped: the harness terminated the statement, not the DBMS.  Distinct
+  from ``resource_kill`` so budget kills never pollute the paper's
+  false-positive accounting.
+* ``harness_crash`` — sandbox mode only (``--sandbox``): the subprocess
+  worker died executing the statement (a harness bug, OOM kill, or a
+  pathology the in-process model cannot absorb).  The worker is respawned
+  and the campaign quarantines the statement instead of dying with it.
 
 Resilience machinery (all from :mod:`repro.robustness`): transient
 connection drops are retried with exponential backoff and auto-reconnect; a
@@ -43,10 +51,17 @@ from ..engine.connection import (
     ServerCrashed,
 )
 from ..engine.coverage import CoverageTracker
-from ..engine.errors import CrashSignal, ResourceError, SQLError
+from ..engine.errors import CrashSignal, ResourceError, ResourceExhausted, SQLError
 from ..engine.fingerprint import ResultFingerprint, fingerprint_result
 from ..robustness.faults import FaultInjector
+from ..robustness.governor import ResourceBudgets, make_governor
 from ..robustness.policy import CircuitBreaker, RetryPolicy
+from ..robustness.sandbox import (
+    SandboxedConnection,
+    WorkerCrashed,
+    WorkerHung,
+    make_sandbox_config,
+)
 from ..robustness.watchdog import Clock, StatementTimeout, WallClock, Watchdog
 
 
@@ -88,8 +103,25 @@ class Runner:
         breaker: Optional[CircuitBreaker] = None,
         reconfirm_crashes: Optional[bool] = None,
         statement_cache: bool = True,
+        budgets: Optional[object] = None,
+        sandbox: Optional[object] = None,
     ) -> None:
         self.dialect = dialect
+        if isinstance(budgets, str):
+            budgets = ResourceBudgets.parse(budgets)
+        self.budgets: Optional[ResourceBudgets] = budgets
+        sandbox_config = make_sandbox_config(sandbox)
+        if sandbox_config is not None and faults is not None:
+            raise ValueError(
+                "--sandbox and --faults are mutually exclusive: the fault "
+                "injector simulates infrastructure noise in-process, the "
+                "sandbox contains the real thing"
+            )
+        if sandbox_config is not None and enable_coverage:
+            raise ValueError(
+                "--sandbox does not support coverage tracking (arc sets "
+                "do not cross the worker boundary)"
+            )
         self.server: Server = dialect.create_server()
         if not statement_cache:
             self.server.stmt_cache = None
@@ -97,6 +129,21 @@ class Runner:
         if enable_coverage:
             self.coverage = CoverageTracker()
             self.server.ctx.coverage = self.coverage
+        self.sandbox: Optional[SandboxedConnection] = None
+        if sandbox_config is not None:
+            self.sandbox = SandboxedConnection(
+                dialect.name,
+                config=sandbox_config,
+                budgets=budgets,
+                statement_cache=statement_cache,
+            )
+            # worker-reported triggered functions land in the parent ctx,
+            # so checkpoints and the triggered_functions property are
+            # oblivious to where execution actually happened
+            self.sandbox.triggered_sink = self.server.ctx.triggered_functions
+        elif budgets is not None and budgets.enabled:
+            governor = make_governor(budgets)
+            self.server.attach_governor(governor)
         self.connection: Connection = self.server.connect()
         self.clock: Clock = clock if clock is not None else WallClock()
         self.watchdog = watchdog if watchdog is not None else Watchdog(self.clock)
@@ -139,12 +186,24 @@ class Runner:
                 # infrastructure noise is independent across attempts
                 result = self._execute(sql, quiet=reconnects > 0)
                 return self._ok(sql, result)
+            except ResourceExhausted as exc:
+                self._count(f"governor.{exc.budget}")
+                return Outcome("resource_exhausted", sql, message=exc.message)
             except ResourceError as exc:
                 return Outcome("resource_kill", sql, message=exc.message)
             except SQLError as exc:
                 return Outcome("error", sql, message=exc.message)
             except StatementTimeout:
                 return self._handle_timeout(sql)
+            except WorkerHung as exc:
+                self.timeouts += 1
+                self._count("sandbox.hang_kills")
+                self._count("sandbox.respawns")
+                return Outcome("timeout", sql, message=str(exc))
+            except WorkerCrashed as exc:
+                self._count("sandbox.worker_deaths")
+                self._count("sandbox.respawns")
+                return Outcome("harness_crash", sql, message=str(exc))
             except ConnectionClosed as exc:
                 reconnects += 1
                 self._count("reconnects")
@@ -166,6 +225,11 @@ class Runner:
     # ------------------------------------------------------------------
     def _execute(self, sql: str, quiet: bool = False):
         """One guarded execution attempt, optionally with faults suppressed."""
+        if self.sandbox is not None:
+            # the worker clears sequence state itself; the simulated-clock
+            # watchdog still meters statement cost, while the sandbox's
+            # real wall deadline guards against genuine interpreter hangs
+            return self.watchdog.guard(lambda: self.sandbox.execute(sql))
         # every attempt starts from clean sequence state: a test case whose
         # outcome leaked in from an earlier statement's NEXTVAL would not be
         # a reproducible PoC, and would make shard workers (which see only a
@@ -203,12 +267,25 @@ class Runner:
         while True:
             try:
                 return self._ok(sql, self._execute(sql, quiet=True))
+            except ResourceExhausted as exc:
+                self._count(f"governor.{exc.budget}")
+                return Outcome("resource_exhausted", sql, message=exc.message)
             except ResourceError as exc:
                 return Outcome("resource_kill", sql, message=exc.message)
             except SQLError as exc:
                 return Outcome("error", sql, message=exc.message)
             except StatementTimeout as exc:
                 return Outcome("timeout", sql, message=str(exc))
+            except WorkerHung as exc:
+                # already counted as one timeout on the first kill; the
+                # quiet retry hanging again confirms it
+                self._count("sandbox.hang_kills")
+                self._count("sandbox.respawns")
+                return Outcome("timeout", sql, message=str(exc))
+            except WorkerCrashed as exc:
+                self._count("sandbox.worker_deaths")
+                self._count("sandbox.respawns")
+                return Outcome("harness_crash", sql, message=str(exc))
             except ConnectionClosed as exc:
                 # same backoff contract as the main loop: a lost connection
                 # during the quiet retry is still transient infra noise, not
@@ -246,6 +323,10 @@ class Runner:
             return Outcome("crash", sql, message=str(confirmed), crash=confirmed.crash)
         except (SQLError, StatementTimeout):
             pass
+        except WorkerCrashed:
+            # the worker died on reconfirmation; it has already been
+            # respawned, and the original signal stays flaky
+            pass
         except ConnectionClosed:
             self._reconnect()
         except RecursionError:
@@ -257,6 +338,9 @@ class Runner:
     # ------------------------------------------------------------------
     def _reconnect(self) -> None:
         """Re-establish the client connection, restarting a dead server."""
+        if self.sandbox is not None:
+            self.sandbox.reconnect()
+            return
         if not self.server.alive:
             self._restart()
         else:
@@ -270,6 +354,10 @@ class Runner:
         after a successful restart, and repeated failures open the circuit
         breaker instead of leaking ``RestartFailed`` into the campaign loop.
         """
+        if self.sandbox is not None:
+            self.sandbox.restart_server()
+            self.restarts += 1
+            return
         self.breaker.check()
         attempt = 0
         while True:
@@ -299,15 +387,28 @@ class Runner:
 
     @property
     def cache_hits(self) -> int:
+        if self.sandbox is not None:
+            return self.sandbox.cache_hits
         cache = self.server.stmt_cache
         return cache.hits if cache is not None else 0
 
     @property
     def cache_misses(self) -> int:
+        if self.sandbox is not None:
+            return self.sandbox.cache_misses
         cache = self.server.stmt_cache
         return cache.misses if cache is not None else 0
 
     @property
     def cache_hit_rate(self) -> float:
+        if self.sandbox is not None:
+            total = self.sandbox.cache_hits + self.sandbox.cache_misses
+            return self.sandbox.cache_hits / total if total else 0.0
         cache = self.server.stmt_cache
         return cache.hit_rate if cache is not None else 0.0
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release sandbox resources (no-op for in-process runners)."""
+        if self.sandbox is not None:
+            self.sandbox.close()

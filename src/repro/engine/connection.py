@@ -96,6 +96,13 @@ class Server:
         self.fault_hook: Optional[FaultHook] = None
         #: parse/plan cache; set to None to bypass caching entirely
         self.stmt_cache: Optional[StatementCache] = StatementCache()
+        #: optional resource governor (duck-typed; see attach_governor)
+        self.governor = None
+
+    def attach_governor(self, governor) -> None:
+        """Install a resource governor; it survives restarts like the cache."""
+        self.governor = governor
+        self.ctx.attach_governor(governor)
 
     def restart(self, keep_coverage: bool = True) -> None:
         """Restart the process: fresh memory and catalog, same binary.
@@ -122,6 +129,8 @@ class Server:
         ctx.stats.update(stats)
         # commit only once the replacement state is fully built
         self.ctx = ctx
+        if self.governor is not None:
+            ctx.attach_governor(self.governor)
         self.database = Database()
         if self.stmt_cache is not None:
             # plans may embed optimize-stage decisions tied to the dead
@@ -151,6 +160,9 @@ class Connection:
         # not depend on what executed before (cache hits, retries, and
         # parallel shard workers all see the serial run's values)
         ctx.reseed_statement_rng(sql)
+        if ctx.governor is not None:
+            # re-arm per-statement budgets (and the wall deadline)
+            ctx.governor.begin_statement()
         server.queries_executed += 1
         ctx.stats["queries"] += 1
         cache = server.stmt_cache

@@ -58,6 +58,20 @@ class ExecutionContext:
         self.execute_subquery: Optional[Callable] = None
         #: name of the function currently being evaluated (crash attribution)
         self.current_function: Optional[str] = None
+        #: optional resource governor (duck-typed; installed by the harness
+        #: via :meth:`attach_governor` — the engine never imports it)
+        self.governor = None
+
+    # ------------------------------------------------------------------
+    def attach_governor(self, governor) -> None:
+        """Install a resource governor on this context and its resources.
+
+        The heap and call stack get their own references so allocation and
+        recursion accounting need no back-pointer to the context.
+        """
+        self.governor = governor
+        self.heap.governor = governor
+        self.stack.governor = governor
 
     # ------------------------------------------------------------------
     def note_function(self, name: str) -> None:

@@ -81,6 +81,28 @@ class FeatureError(SQLError):
     code = "FEATURE"
 
 
+class ResourceExhausted(SQLError):
+    """A harness-configured resource budget was exceeded (the governor).
+
+    Distinct from :class:`ResourceError`: that class models the *DBMS's own*
+    limits (the paper's false-positive source), while this one is raised by
+    the harness-side :class:`~repro.robustness.governor.ResourceGovernor`
+    when an opt-in budget (eval depth, rows, cells, bytes, wall deadline)
+    trips.  The runner classifies it as the ``resource_exhausted`` outcome
+    rather than a false-positive candidate.
+    """
+
+    code = "EXHAUSTED"
+
+    def __init__(self, budget: str, used: int, limit: int) -> None:
+        super().__init__(
+            f"resource budget {budget!r} exhausted: used {used}, limit {limit}"
+        )
+        self.budget = budget
+        self.used = used
+        self.limit = limit
+
+
 # ---------------------------------------------------------------------------
 # crash signals
 # ---------------------------------------------------------------------------

@@ -96,7 +96,15 @@ class Evaluator:
         method = _DISPATCH.get(type(expr))
         if method is None:
             raise TypeError_(f"cannot evaluate {type(expr).__name__}")
-        return method(self, expr)
+        governor = self.ctx.governor
+        if governor is None:
+            return method(self, expr)
+        # governed path: depth/cells/wall budgets tick once per evaluation
+        governor.enter_eval()
+        try:
+            return method(self, expr)
+        finally:
+            governor.exit_eval()
 
     # -- literals ---------------------------------------------------------
     def _integer(self, expr: n.IntegerLit) -> SQLValue:

@@ -191,6 +191,7 @@ class Executor:
         columns = self._output_names(stmt, scopes)
         rows: List[List[SQLValue]] = []
         row_scopes: List[RowScope] = []
+        governor = self.ctx.governor
         if stmt.group_by or has_aggregate:
             groups = self._group_rows(stmt, scopes)
             for group in groups:
@@ -202,11 +203,15 @@ class Executor:
                         continue
                 rows.append(self._project(stmt, evaluator, representative))
                 row_scopes.append(representative)
+                if governor is not None:
+                    governor.on_rows()
         else:
             for scope in scopes:
                 evaluator = Evaluator(self.ctx, scope)
                 rows.append(self._project(stmt, evaluator, scope))
                 row_scopes.append(scope)
+                if governor is not None:
+                    governor.on_rows()
                 if len(rows) > MAX_RESULT_ROWS:
                     raise ResourceError("result set exceeds row limit")
 
@@ -252,6 +257,7 @@ class Executor:
         for source in sources:
             scope_sets.append(self._resolve_source(source, outer_scope))
         # cartesian product across comma-separated sources
+        governor = self.ctx.governor
         combined: List[Dict[str, SQLValue]] = [{}]
         for scope_set in scope_sets:
             next_combined = []
@@ -260,6 +266,8 @@ class Executor:
                     merged = dict(base)
                     merged.update(bindings)
                     next_combined.append(merged)
+                    if governor is not None:
+                        governor.on_rows()
                     if len(next_combined) > MAX_RESULT_ROWS:
                         raise ResourceError("join produces too many rows")
             combined = next_combined
@@ -305,6 +313,7 @@ class Executor:
             if right_rows
             else {}
         )
+        governor = self.ctx.governor
         for left in left_rows:
             matched = False
             for right in right_rows:
@@ -316,6 +325,8 @@ class Executor:
                         continue
                 matched = True
                 out.append(merged)
+                if governor is not None:
+                    governor.on_rows()
                 if len(out) > MAX_RESULT_ROWS:
                     raise ResourceError("join produces too many rows")
             if not matched and join.kind == "LEFT":

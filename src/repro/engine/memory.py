@@ -136,8 +136,14 @@ class Heap:
     def __init__(self) -> None:
         self.allocated = 0
         self.live: List[Buffer] = []
+        #: optional resource governor (installed by the harness); charged
+        #: before the buffer exists so a budget below MAX_ALLOCATION fires
+        #: as ``resource_exhausted`` rather than the engine's own limit
+        self.governor = None
 
     def alloc(self, size: int, label: str = "") -> Buffer:
+        if self.governor is not None:
+            self.governor.on_alloc(size)
         buf = Buffer(size, self, label=label)
         self.allocated += max(size, 0)
         self.live.append(buf)
@@ -211,12 +217,17 @@ class CallStack:
     def __init__(self, max_depth: int = 256) -> None:
         self.max_depth = max_depth
         self.frames: List[str] = []
+        #: optional resource governor; a depth budget below ``max_depth``
+        #: terminates runaway recursion before it becomes a crash signal
+        self.governor = None
 
     @property
     def depth(self) -> int:
         return len(self.frames)
 
     def push(self, frame: str, function: Optional[str] = None) -> None:
+        if self.governor is not None:
+            self.governor.on_stack_push(len(self.frames))
         if len(self.frames) >= self.max_depth:
             raise StackOverflow(
                 f"recursion depth {len(self.frames)} exceeded in {frame}",

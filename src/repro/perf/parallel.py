@@ -48,6 +48,7 @@ probability is negligible, and the merged report still flags
 
 from __future__ import annotations
 
+import concurrent.futures
 import json
 import multiprocessing
 import os
@@ -64,12 +65,18 @@ from ..core.collect import SeedCollector
 from ..core.oracles import CaseInfo, OraclePipeline, OracleStateError, build_pipeline
 from ..core.oracles.base import OracleSpec, parse_oracle_names
 from ..core.patterns import PatternEngine
-from ..core.runner import Runner
+from ..core.runner import Outcome, Runner
 from ..dialects import dialect_by_name
 from ..dialects.base import Dialect
 from ..robustness.checkpoint import CHECKPOINT_VERSION, CheckpointError
 from ..robustness.faults import FaultInjector, FaultPlan, make_fault_injector
+from ..robustness.governor import ResourceBudgets
 from ..robustness.policy import ServerQuarantined
+from ..robustness.sandbox import (
+    ContainmentState,
+    SandboxConfig,
+    make_sandbox_config,
+)
 from ..robustness.watchdog import (
     DEFAULT_DEADLINE_SECONDS,
     SimulatedClock,
@@ -106,6 +113,9 @@ def _run_shard(
     resume: bool,
     oracle_names: tuple = ("crash",),
     stop_after: Optional[int] = None,
+    budgets_spec: Optional[str] = None,
+    sandbox_config: Optional[SandboxConfig] = None,
+    containment_seed: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Execute one worker's share of the generated stream.
 
@@ -127,8 +137,21 @@ def _run_shard(
         clock=clock,
         watchdog=Watchdog(clock, deadline_seconds=statement_deadline),
         statement_cache=statement_cache,
+        budgets=budgets_spec,
+        sandbox=sandbox_config,
     )
     runner.capture_fingerprints = pipeline.needs_fingerprints
+    containment: Optional[ContainmentState] = None
+    if sandbox_config is not None:
+        containment = ContainmentState.from_config(sandbox_config)
+        if containment_seed is not None:
+            # containment built up during the parent's seed phase carries
+            # over: a seed statement that killed a worker stays quarantined
+            # in every shard
+            containment.restore_state(containment_seed)
+            # ...but the parent's skip count is accounted parent-side;
+            # this shard reports only its own skips
+            containment.skipped = 0
     # the engine rng is seeded but never consumed by generation; passing a
     # fresh Random(seed) in every process keeps the constructor contract
     engine = PatternEngine(
@@ -139,15 +162,20 @@ def _run_shard(
     )
 
     skip_in_shard = 0
+    shard_executed = 0
     outcome_counts: Dict[str, int] = {}
     if resume and checkpoint_path is not None:
         state = _load_shard_checkpoint(
             _shard_checkpoint_path(checkpoint_path, worker),
             dialect_name, seed, budget, max_partners,
             enable_coverage, jobs, worker, oracle_names,
+            budgets_spec, sandbox_config,
         )
         if state is not None:
-            skip_in_shard = state["shard_executed"]
+            # processed counts containment skips too; sidecars written
+            # before the sandbox existed only have the executed count
+            skip_in_shard = state.get("shard_processed", state["shard_executed"])
+            shard_executed = state["shard_executed"]
             outcome_counts = dict(state["outcomes"])
             try:
                 pipeline.restore_state(state["oracle_state"])
@@ -158,24 +186,42 @@ def _run_shard(
             if runner.coverage is not None:
                 runner.coverage.arcs |= {tuple(a) for a in state["coverage_arcs"]}
                 runner.coverage.lines |= {tuple(l) for l in state["coverage_lines"]}
+            sandbox_state = state.get("sandbox")
+            if sandbox_state is not None and containment is not None:
+                containment.restore_state(sandbox_state["containment"])
+                if runner.sandbox is not None:
+                    runner.sandbox.kills = sandbox_state["kills"]
+                    runner.sandbox.worker_deaths = sandbox_state["worker_deaths"]
+                    runner.sandbox.respawns = sandbox_state["respawns"]
 
     generated_budget = max(budget - seed_count, 0)
-    shard_executed = 0
+    shard_processed = 0
     executed_this_run = 0
     quarantined = False
     quarantine_reason = ""
     wall_started = time.monotonic()
 
+    def sandbox_report() -> Optional[Dict[str, Any]]:
+        if containment is None:
+            return None
+        return {
+            "containment": containment.export_state(),
+            "kills": runner.sandbox.kills if runner.sandbox else 0,
+            "worker_deaths": runner.sandbox.worker_deaths if runner.sandbox else 0,
+            "respawns": runner.sandbox.respawns if runner.sandbox else 0,
+        }
+
     def maybe_checkpoint() -> None:
         if checkpoint_path is None or checkpoint_every <= 0:
             return
-        if shard_executed == 0 or shard_executed % checkpoint_every:
+        if shard_processed == 0 or shard_processed % checkpoint_every:
             return
         _save_shard_checkpoint(
             _shard_checkpoint_path(checkpoint_path, worker),
             dialect_name, seed, budget, max_partners, enable_coverage,
             jobs, worker, oracle_names, shard_executed, pipeline,
-            outcome_counts, runner,
+            outcome_counts, runner, shard_processed, sandbox_report(),
+            budgets_spec, sandbox_config,
         )
 
     try:
@@ -184,23 +230,38 @@ def _run_shard(
                 break
             if index % jobs != worker:
                 continue  # lazy case: skipping costs no SQL rendering
-            if shard_executed < skip_in_shard:
-                shard_executed += 1
+            if shard_processed < skip_in_shard:
+                shard_processed += 1
                 continue
             position = seed_count + index
+            info = CaseInfo(case.pattern, case.seed_function, case.seed_family)
+            if containment is not None:
+                reason = containment.should_skip(case.sql, case.seed_family)
+                if reason is not None:
+                    containment.note_skip()
+                    outcome_counts["skipped"] = outcome_counts.get("skipped", 0) + 1
+                    pipeline.observe(
+                        Outcome("skipped", case.sql, message=reason),
+                        info, position,
+                    )
+                    shard_processed += 1
+                    maybe_checkpoint()
+                    continue
             outcome = runner.run(case.sql, position=position)
+            if containment is not None:
+                containment.observe(
+                    outcome.kind, case.sql, case.seed_family, outcome.message
+                )
             outcome_counts[outcome.kind] = outcome_counts.get(outcome.kind, 0) + 1
-            pipeline.observe(
-                outcome,
-                CaseInfo(case.pattern, case.seed_function, case.seed_family),
-                position,
-            )
+            pipeline.observe(outcome, info, position)
+            shard_processed += 1
             shard_executed += 1
             executed_this_run += 1
             maybe_checkpoint()
             if stop_after is not None and executed_this_run >= stop_after:
                 break
     except ServerQuarantined as exc:
+        shard_processed = max(shard_processed - 1, 0)
         shard_executed = max(shard_executed - 1, 0)
         quarantined = True
         quarantine_reason = str(exc)
@@ -227,14 +288,18 @@ def _run_shard(
         "quarantined": quarantined,
         "quarantine_reason": quarantine_reason,
         "wall_seconds": time.monotonic() - wall_started,
+        "shard_processed": shard_processed,
+        "sandbox": sandbox_report(),
     }
     if checkpoint_path is not None:
         _save_shard_checkpoint(
             _shard_checkpoint_path(checkpoint_path, worker),
             dialect_name, seed, budget, max_partners, enable_coverage,
             jobs, worker, oracle_names, shard_executed, pipeline,
-            outcome_counts, runner,
+            outcome_counts, runner, shard_processed, sandbox_report(),
+            budgets_spec, sandbox_config,
         )
+    runner.close()
     return report
 
 
@@ -245,8 +310,10 @@ def _shard_spec(
     dialect: str, seed: int, budget: int, max_partners: int,
     enable_coverage: bool, jobs: int, worker: int,
     oracle_names: tuple,
+    budgets_spec: Optional[str] = None,
+    sandbox_config: Optional[SandboxConfig] = None,
 ) -> Dict[str, Any]:
-    return {
+    spec = {
         "version": CHECKPOINT_VERSION,
         "shard_format": SHARD_FORMAT_VERSION,
         "dialect": dialect,
@@ -258,6 +325,18 @@ def _shard_spec(
         "worker": worker,
         "oracles": list(oracle_names),
     }
+    # only non-default governance/sandbox settings enter the spec, so
+    # sidecars written before this layer existed still match default runs
+    if budgets_spec:
+        spec["budgets"] = budgets_spec
+    if sandbox_config is not None:
+        spec["sandbox"] = {
+            "wall_deadline_seconds": sandbox_config.wall_deadline_seconds,
+            "breaker_threshold": sandbox_config.breaker_threshold,
+            "quarantine": list(sandbox_config.quarantine),
+            "max_message_bytes": sandbox_config.max_message_bytes,
+        }
+    return spec
 
 
 def _save_shard_checkpoint(
@@ -269,13 +348,21 @@ def _save_shard_checkpoint(
     pipeline: OraclePipeline,
     outcomes: Dict[str, int],
     runner: Runner,
+    shard_processed: Optional[int] = None,
+    sandbox_state: Optional[Dict[str, Any]] = None,
+    budgets_spec: Optional[str] = None,
+    sandbox_config: Optional[SandboxConfig] = None,
 ) -> None:
     payload = {
         "spec": _shard_spec(
             dialect, seed, budget, max_partners, enable_coverage, jobs,
-            worker, oracle_names,
+            worker, oracle_names, budgets_spec, sandbox_config,
         ),
         "shard_executed": shard_executed,
+        "shard_processed": (
+            shard_processed if shard_processed is not None else shard_executed
+        ),
+        "sandbox": sandbox_state,
         "oracle_state": pipeline.export_state(),
         "outcomes": outcomes,
         "fault_counters": dict(runner.fault_counters),
@@ -298,6 +385,8 @@ def _load_shard_checkpoint(
     dialect: str, seed: int, budget: int, max_partners: int,
     enable_coverage: bool, jobs: int, worker: int,
     oracle_names: tuple,
+    budgets_spec: Optional[str] = None,
+    sandbox_config: Optional[SandboxConfig] = None,
 ) -> Optional[Dict[str, Any]]:
     if not os.path.exists(path):
         return None
@@ -305,7 +394,7 @@ def _load_shard_checkpoint(
         payload = json.load(fh)
     expected = _shard_spec(
         dialect, seed, budget, max_partners, enable_coverage, jobs, worker,
-        oracle_names,
+        oracle_names, budgets_spec, sandbox_config,
     )
     if payload.get("spec") != expected:
         raise CheckpointError(
@@ -343,6 +432,8 @@ class ParallelCampaign:
         statement_deadline: float = DEFAULT_DEADLINE_SECONDS,
         statement_cache: bool = True,
         oracles: OracleSpec = None,
+        budgets: Union[None, str, ResourceBudgets] = None,
+        sandbox: Union[None, bool, SandboxConfig] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -351,6 +442,18 @@ class ParallelCampaign:
                 "ParallelCampaign needs a fault *spec* (string/FaultPlan), "
                 "not a FaultInjector: each worker builds its own injector"
             )
+        self.sandbox_config = make_sandbox_config(sandbox)
+        if self.sandbox_config is not None and faults is not None:
+            raise ValueError(
+                "--sandbox and --faults are mutually exclusive: the fault "
+                "injector simulates infrastructure noise in-process, the "
+                "sandbox contains the real thing"
+            )
+        if isinstance(budgets, str):
+            budgets = ResourceBudgets.parse(budgets)  # validate up front
+        self.budgets_spec = (
+            budgets.to_spec() if budgets is not None and budgets.enabled else None
+        )
         self.dialect = (
             dialect_by_name(dialect) if isinstance(dialect, str) else dialect
         )
@@ -402,8 +505,15 @@ class ParallelCampaign:
             clock=clock,
             watchdog=Watchdog(clock, deadline_seconds=self.statement_deadline),
             statement_cache=self.statement_cache,
+            budgets=self.budgets_spec,
+            sandbox=self.sandbox_config,
         )
         runner.capture_fingerprints = pipeline.needs_fingerprints
+        containment: Optional[ContainmentState] = (
+            ContainmentState.from_config(self.sandbox_config)
+            if self.sandbox_config is not None
+            else None
+        )
         result = CampaignResult(dialect=self.dialect.name)
         seeds = SeedCollector(self.dialect).collect()
         result.seeds_collected = len(seeds)
@@ -416,15 +526,30 @@ class ParallelCampaign:
             for seed_obj in seeds:
                 if position >= self.budget:
                     break
-                outcome = runner.run(f"SELECT {seed_obj.sql};", position=position)
+                sql = f"SELECT {seed_obj.sql};"
+                info = CaseInfo("seed", seed_obj.function, seed_obj.family)
+                if containment is not None:
+                    reason = containment.should_skip(sql, seed_obj.family)
+                    if reason is not None:
+                        containment.note_skip()
+                        result.outcomes["skipped"] = (
+                            result.outcomes.get("skipped", 0) + 1
+                        )
+                        pipeline.observe(
+                            Outcome("skipped", sql, message=reason),
+                            info, position,
+                        )
+                        position += 1
+                        continue
+                outcome = runner.run(sql, position=position)
+                if containment is not None:
+                    containment.observe(
+                        outcome.kind, sql, seed_obj.family, outcome.message
+                    )
                 result.outcomes[outcome.kind] = (
                     result.outcomes.get(outcome.kind, 0) + 1
                 )
-                pipeline.observe(
-                    outcome,
-                    CaseInfo("seed", seed_obj.function, seed_obj.family),
-                    position,
-                )
+                pipeline.observe(outcome, info, position)
                 if outcome.result_type and seed_obj.function not in return_types:
                     return_types[seed_obj.function] = outcome.result_type
                 position += 1
@@ -439,6 +564,9 @@ class ParallelCampaign:
         # ---- fan out the generated stream ----------------------------
         reports: List[Dict[str, Any]] = []
         if not quarantined and seed_count < self.budget:
+            containment_seed = (
+                containment.export_state() if containment is not None else None
+            )
             shard_args = [
                 (
                     self.dialect.name, worker, self.jobs, self.seed,
@@ -447,6 +575,7 @@ class ParallelCampaign:
                     self.statement_deadline, self.statement_cache,
                     self.checkpoint_path, self.checkpoint_every, resume,
                     self.oracle_names, self._stop_after,
+                    self.budgets_spec, self.sandbox_config, containment_seed,
                 )
                 for worker in range(self.jobs)
             ]
@@ -457,14 +586,30 @@ class ParallelCampaign:
                     "fork" if "fork" in multiprocessing.get_all_start_methods()
                     else "spawn"
                 )
-                with ctx.Pool(processes=self.jobs) as pool:
-                    reports = pool.starmap(_run_shard, shard_args)
+                if self.sandbox_config is not None:
+                    # Pool workers are daemonic and may not spawn the
+                    # sandbox's own subprocess children; ProcessPoolExecutor
+                    # workers are not, so sandboxed shards go through it.
+                    with concurrent.futures.ProcessPoolExecutor(
+                        max_workers=self.jobs, mp_context=ctx
+                    ) as executor:
+                        futures = [
+                            executor.submit(_run_shard, *spec)
+                            for spec in shard_args
+                        ]
+                        reports = [future.result() for future in futures]
+                else:
+                    with ctx.Pool(processes=self.jobs) as pool:
+                        reports = pool.starmap(_run_shard, shard_args)
 
         # ---- merge ----------------------------------------------------
-        return self._merge(
+        merged = self._merge(
             result, runner, pipeline, injector, seed_count,
             reports, quarantined, quarantine_reason, wall_started,
+            containment,
         )
+        runner.close()
+        return merged
 
     # ------------------------------------------------------------------
     def _merge(
@@ -478,6 +623,7 @@ class ParallelCampaign:
         quarantined: bool,
         quarantine_reason: str,
         wall_started: float,
+        containment: Optional[ContainmentState] = None,
     ) -> CampaignResult:
         # fold every shard's oracle state into the parent pipeline; each
         # oracle re-sorts its kept records by global stream position and
@@ -488,7 +634,9 @@ class ParallelCampaign:
         except OracleStateError as exc:
             raise CheckpointError(str(exc)) from exc
 
-        executed = seed_count
+        # the seed phase's executed count (containment skips advance the
+        # position but never reach the runner)
+        executed = seed_runner.executed
         triggered = set(seed_runner.server.ctx.triggered_functions)
         arcs = set(seed_runner.coverage.arcs) if seed_runner.coverage else set()
         lines = set(seed_runner.coverage.lines) if seed_runner.coverage else set()
@@ -531,6 +679,34 @@ class ParallelCampaign:
         result.quarantine_reason = quarantine_reason
         result.cache_hits = cache_hits
         result.cache_misses = cache_misses
+        if containment is not None:
+            # fold the shards' containment outcomes into the parent's
+            # seed-phase state for the supervisor summary
+            containment.merge(
+                [
+                    report["sandbox"]["containment"]
+                    for report in reports
+                    if report.get("sandbox") is not None
+                ]
+            )
+            result.sandbox_active = True
+            result.open_breakers = containment.open_breakers
+            result.quarantined_statements = len(containment.quarantine)
+            result.skipped_statements = containment.skipped
+            kills = seed_runner.sandbox.kills if seed_runner.sandbox else 0
+            deaths = (
+                seed_runner.sandbox.worker_deaths if seed_runner.sandbox else 0
+            )
+            respawns = seed_runner.sandbox.respawns if seed_runner.sandbox else 0
+            for report in reports:
+                sandbox_state = report.get("sandbox")
+                if sandbox_state is not None:
+                    kills += sandbox_state["kills"]
+                    deaths += sandbox_state["worker_deaths"]
+                    respawns += sandbox_state["respawns"]
+            result.sandbox_kills = kills
+            result.sandbox_worker_deaths = deaths
+            result.sandbox_respawns = respawns
         result.wall_seconds = time.monotonic() - wall_started
         result.elapsed_seconds = result.wall_seconds
         return result
@@ -549,6 +725,8 @@ def run_parallel_campaign(
     resume: bool = False,
     statement_cache: bool = True,
     oracles: OracleSpec = None,
+    budgets: Union[None, str, ResourceBudgets] = None,
+    sandbox: Union[None, bool, SandboxConfig] = None,
 ) -> CampaignResult:
     """Convenience wrapper mirroring :func:`repro.core.run_campaign`."""
     return ParallelCampaign(
@@ -563,4 +741,6 @@ def run_parallel_campaign(
         checkpoint_every=checkpoint_every,
         statement_cache=statement_cache,
         oracles=oracles,
+        budgets=budgets,
+        sandbox=sandbox,
     ).run(resume=resume)

@@ -89,6 +89,14 @@ class CampaignCheckpoint:
     coverage_lines: List[List[Any]] = field(default_factory=list)
     # clock
     elapsed_seconds: float = 0.0
+    # sandbox/containment extension (both default-valued so pre-sandbox
+    # checkpoints keep loading under the strict unknown-field check):
+    # stream_position counts containment-skipped statements too; `executed`
+    # only counts statements that reached the runner.  None means "no skips
+    # possible" and resume falls back to `executed`.
+    stream_position: Optional[int] = None
+    #: containment state + worker kill/respawn counters (sandbox campaigns)
+    sandbox: Optional[Dict[str, Any]] = None
     version: int = CHECKPOINT_VERSION
 
     # ------------------------------------------------------------------

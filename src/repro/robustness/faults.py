@@ -42,6 +42,7 @@ exactly, without carrying RNG state.
 
 from __future__ import annotations
 
+import math
 import random
 from contextlib import contextmanager
 from dataclasses import dataclass, fields
@@ -142,13 +143,28 @@ class FaultPlan:
             if "=" not in part:
                 raise ValueError(f"bad fault spec item {part!r}: expected name=value")
             name, _, raw = part.partition("=")
-            name = _FIELD_ALIASES.get(name.strip(), name.strip())
+            given = name.strip()
+            name = _FIELD_ALIASES.get(given, given)
             if name not in known:
-                raise ValueError(f"unknown fault class {part.split('=')[0]!r}")
+                raise ValueError(f"unknown fault class {given!r}")
+            if name in values:
+                # checked after alias resolution so "flaky=...,flaky_crash=..."
+                # is caught too — both names set flaky_crash_rate
+                raise ValueError(
+                    f"duplicate fault spec key {given!r}: "
+                    f"{name} was already set"
+                )
             try:
-                values[name] = float(raw)
+                value = float(raw)
             except ValueError:
                 raise ValueError(f"bad fault rate {raw!r} for {name}") from None
+            if math.isnan(value):
+                raise ValueError(f"fault spec value for {name} must not be NaN")
+            if value < 0:
+                raise ValueError(
+                    f"fault spec value for {name} must be >= 0, got {raw.strip()}"
+                )
+            values[name] = value
         return cls(**values)
 
 

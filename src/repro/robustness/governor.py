@@ -1,0 +1,216 @@
+"""Resource governance for the in-process engines (``--budgets``).
+
+A pathological generated statement — deep expression nesting, a cartesian
+blowup, a runaway allocation loop in a flawed built-in — can wedge or OOM
+the whole harness before the engine's own limits fire.  The
+:class:`ResourceGovernor` puts harness-side ceilings under the engine:
+configurable budgets, checked cooperatively at the engine's existing choke
+points (expression evaluation, row materialisation, heap allocation, stack
+pushes), raising :class:`~repro.engine.errors.ResourceExhausted` the moment
+one trips.  The runner classifies that as a first-class
+``resource_exhausted`` outcome.
+
+Budgets (all opt-in; a ``None`` budget is never checked):
+
+``depth``
+    maximum expression-evaluation/recursion depth (also bounds the
+    simulated :class:`~repro.engine.memory.CallStack`, so a tight budget
+    fires *before* the engine's own stack-overflow crash would).
+``cells``
+    total expression evaluations per statement — the cheap proxy for
+    "cells evaluated" that also bounds wide-row × many-row work.
+``rows``
+    rows materialised per statement (projection loops, joins, products).
+``bytes``
+    bytes allocated from the simulated heap per statement.
+``wall_ms``
+    a *cooperative* real-wall-clock deadline: checked every
+    :data:`TICK_INTERVAL` evaluations, so a statement spinning inside the
+    evaluator is killed even on the simulated campaign clock.  (A hang
+    that never re-enters the evaluator needs the process sandbox —
+    see :mod:`repro.robustness.sandbox`.)
+
+Default campaigns construct no governor at all: every engine hook is a
+``governor is None`` check, so budgets-off runs stay byte-identical to
+pre-governor builds.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, fields
+from typing import Dict, Optional, Union
+
+from ..engine.errors import ResourceExhausted
+
+#: wall-deadline check cadence, in evaluator entries; a power of two so the
+#: hot path is a single bitwise AND
+TICK_INTERVAL = 256
+
+
+@dataclass(frozen=True)
+class ResourceBudgets:
+    """Per-statement resource ceilings; ``None`` disables a budget."""
+
+    depth: Optional[int] = None
+    cells: Optional[int] = None
+    rows: Optional[int] = None
+    bytes: Optional[int] = None
+    wall_ms: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if value is None:
+                continue
+            if not isinstance(value, int) or isinstance(value, bool) or value <= 0:
+                raise ValueError(
+                    f"budget {f.name!r} must be a positive integer, got {value!r}"
+                )
+
+    @property
+    def enabled(self) -> bool:
+        return any(getattr(self, f.name) is not None for f in fields(self))
+
+    @classmethod
+    def parse(cls, spec: str) -> "ResourceBudgets":
+        """Parse a CLI budget spec: ``"depth=64,rows=5000,bytes=1048576"``.
+
+        Accepted keys are the dataclass fields (``depth``, ``cells``,
+        ``rows``, ``bytes``, ``wall_ms``).  Duplicate keys, unknown keys,
+        and non-positive or non-integer values are rejected loudly.
+        """
+        spec = spec.strip().lower()
+        if spec in ("", "off", "none", "0", "false"):
+            return cls()
+        known = {f.name for f in fields(cls)}
+        values: Dict[str, int] = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ValueError(f"bad budget spec item {part!r}: expected name=value")
+            name, _, raw = part.partition("=")
+            name = name.strip()
+            if name not in known:
+                raise ValueError(
+                    f"unknown budget {name!r} (expected one of {sorted(known)})"
+                )
+            if name in values:
+                raise ValueError(f"duplicate budget {name!r} in spec")
+            try:
+                value = float(raw)
+            except ValueError:
+                raise ValueError(f"bad budget value {raw!r} for {name}") from None
+            if math.isnan(value) or math.isinf(value) or value != int(value):
+                raise ValueError(f"budget {name!r} must be an integer, got {raw!r}")
+            values[name] = int(value)
+        return cls(**values)
+
+    def to_spec(self) -> str:
+        """Inverse of :meth:`parse`; used to cross process boundaries."""
+        return ",".join(
+            f"{f.name}={getattr(self, f.name)}"
+            for f in fields(self)
+            if getattr(self, f.name) is not None
+        )
+
+
+class ResourceGovernor:
+    """Enforces :class:`ResourceBudgets` at the engine's choke points.
+
+    One governor is attached to a server (surviving restarts) and re-armed
+    at the start of every statement.  Counters are per-statement; the
+    ``exhausted_counts`` dict accumulates trips per budget for the campaign
+    health report.
+    """
+
+    def __init__(self, budgets: ResourceBudgets) -> None:
+        self.budgets = budgets
+        self.depth = 0
+        self.cells = 0
+        self.rows = 0
+        self.bytes_allocated = 0
+        self._ticks = 0
+        self._wall_deadline: Optional[float] = None
+        #: budget name -> number of statements killed by it (lifetime)
+        self.exhausted_counts: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def begin_statement(self) -> None:
+        """Re-arm the per-statement counters and the wall deadline."""
+        self.depth = 0
+        self.cells = 0
+        self.rows = 0
+        self.bytes_allocated = 0
+        self._ticks = 0
+        wall_ms = self.budgets.wall_ms
+        self._wall_deadline = (
+            time.monotonic() + wall_ms / 1000.0 if wall_ms is not None else None
+        )
+
+    def _exhaust(self, budget: str, used: int, limit: int) -> None:
+        self.exhausted_counts[budget] = self.exhausted_counts.get(budget, 0) + 1
+        raise ResourceExhausted(budget, used, limit)
+
+    # ------------------------------------------------------------------
+    # engine hooks (all duck-typed: the engine never imports this module)
+    def enter_eval(self) -> None:
+        """One expression evaluation begins (depth/cells/wall tick)."""
+        budgets = self.budgets
+        self.depth += 1
+        if budgets.depth is not None and self.depth > budgets.depth:
+            self._exhaust("depth", self.depth, budgets.depth)
+        self.cells += 1
+        if budgets.cells is not None and self.cells > budgets.cells:
+            self._exhaust("cells", self.cells, budgets.cells)
+        if self._wall_deadline is not None:
+            self._ticks += 1
+            if not self._ticks & (TICK_INTERVAL - 1):
+                if time.monotonic() > self._wall_deadline:
+                    self._exhaust("wall_ms", self._ticks, budgets.wall_ms or 0)
+
+    def exit_eval(self) -> None:
+        self.depth -= 1
+
+    def on_rows(self, count: int = 1) -> None:
+        """*count* rows were materialised by the executor."""
+        self.rows += count
+        limit = self.budgets.rows
+        if limit is not None and self.rows > limit:
+            self._exhaust("rows", self.rows, limit)
+
+    def on_alloc(self, size: int) -> None:
+        """*size* bytes were requested from the simulated heap."""
+        self.bytes_allocated += max(size, 0)
+        limit = self.budgets.bytes
+        if limit is not None and self.bytes_allocated > limit:
+            self._exhaust("bytes", self.bytes_allocated, limit)
+
+    def on_stack_push(self, current_depth: int) -> None:
+        """The simulated call stack grew to *current_depth* frames."""
+        limit = self.budgets.depth
+        if limit is not None and current_depth >= limit:
+            self._exhaust("depth", current_depth, limit)
+
+
+def make_governor(
+    budgets: Union[None, str, ResourceBudgets]
+) -> Optional[ResourceGovernor]:
+    """Coerce the user-facing ``budgets`` argument into a governor.
+
+    Returns ``None`` when no budget is enabled — the engine hooks then
+    cost one attribute load + ``is None`` check each, keeping default
+    campaigns byte-identical.
+    """
+    if budgets is None:
+        return None
+    if isinstance(budgets, str):
+        budgets = ResourceBudgets.parse(budgets)
+    if not isinstance(budgets, ResourceBudgets):
+        raise TypeError(f"cannot build a ResourceGovernor from {budgets!r}")
+    if not budgets.enabled:
+        return None
+    return ResourceGovernor(budgets)

@@ -34,6 +34,41 @@ DEFAULT_DEADLINE_SECONDS = 300.0
 #: simulated elapsed time of a campaign meaningful without real sleeping
 DEFAULT_STATEMENT_COST_SECONDS = 0.01
 
+#: default *real* wall-clock deadline for sandboxed requests, in seconds.
+#: Unlike :data:`DEFAULT_DEADLINE_SECONDS` (which meters the simulated
+#: clock), this bounds actual elapsed time: a subprocess worker that does
+#: not answer within it is SIGKILLed by the sandbox (see
+#: :class:`repro.robustness.sandbox.SandboxedConnection`).
+DEFAULT_REAL_DEADLINE_SECONDS = 30.0
+
+
+class RealDeadline:
+    """A monotonic wall-clock deadline for operations a simulated clock
+    cannot meter (subprocess round-trips, socket reads).
+
+    ``remaining()`` is what callers feed into blocking-call timeouts;
+    ``expired`` is the post-hoc check.  Always runs on real time — this is
+    deliberately *not* a :class:`Clock` client, because the whole point is
+    to catch hangs the simulated clock never sees.
+    """
+
+    def __init__(self, seconds: float = DEFAULT_REAL_DEADLINE_SECONDS) -> None:
+        if seconds <= 0:
+            raise ValueError("deadline must be positive")
+        self.seconds = seconds
+        self._armed = time.monotonic()
+
+    def rearm(self) -> None:
+        self._armed = time.monotonic()
+
+    def remaining(self) -> float:
+        """Seconds left (never negative; suitable for socket timeouts)."""
+        return max(0.0, self.seconds - (time.monotonic() - self._armed))
+
+    @property
+    def expired(self) -> bool:
+        return time.monotonic() - self._armed >= self.seconds
+
 
 class StatementHang(Exception):
     """The statement's connection hung (raised by the fault injector).

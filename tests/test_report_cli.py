@@ -4,7 +4,7 @@ import pytest
 
 from repro.cli import main
 from repro.core.campaign import run_campaign
-from repro.core.oracle import DiscoveredBug
+from repro.core.oracles import DiscoveredBug
 from repro.core.report import (
     feedback_summary,
     format_table4,

@@ -6,7 +6,7 @@ import os
 import pytest
 
 from repro.core.campaign import Campaign, run_campaign
-from repro.core.oracle import CrashOracle
+from repro.core.oracles import CrashOracle
 from repro.core.runner import Runner
 from repro.dialects import dialect_by_name
 from repro.engine.connection import (
@@ -70,6 +70,33 @@ class TestFaultPlan:
     def test_rates_must_fit_one_statement_draw(self):
         with pytest.raises(ValueError):
             FaultPlan(hang_rate=0.6, drop_rate=0.6)
+
+    def test_parse_rejects_duplicate_keys(self):
+        with pytest.raises(ValueError, match="duplicate fault spec key 'hang'"):
+            FaultPlan.parse("hang=0.01,hang=0.02")
+
+    def test_parse_rejects_aliased_duplicates(self):
+        # "flaky" and "flaky_crash" both resolve to flaky_crash_rate; the
+        # duplicate check runs after alias resolution so this is caught too
+        with pytest.raises(
+            ValueError,
+            match="duplicate fault spec key 'flaky_crash'.*flaky_crash_rate "
+            "was already set",
+        ):
+            FaultPlan.parse("flaky=0.01,flaky_crash=0.02")
+
+    def test_parse_rejects_nan_rate(self):
+        with pytest.raises(
+            ValueError, match="fault spec value for hang_rate must not be NaN"
+        ):
+            FaultPlan.parse("hang=nan")
+
+    def test_parse_rejects_negative_rate(self):
+        with pytest.raises(
+            ValueError,
+            match=r"fault spec value for drop_rate must be >= 0, got -0.1",
+        ):
+            FaultPlan.parse("drop=-0.1")
 
     def test_make_injector_coercions(self):
         assert make_fault_injector(None) is None

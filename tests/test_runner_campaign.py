@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.campaign import Campaign, run_campaign
-from repro.core.oracle import CrashOracle
+from repro.core.oracles import CrashOracle
 from repro.core.runner import Runner
 from repro.dialects import bugs_for, dialect_by_name
 from repro.engine.connection import ConnectionClosed, ServerCrashed
@@ -192,3 +192,26 @@ class TestCampaign:
                      rng=random.Random(99), clock=SimulatedClock()).run()
         assert a.signature() == b.signature()
         assert a.elapsed_seconds == b.elapsed_seconds
+
+
+class TestOracleShimDeprecation:
+    def test_legacy_import_path_warns_and_reexports(self):
+        import importlib
+        import sys
+        import warnings
+
+        sys.modules.pop("repro.core.oracle", None)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            module = importlib.import_module("repro.core.oracle")
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert deprecations, "importing repro.core.oracle must warn"
+        assert "repro.core.oracles" in str(deprecations[0].message)
+
+        from repro.core.oracles import CrashOracle as canonical_oracle
+        from repro.core.oracles import DiscoveredBug as canonical_bug
+
+        assert module.CrashOracle is canonical_oracle
+        assert module.DiscoveredBug is canonical_bug
