@@ -17,6 +17,7 @@ from typing import Dict, List
 
 from repro.analysis import ComparisonTable, run_comparison
 from repro.core.campaign import Campaign, CampaignResult
+from repro.core.config import CampaignConfig
 from repro.dialects import dialect_by_name, dialect_names
 
 #: scale factor for every budget: REPRO_BENCH_SCALE=0.2 runs a fast smoke
@@ -77,12 +78,12 @@ def two_week_campaign(dialect_name: str) -> CampaignResult:
 
     def compute() -> CampaignResult:
         dialect = dialect_by_name(dialect_name)
-        return Campaign(
-            dialect,
+        return Campaign(dialect, config=CampaignConfig(
+            dialect=dialect_name,
             budget=BUDGET_2W,
             stop_when_all_found=True,
             seed=0,
-        ).run()
+        )).run()
 
     return _cached(f"campaign2w_{dialect_name}_{BUDGET_2W}_0", compute)
 
@@ -98,7 +99,8 @@ def day_campaign(dialect_name: str) -> CampaignResult:
 
     def compute() -> CampaignResult:
         dialect = dialect_by_name(dialect_name)
-        return Campaign(dialect, budget=BUDGET_24H, seed=0).run()
+        return Campaign(dialect, config=CampaignConfig(
+            dialect=dialect_name, budget=BUDGET_24H, seed=0)).run()
 
     return _cached(f"campaign24h_{dialect_name}_{BUDGET_24H}_0", compute)
 

@@ -13,7 +13,7 @@ speaks to a live server instead of the in-process engine).
     python examples/custom_dialect.py
 """
 
-from repro.core import Campaign, render_bug_report
+from repro.core import Campaign, CampaignConfig, render_bug_report
 from repro.dialects.base import Dialect
 from repro.dialects.flaws import install_flaw, trig_empty_string, trig_wide_number
 from repro.engine.functions import FunctionRegistry
@@ -65,7 +65,8 @@ def main() -> int:
           f"({len(dialect.test_suite())} regression queries).")
 
     print("Fuzzing TinyDB with SOFT (15k statements)...")
-    result = Campaign(dialect, budget=15_000).run()
+    result = Campaign(
+        dialect, config=CampaignConfig(dialect=dialect.name, budget=15_000)).run()
 
     print(f"\nSOFT triggered {len(result.triggered_functions)} functions and "
           f"found {len(result.bugs)} unique crashes:")

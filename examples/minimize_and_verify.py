@@ -11,7 +11,7 @@
     python examples/minimize_and_verify.py
 """
 
-from repro.core import Campaign, LogicOracle, minimize_poc
+from repro.core import Campaign, CampaignConfig, LogicOracle, minimize_poc
 from repro.dialects import dialect_by_name
 from repro.dialects.base import Dialect
 
@@ -19,7 +19,8 @@ from repro.dialects.base import Dialect
 def main() -> int:
     dialect = dialect_by_name("mariadb")
     print("Step 1 — fuzzing mariadb (12k statements)...")
-    result = Campaign(dialect, budget=12_000).run()
+    result = Campaign(
+        dialect, config=CampaignConfig(dialect="mariadb", budget=12_000)).run()
     print(f"  {len(result.bugs)} unique crashes found\n")
 
     print("Step 2 — minimising every PoC:")

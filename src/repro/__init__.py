@@ -28,6 +28,7 @@ from .core import (
     BUDGET_24_HOURS,
     BUDGET_TWO_WEEKS,
     Campaign,
+    CampaignConfig,
     CampaignResult,
     DiscoveredBug,
     PatternEngine,
@@ -60,7 +61,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BUDGET_24_HOURS", "BUDGET_TWO_WEEKS", "Campaign", "CampaignCheckpoint",
-    "CampaignResult", "Connection", "Dialect", "DiscoveredBug",
+    "CampaignConfig", "CampaignResult", "Connection", "Dialect",
+    "DiscoveredBug",
     "FaultInjector", "FaultPlan", "InjectedBug", "PatternEngine",
     "RetryPolicy", "Runner", "SQLError", "SeedCollector", "Server",
     "ServerCrashed", "ServerQuarantined", "__version__", "all_bugs",

@@ -13,6 +13,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..baselines import SQLancerPQS, SQLsmith, Squirrel, run_tool
 from ..core.campaign import Campaign
+from ..core.config import CampaignConfig
 from ..dialects import dialect_by_name
 
 #: dialect columns of Tables 5/6, in paper order
@@ -114,9 +115,12 @@ def run_comparison(
                 if tool_name == "soft":
                     result = Campaign(
                         dialect_by_name(dialect_name),
-                        budget=budget,
-                        enable_coverage=enable_coverage,
-                        seed=seed,
+                        config=CampaignConfig(
+                            dialect=dialect_name,
+                            budget=budget,
+                            enable_coverage=enable_coverage,
+                            seed=seed,
+                        ),
                     ).run()
                     cell.triggered_functions = len(result.triggered_functions)
                     cell.branch_coverage = result.branch_coverage

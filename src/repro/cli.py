@@ -1,72 +1,153 @@
-"""Command-line interface: ``soft <command>``.
+"""Command-line interface: ``repro <command>`` (also installed as ``soft``).
 
 Commands:
 
-* ``soft fuzz <dialect> [--budget N] [--coverage] [--faults SPEC]
+* ``repro run <dialect> [--budget N] [--coverage] [--faults SPEC]
   [--checkpoint PATH] [--resume PATH] [--jobs N] [--no-stmt-cache]
   [--oracles NAMES] [--sandbox] [--budgets SPEC]`` — run a SOFT campaign
   (optionally under injected infrastructure faults, with periodic
   checkpoints, sharded across N worker processes, with extra logic-bug
   oracles, inside a subprocess execution sandbox, and/or under
   per-statement resource budgets) and print the discovered bugs as
-  disclosure-ready reports.
-* ``soft dialects`` — list the simulated DBMSs and their inventories.
-* ``soft study`` — print the bug-study summary (Findings 1-4).
-* ``soft compare [--budget N]`` — the Tables 5/6 tool comparison.
-* ``soft poc <dialect>`` — print every injected bug's PoC statement.
+  disclosure-ready reports.  ``fuzz`` is the historical alias.
+* ``repro serve [--port N] [--data-dir DIR]`` — campaign-as-a-service:
+  the HTTP/JSON scheduler plus persistent bug repository.
+* ``repro bugs list|show|replay|triage`` — browse, replay, and triage
+  the persistent bug repository without booting the server.
+* ``repro dialects`` — list the simulated DBMSs and their inventories.
+* ``repro study`` — print the bug-study summary (Findings 1-4).
+* ``repro compare [--budget N]`` — the Tables 5/6 tool comparison.
+* ``repro poc <dialect>`` — print every injected bug's PoC statement.
+
+The library's option validation speaks :class:`~repro.core.CampaignConfig`
+field names ('sandbox', 'faults', 'enable_coverage', ...); this module
+owns the flag spellings, so :func:`_flagify` rewrites those names into
+``--sandbox``/``--faults``/``--coverage`` before an error reaches the
+terminal.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
+import re
 import sys
 from typing import List, Optional
+
+#: config field name -> CLI flag spelling.  Library errors name config
+#: fields; the CLI translates them at its boundary (see _flagify).
+_FIELD_FLAGS = {
+    "enable_coverage": "--coverage",
+    "statement_cache": "--no-stmt-cache",
+    "checkpoint_path": "--checkpoint",
+    "checkpoint_every": "--checkpoint-every",
+    "fault_seed": "--fault-seed",
+    "sandbox": "--sandbox",
+    "faults": "--faults",
+    "budgets": "--budgets",
+    "oracles": "--oracles",
+    "budget": "--budget",
+    "jobs": "--jobs",
+    "seed": "--seed",
+}
+
+_DEFAULT_DATA_DIR = os.path.join(".", ".repro-service")
+
+
+def _flagify(message: str) -> str:
+    """Rewrite config field names in a library error into flag spellings."""
+    for field, flag in _FIELD_FLAGS.items():
+        message = re.sub(
+            rf"(?:the )?'{re.escape(field)}'(?: option(?:s)?)?", flag, message
+        )
+    return message
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
-        prog="soft",
+        prog="repro",
         description="Boundary-argument fuzzing for built-in SQL functions "
         "(EuroSys'25 reproduction)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_fuzz = sub.add_parser("fuzz", help="run a SOFT campaign")
-    p_fuzz.add_argument("dialect", help="target dialect name")
-    p_fuzz.add_argument("--budget", type=int, default=20_000,
-                        help="query budget (default: 20000 ≈ '24 hours')")
-    p_fuzz.add_argument("--coverage", action="store_true",
-                        help="track branch coverage (slower)")
-    p_fuzz.add_argument("--seed", type=int, default=0)
-    p_fuzz.add_argument("--reports", action="store_true",
-                        help="print full bug reports instead of one-liners")
-    p_fuzz.add_argument("--faults", metavar="SPEC", default=None,
-                        help="inject infrastructure faults: 'default' or "
-                        "'hang=0.01,drop=0.02,flaky=0.005,restart_fail=0.1'")
-    p_fuzz.add_argument("--fault-seed", type=int, default=0,
-                        help="seed for the deterministic fault schedule")
-    p_fuzz.add_argument("--checkpoint", metavar="PATH", default=None,
-                        help="periodically checkpoint the campaign to PATH")
-    p_fuzz.add_argument("--checkpoint-every", type=int, default=1_000,
-                        help="statements between checkpoints (default: 1000)")
-    p_fuzz.add_argument("--resume", metavar="PATH", default=None,
-                        help="resume a killed campaign from a checkpoint file")
-    p_fuzz.add_argument("--jobs", type=int, default=1, metavar="N",
-                        help="shard the campaign across N worker processes "
-                        "(same bug set and signature as the serial run)")
-    p_fuzz.add_argument("--no-stmt-cache", action="store_true",
-                        help="bypass the statement parse/plan cache")
-    p_fuzz.add_argument("--oracles", metavar="NAMES", default="crash",
-                        help="comma-separated detection oracles: "
-                        "crash,differential,conformance (default: crash)")
-    p_fuzz.add_argument("--sandbox", action="store_true",
-                        help="execute statements in a SIGKILL-able "
-                        "subprocess worker with crash-loop containment "
-                        "(incompatible with --faults and --coverage)")
-    p_fuzz.add_argument("--budgets", metavar="SPEC", default=None,
-                        help="per-statement resource budgets, e.g. "
-                        "'depth=64,rows=100000,cells=1000000,"
-                        "bytes=16777216,wall_ms=2000'")
+    p_run = sub.add_parser(
+        "run", aliases=["fuzz"], help="run a SOFT campaign (alias: fuzz)"
+    )
+    p_run.add_argument("dialect", help="target dialect name")
+    p_run.add_argument("--budget", type=int, default=20_000,
+                       help="query budget (default: 20000 ≈ '24 hours')")
+    p_run.add_argument("--coverage", action="store_true",
+                       help="track branch coverage (slower)")
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--reports", action="store_true",
+                       help="print full bug reports instead of one-liners")
+    p_run.add_argument("--faults", metavar="SPEC", default=None,
+                       help="inject infrastructure faults: 'default' or "
+                       "'hang=0.01,drop=0.02,flaky=0.005,restart_fail=0.1'")
+    p_run.add_argument("--fault-seed", type=int, default=0,
+                       help="seed for the deterministic fault schedule")
+    p_run.add_argument("--checkpoint", metavar="PATH", default=None,
+                       help="periodically checkpoint the campaign to PATH")
+    p_run.add_argument("--checkpoint-every", type=int, default=1_000,
+                       help="statements between checkpoints (default: 1000)")
+    p_run.add_argument("--resume", metavar="PATH", default=None,
+                       help="resume a killed campaign from a checkpoint file")
+    p_run.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="shard the campaign across N worker processes "
+                       "(same bug set and signature as the serial run)")
+    p_run.add_argument("--no-stmt-cache", action="store_true",
+                       help="bypass the statement parse/plan cache")
+    p_run.add_argument("--oracles", metavar="NAMES", default="crash",
+                       help="comma-separated detection oracles: "
+                       "crash,differential,conformance (default: crash)")
+    p_run.add_argument("--sandbox", action="store_true",
+                       help="execute statements in a SIGKILL-able "
+                       "subprocess worker with crash-loop containment "
+                       "(incompatible with --faults and --coverage)")
+    p_run.add_argument("--budgets", metavar="SPEC", default=None,
+                       help="per-statement resource budgets, e.g. "
+                       "'depth=64,rows=100000,cells=1000000,"
+                       "bytes=16777216,wall_ms=2000'")
+
+    p_serve = sub.add_parser(
+        "serve", help="run the campaign scheduler + bug repository service"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8137,
+                         help="listen port (0 picks an ephemeral port)")
+    p_serve.add_argument("--data-dir", default=_DEFAULT_DATA_DIR,
+                         help="where the bug repository lives "
+                         f"(default: {_DEFAULT_DATA_DIR})")
+    p_serve.add_argument("--no-minimize", action="store_true",
+                         help="store raw trigger statements instead of "
+                         "minimizing on ingest")
+    p_serve.add_argument("--budgets", metavar="SPEC", default=None,
+                         help="default per-job resource quota applied to "
+                         "campaign submissions without their own budgets")
+
+    p_bugs = sub.add_parser("bugs", help="browse the persistent bug repository")
+    p_bugs.add_argument("--data-dir", default=_DEFAULT_DATA_DIR,
+                        help="where the bug repository lives")
+    bugs_sub = p_bugs.add_subparsers(dest="bugs_command", required=True)
+    p_list = bugs_sub.add_parser("list", help="list repository records")
+    p_list.add_argument("--dialect", default=None)
+    p_list.add_argument("--triage", default=None)
+    p_show = bugs_sub.add_parser("show", help="show one record + replays")
+    p_show.add_argument("id", type=int)
+    p_replay = bugs_sub.add_parser(
+        "replay", help="re-execute stored triggers, report status flips"
+    )
+    p_replay.add_argument("--dialect", default=None,
+                          help="only replay this dialect's records")
+    p_replay.add_argument("--target", default=None,
+                          help="re-target execution onto another dialect "
+                          "(report-only; records are not mutated)")
+    p_replay.add_argument("--ids", default=None,
+                          help="comma-separated record ids")
+    p_triage = bugs_sub.add_parser("triage", help="set a record's triage status")
+    p_triage.add_argument("id", type=int)
+    p_triage.add_argument("status")
 
     sub.add_parser("dialects", help="list simulated DBMSs")
     sub.add_parser("study", help="print the 318-bug study summary")
@@ -86,8 +167,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_logic.add_argument("--rounds", type=int, default=40)
 
     args = parser.parse_args(argv)
-    if args.command == "fuzz":
-        return _cmd_fuzz(args)
+    if args.command in ("run", "fuzz"):
+        return _cmd_run(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "bugs":
+        return _cmd_bugs(args)
     if args.command == "dialects":
         return _cmd_dialects()
     if args.command == "study":
@@ -103,58 +188,38 @@ def main(argv: Optional[List[str]] = None) -> int:
     return 2  # pragma: no cover
 
 
-def _cmd_fuzz(args) -> int:
+def _cmd_run(args) -> int:
     from .core import (
+        CampaignConfig,
         format_resilience,
         render_bug_report,
         render_finding,
-        run_campaign,
     )
     from .robustness import CheckpointError
+    from .service.scheduler import run_scheduled
 
     if args.jobs < 1:
         print(f"error: --jobs must be >= 1 (got {args.jobs})")
         return 1
     try:
-        if args.jobs > 1:
-            from .perf import run_parallel_campaign
-
-            # for a sharded run --resume reuses the per-shard sidecar
-            # checkpoints written next to the --checkpoint/--resume path
-            result = run_parallel_campaign(
-                args.dialect,
-                jobs=args.jobs,
-                budget=args.budget,
-                enable_coverage=args.coverage,
-                seed=args.seed,
-                faults=args.faults,
-                fault_seed=args.fault_seed,
-                checkpoint=args.resume or args.checkpoint,
-                checkpoint_every=args.checkpoint_every,
-                resume=args.resume is not None,
-                statement_cache=not args.no_stmt_cache,
-                oracles=args.oracles,
-                budgets=args.budgets,
-                sandbox=args.sandbox,
-            )
-        else:
-            result = run_campaign(
-                args.dialect,
-                budget=args.budget,
-                enable_coverage=args.coverage,
-                seed=args.seed,
-                faults=args.faults,
-                fault_seed=args.fault_seed,
-                checkpoint=args.checkpoint,
-                checkpoint_every=args.checkpoint_every,
-                resume=args.resume,
-                statement_cache=not args.no_stmt_cache,
-                oracles=args.oracles,
-                budgets=args.budgets,
-                sandbox=args.sandbox,
-            )
+        config = CampaignConfig(
+            dialect=args.dialect,
+            budget=args.budget,
+            enable_coverage=args.coverage,
+            seed=args.seed,
+            faults=args.faults,
+            fault_seed=args.fault_seed,
+            checkpoint_path=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+            statement_cache=not args.no_stmt_cache,
+            oracles=args.oracles,
+            budgets=args.budgets,
+            sandbox=args.sandbox,
+            jobs=args.jobs,
+        )
+        result = run_scheduled(config, resume=args.resume)
     except (CheckpointError, ValueError) as exc:
-        print(f"error: {exc}")
+        print(f"error: {_flagify(str(exc))}")
         return 1
     print(
         f"{result.dialect}: {result.queries_executed} queries, "
@@ -190,6 +255,88 @@ def _cmd_fuzz(args) -> int:
     ):
         print(format_resilience(result))
     return 0
+
+
+def _cmd_serve(args) -> int:
+    from .service import BugService
+
+    service = BugService(
+        data_dir=args.data_dir,
+        host=args.host,
+        port=args.port,
+        minimize=not args.no_minimize,
+        default_budgets=args.budgets,
+    )
+    print(f"repro service listening on {service.url}")
+    print(f"bug repository: {os.path.join(args.data_dir, 'bugs.sqlite')}")
+    service.serve_forever()
+    return 0
+
+
+def _cmd_bugs(args) -> int:
+    from .service import BugRepository
+
+    db_path = os.path.join(args.data_dir, "bugs.sqlite")
+    if args.bugs_command != "list" and not os.path.exists(db_path):
+        print(f"error: no bug repository at {db_path} "
+              "(run 'repro serve' or 'repro bugs list' to create one)")
+        return 1
+    repo = BugRepository(db_path)
+    if args.bugs_command == "list":
+        records = repo.list(dialect=args.dialect, triage=args.triage)
+        if not records:
+            print("no bug records")
+            return 0
+        for r in records:
+            kinds = ",".join(r.kinds)
+            print(f"  #{r.record_id:<4} {r.dialect:<12} {r.function:<20} "
+                  f"[{'/'.join(r.labels)}] ({kinds}) x{r.occurrences} "
+                  f"{r.triage}/{r.last_status}: {r.statement}")
+        return 0
+    if args.bugs_command == "show":
+        record = repo.get(args.id)
+        if record is None:
+            print(f"error: no bug record {args.id}")
+            return 1
+        for key, value in record.to_dict().items():
+            print(f"{key:<12} {value}")
+        history = repo.replay_history(args.id)
+        if history:
+            print("replays:")
+            for entry in history:
+                status = "fires" if entry["fires"] else "quiet"
+                flip = " FLIP" if entry["flipped"] else ""
+                print(f"  {entry['dialect']:<12} {entry['observed']:<18} "
+                      f"{status}{flip}")
+        return 0
+    if args.bugs_command == "replay":
+        record_ids = None
+        if args.ids:
+            record_ids = [int(part) for part in args.ids.split(",") if part]
+        try:
+            report = repo.replay(
+                dialect=args.dialect, target=args.target, record_ids=record_ids
+            )
+        except ValueError as exc:
+            print(f"error: {exc}")
+            return 1
+        print(f"replayed {report.replayed} triggers against {report.dialect}: "
+              f"{report.still_firing} still firing, {len(report.flips)} flipped")
+        for outcome in report.outcomes:
+            marker = "FLIP " if outcome.flipped else ""
+            print(f"  {marker}#{outcome.record_id} {outcome.dialect}: "
+                  f"expected {outcome.expected}, observed {outcome.observed} "
+                  f"-- {outcome.statement}")
+        return 0
+    if args.bugs_command == "triage":
+        try:
+            record = repo.set_triage(args.id, args.status)
+        except (KeyError, ValueError) as exc:
+            print(f"error: {exc}")
+            return 1
+        print(f"#{record.record_id} -> {record.triage}")
+        return 0
+    return 2  # pragma: no cover
 
 
 def _cmd_dialects() -> int:

@@ -17,6 +17,7 @@ from .campaign import (
 )
 from .clauses import ClauseBoundaryGenerator
 from .collect import Seed, SeedCollector
+from .config import CampaignConfig, fault_spec
 from .literals import boundary_literals, boundary_repeat_counts
 from .logic import LogicCheckResult, LogicOracle, LogicViolation, check_norec, check_tlp
 from .minimize import (
@@ -54,7 +55,8 @@ from .runner import Outcome, Runner
 
 __all__ = [
     "BUDGET_24_HOURS", "BUDGET_TWO_WEEKS", "CAST_TARGETS", "Campaign",
-    "CampaignResult", "ClauseBoundaryGenerator", "ConformanceFinding",
+    "CampaignConfig", "CampaignResult", "ClauseBoundaryGenerator",
+    "ConformanceFinding", "fault_spec",
     "CrashOracle", "CrashProbe", "DEFAULT_CHECKPOINT_EVERY",
     "DiscoveredBug", "DivergenceFinding", "DivergenceProbe", "Finding",
     "GeneratedCase", "LogicCheckResult", "LogicOracle", "LogicViolation",

@@ -37,7 +37,7 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple, Union
+from typing import Any, Dict, List, Optional, Set, Tuple, Union
 
 from ..dialects import dialect_by_name
 from ..dialects.base import Dialect
@@ -47,10 +47,9 @@ from ..robustness.checkpoint import (
     rng_state_from_json,
     rng_state_to_json,
 )
-from ..robustness.faults import FaultInjector, FaultPlan, make_fault_injector
-from ..robustness.governor import ResourceBudgets
+from ..robustness.faults import make_fault_injector
 from ..robustness.policy import RetryPolicy, ServerQuarantined
-from ..robustness.sandbox import ContainmentState, make_sandbox_config
+from ..robustness.sandbox import ContainmentState
 from ..robustness.watchdog import (
     DEFAULT_DEADLINE_SECONDS,
     Clock,
@@ -59,25 +58,28 @@ from ..robustness.watchdog import (
     Watchdog,
 )
 from .collect import Seed, SeedCollector
+from .config import (
+    BUDGET_24_HOURS,
+    BUDGET_TWO_WEEKS,
+    DEFAULT_CHECKPOINT_EVERY,
+    _UNSET,
+    CampaignConfig,
+    resolve_config,
+)
 from .oracles import (
     CaseInfo,
     Finding,
     OraclePipeline,
     OracleStateError,
     build_pipeline,
-    parse_oracle_names,
 )
 from .oracles.base import OracleSpec
 from .oracles.crash import DiscoveredBug
 from .patterns import GeneratedCase, PatternEngine
 from .runner import Outcome, Runner
 
-#: query budgets standing in for the paper's time budgets
-BUDGET_24_HOURS = 20_000
-BUDGET_TWO_WEEKS = 300_000
-
-#: default checkpoint cadence (statements between snapshots)
-DEFAULT_CHECKPOINT_EVERY = 1_000
+# BUDGET_24_HOURS / BUDGET_TWO_WEEKS / DEFAULT_CHECKPOINT_EVERY now live in
+# :mod:`repro.core.config`; re-imported above for their historical home here.
 
 
 @dataclass
@@ -185,64 +187,96 @@ class CampaignResult:
 
 
 class Campaign:
-    """One SOFT campaign over one dialect."""
+    """One SOFT campaign over one dialect.
+
+    The campaign options live in a :class:`~repro.core.config.CampaignConfig`
+    passed as ``config=``; the historical keyword arguments still work
+    through a shim that emits a :class:`DeprecationWarning`.  The
+    ``clock``/``rng``/``retry_policy`` runtime objects are not
+    configuration and remain ordinary constructor arguments.
+    """
 
     def __init__(
         self,
         dialect: Dialect,
-        budget: int = BUDGET_24_HOURS,
-        enable_coverage: bool = False,
-        seed: int = 0,
-        max_partners: int = 48,
-        stop_when_all_found: bool = False,
-        faults: Union[None, str, FaultPlan, FaultInjector] = None,
-        fault_seed: int = 0,
-        checkpoint_path: Optional[str] = None,
-        checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+        budget: Any = _UNSET,
+        enable_coverage: Any = _UNSET,
+        seed: Any = _UNSET,
+        max_partners: Any = _UNSET,
+        stop_when_all_found: Any = _UNSET,
+        faults: Any = _UNSET,
+        fault_seed: Any = _UNSET,
+        checkpoint_path: Any = _UNSET,
+        checkpoint_every: Any = _UNSET,
         clock: Optional[Clock] = None,
         rng: Optional[random.Random] = None,
         retry_policy: Optional[RetryPolicy] = None,
-        statement_deadline: float = DEFAULT_DEADLINE_SECONDS,
-        statement_cache: bool = True,
-        oracles: OracleSpec = None,
-        budgets: Union[None, str, ResourceBudgets] = None,
-        sandbox: Union[None, bool, object] = None,
+        statement_deadline: Any = _UNSET,
+        statement_cache: Any = _UNSET,
+        oracles: Any = _UNSET,
+        budgets: Any = _UNSET,
+        sandbox: Any = _UNSET,
+        config: Optional[CampaignConfig] = None,
     ) -> None:
+        config = resolve_config(
+            "Campaign",
+            config,
+            {
+                "budget": budget,
+                "enable_coverage": enable_coverage,
+                "seed": seed,
+                "max_partners": max_partners,
+                "stop_when_all_found": stop_when_all_found,
+                "faults": faults,
+                "fault_seed": fault_seed,
+                "checkpoint_path": checkpoint_path,
+                "checkpoint_every": checkpoint_every,
+                "statement_deadline": statement_deadline,
+                "statement_cache": statement_cache,
+                "oracles": oracles,
+                "budgets": budgets,
+                "sandbox": sandbox,
+            },
+            dialect=dialect.name,
+        )
+        self.config = config
         self.dialect = dialect
-        self.budget = budget
-        self.oracle_names = parse_oracle_names(oracles)
-        if isinstance(budgets, str):
-            budgets = ResourceBudgets.parse(budgets)
-        self.budgets = budgets
-        self.sandbox_config = make_sandbox_config(sandbox)
-        if self.sandbox_config is not None and faults is not None:
-            raise ValueError(
-                "--sandbox and --faults are mutually exclusive: the fault "
-                "injector simulates infrastructure noise in-process, the "
-                "sandbox contains the real thing"
-            )
+        self.budget = config.budget
+        self.oracle_names = config.oracles
+        self.budgets = config.budgets
+        self.sandbox_config = config.sandbox
         self.containment: Optional[ContainmentState] = (
             ContainmentState.from_config(self.sandbox_config)
             if self.sandbox_config is not None
             else None
         )
-        self.enable_coverage = enable_coverage
-        self.seed = seed
-        self.statement_cache = statement_cache
-        self.rng = rng if rng is not None else random.Random(seed)
-        self.max_partners = max_partners
-        self.stop_when_all_found = stop_when_all_found
-        self.checkpoint_path = checkpoint_path
-        self.checkpoint_every = checkpoint_every
+        self.enable_coverage = config.enable_coverage
+        self.seed = config.seed
+        self.statement_cache = config.statement_cache
+        self.rng = rng if rng is not None else random.Random(config.seed)
+        self.max_partners = config.max_partners
+        self.stop_when_all_found = config.stop_when_all_found
+        self.checkpoint_path = config.checkpoint_path
+        self.checkpoint_every = config.checkpoint_every
         self.retry_policy = retry_policy
-        self.statement_deadline = statement_deadline
+        self.statement_deadline = config.statement_deadline
         if clock is None:
             # faulted or checkpointed campaigns need steerable, restorable
             # time; plain campaigns keep reporting real elapsed seconds
-            wants_simulated = faults is not None or checkpoint_path is not None
+            wants_simulated = (
+                config.faults is not None or config.checkpoint_path is not None
+            )
             clock = SimulatedClock() if wants_simulated else WallClock()
         self.clock = clock
-        self.injector = make_fault_injector(faults, seed=fault_seed, clock=self.clock)
+        self.injector = make_fault_injector(
+            config.faults, seed=config.fault_seed, clock=self.clock
+        )
+        #: optional streaming hooks (the service scheduler sets these):
+        #: ``on_finding(finding, position)`` fires for every *new* oracle
+        #: finding; ``on_progress(snapshot_dict)`` fires periodically
+        self.on_finding = None
+        self.on_progress = None
+        self.progress_every = 200
         self._started = 0.0
         self._elapsed_offset = 0.0
         self._wall_started = 0.0
@@ -414,7 +448,22 @@ class Campaign:
         position: int,
     ) -> None:
         result.outcomes[outcome.kind] = result.outcomes.get(outcome.kind, 0) + 1
-        pipeline.observe(outcome, case, position)
+        found = pipeline.observe(outcome, case, position)
+        if self.on_finding is not None:
+            for finding in found:
+                self.on_finding(finding, position)
+        if (
+            self.on_progress is not None
+            and self.progress_every > 0
+            and (position + 1) % self.progress_every == 0
+        ):
+            self.on_progress(
+                {
+                    "position": position + 1,
+                    "budget": self.budget,
+                    "outcomes": dict(result.outcomes),
+                }
+            )
 
     def _finalize(
         self, result: CampaignResult, runner: Runner, pipeline: OraclePipeline
@@ -569,38 +618,54 @@ class Campaign:
 
 
 def run_campaign(
-    dialect_name: str,
-    budget: int = BUDGET_24_HOURS,
-    enable_coverage: bool = False,
-    seed: int = 0,
-    stop_when_all_found: bool = False,
-    faults: Union[None, str, FaultPlan, FaultInjector] = None,
-    fault_seed: int = 0,
-    checkpoint: Optional[str] = None,
-    checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+    dialect_name: Optional[str] = None,
+    budget: Any = _UNSET,
+    enable_coverage: Any = _UNSET,
+    seed: Any = _UNSET,
+    stop_when_all_found: Any = _UNSET,
+    faults: Any = _UNSET,
+    fault_seed: Any = _UNSET,
+    checkpoint: Any = _UNSET,
+    checkpoint_every: Any = _UNSET,
     resume: Union[None, str, CampaignCheckpoint] = None,
-    statement_cache: bool = True,
-    oracles: OracleSpec = None,
-    budgets: Union[None, str, ResourceBudgets] = None,
-    sandbox: Union[None, bool, object] = None,
+    statement_cache: Any = _UNSET,
+    oracles: OracleSpec = _UNSET,
+    budgets: Any = _UNSET,
+    sandbox: Any = _UNSET,
+    config: Optional[CampaignConfig] = None,
 ) -> CampaignResult:
-    """Convenience wrapper: run SOFT against a dialect by name."""
-    dialect = dialect_by_name(dialect_name)
-    return Campaign(
-        dialect,
-        budget=budget,
-        enable_coverage=enable_coverage,
-        seed=seed,
-        stop_when_all_found=stop_when_all_found,
-        faults=faults,
-        fault_seed=fault_seed,
-        checkpoint_path=checkpoint,
-        checkpoint_every=checkpoint_every,
-        statement_cache=statement_cache,
-        oracles=oracles,
-        budgets=budgets,
-        sandbox=sandbox,
-    ).run(resume=resume)
+    """Convenience wrapper: run SOFT against a dialect by name.
+
+    This is the compatibility surface — the historical keyword arguments
+    keep working here without a deprecation warning (they are folded into
+    a :class:`CampaignConfig` internally).  New code should build the
+    config itself and pass ``config=`` (``dialect_name`` may then be
+    omitted in favour of ``config.dialect``).
+    """
+    config = resolve_config(
+        "run_campaign",
+        config,
+        {
+            "budget": budget,
+            "enable_coverage": enable_coverage,
+            "seed": seed,
+            "stop_when_all_found": stop_when_all_found,
+            "faults": faults,
+            "fault_seed": fault_seed,
+            "checkpoint_path": checkpoint,
+            "checkpoint_every": checkpoint_every,
+            "statement_cache": statement_cache,
+            "oracles": oracles,
+            "budgets": budgets,
+            "sandbox": sandbox,
+        },
+        dialect=dialect_name or "",
+        warn=False,
+    )
+    if not config.dialect:
+        raise ValueError("run_campaign needs a dialect name (or config.dialect)")
+    dialect = dialect_by_name(config.dialect)
+    return Campaign(dialect, config=config).run(resume=resume)
 
 
 def run_campaigns(
@@ -611,9 +676,14 @@ def run_campaigns(
 
     Each dialect gets its own campaign (and its own circuit breaker); a
     quarantined server yields a partial, ``quarantined`` result instead of
-    aborting the sweep — the remaining dialects still run.
+    aborting the sweep — the remaining dialects still run.  A ``config=``
+    keyword applies the same :class:`CampaignConfig` to every dialect.
     """
+    config: Optional[CampaignConfig] = kwargs.pop("config", None)
     results: Dict[str, CampaignResult] = {}
     for name in dialect_names:
-        results[name] = run_campaign(name, **kwargs)
+        if config is not None:
+            results[name] = run_campaign(config=config.replace(dialect=name), **kwargs)
+        else:
+            results[name] = run_campaign(name, **kwargs)
     return results

@@ -111,16 +111,18 @@ class Runner:
             budgets = ResourceBudgets.parse(budgets)
         self.budgets: Optional[ResourceBudgets] = budgets
         sandbox_config = make_sandbox_config(sandbox)
+        # validation speaks library option names; the CLI maps them to
+        # flag spellings at its boundary (repro.cli)
         if sandbox_config is not None and faults is not None:
             raise ValueError(
-                "--sandbox and --faults are mutually exclusive: the fault "
-                "injector simulates infrastructure noise in-process, the "
-                "sandbox contains the real thing"
+                "the 'sandbox' and 'faults' options are mutually exclusive: "
+                "the fault injector simulates infrastructure noise "
+                "in-process, the sandbox contains the real thing"
             )
         if sandbox_config is not None and enable_coverage:
             raise ValueError(
-                "--sandbox does not support coverage tracking (arc sets "
-                "do not cross the worker boundary)"
+                "the 'sandbox' option does not support 'enable_coverage' "
+                "(arc sets do not cross the worker boundary)"
             )
         self.server: Server = dialect.create_server()
         if not statement_cache:

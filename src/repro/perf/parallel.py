@@ -56,32 +56,20 @@ import random
 import time
 from typing import Any, Dict, List, Optional, Union
 
-from ..core.campaign import (
-    BUDGET_24_HOURS,
-    CampaignResult,
-    DEFAULT_CHECKPOINT_EVERY,
-)
+from ..core.campaign import CampaignResult
+from ..core.config import _UNSET, CampaignConfig, fault_spec, resolve_config
 from ..core.collect import SeedCollector
 from ..core.oracles import CaseInfo, OraclePipeline, OracleStateError, build_pipeline
-from ..core.oracles.base import OracleSpec, parse_oracle_names
+from ..core.oracles.base import OracleSpec
 from ..core.patterns import PatternEngine
 from ..core.runner import Outcome, Runner
 from ..dialects import dialect_by_name
 from ..dialects.base import Dialect
 from ..robustness.checkpoint import CHECKPOINT_VERSION, CheckpointError
-from ..robustness.faults import FaultInjector, FaultPlan, make_fault_injector
-from ..robustness.governor import ResourceBudgets
+from ..robustness.faults import FaultInjector, make_fault_injector
 from ..robustness.policy import ServerQuarantined
-from ..robustness.sandbox import (
-    ContainmentState,
-    SandboxConfig,
-    make_sandbox_config,
-)
-from ..robustness.watchdog import (
-    DEFAULT_DEADLINE_SECONDS,
-    SimulatedClock,
-    Watchdog,
-)
+from ..robustness.sandbox import ContainmentState, SandboxConfig
+from ..robustness.watchdog import SimulatedClock, Watchdog
 
 
 #: sidecar layout version: bumped when the shard report/checkpoint schema
@@ -419,73 +407,81 @@ class ParallelCampaign:
 
     def __init__(
         self,
-        dialect: Union[Dialect, str],
-        jobs: int = 2,
-        budget: int = BUDGET_24_HOURS,
-        enable_coverage: bool = False,
-        seed: int = 0,
-        max_partners: int = 48,
-        faults: Union[None, str, FaultPlan] = None,
-        fault_seed: int = 0,
-        checkpoint_path: Optional[str] = None,
-        checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
-        statement_deadline: float = DEFAULT_DEADLINE_SECONDS,
-        statement_cache: bool = True,
-        oracles: OracleSpec = None,
-        budgets: Union[None, str, ResourceBudgets] = None,
-        sandbox: Union[None, bool, SandboxConfig] = None,
+        dialect: Union[Dialect, str, None] = None,
+        jobs: Any = _UNSET,
+        budget: Any = _UNSET,
+        enable_coverage: Any = _UNSET,
+        seed: Any = _UNSET,
+        max_partners: Any = _UNSET,
+        faults: Any = _UNSET,
+        fault_seed: Any = _UNSET,
+        checkpoint_path: Any = _UNSET,
+        checkpoint_every: Any = _UNSET,
+        statement_deadline: Any = _UNSET,
+        statement_cache: Any = _UNSET,
+        oracles: Any = _UNSET,
+        budgets: Any = _UNSET,
+        sandbox: Any = _UNSET,
+        config: Optional[CampaignConfig] = None,
     ) -> None:
-        if jobs < 1:
-            raise ValueError(f"jobs must be >= 1, got {jobs}")
-        if isinstance(faults, FaultInjector):
+        dialect_name = dialect.name if isinstance(dialect, Dialect) else (dialect or "")
+        config = resolve_config(
+            "ParallelCampaign",
+            config,
+            {
+                "jobs": jobs,
+                "budget": budget,
+                "enable_coverage": enable_coverage,
+                "seed": seed,
+                "max_partners": max_partners,
+                "faults": faults,
+                "fault_seed": fault_seed,
+                "checkpoint_path": checkpoint_path,
+                "checkpoint_every": checkpoint_every,
+                "statement_deadline": statement_deadline,
+                "statement_cache": statement_cache,
+                "oracles": oracles,
+                "budgets": budgets,
+                "sandbox": sandbox,
+            },
+            dialect=dialect_name,
+            # the historical ParallelCampaign default was two workers
+            defaults={"jobs": 2},
+        )
+        if isinstance(config.faults, FaultInjector):
             raise TypeError(
                 "ParallelCampaign needs a fault *spec* (string/FaultPlan), "
                 "not a FaultInjector: each worker builds its own injector"
             )
-        self.sandbox_config = make_sandbox_config(sandbox)
-        if self.sandbox_config is not None and faults is not None:
-            raise ValueError(
-                "--sandbox and --faults are mutually exclusive: the fault "
-                "injector simulates infrastructure noise in-process, the "
-                "sandbox contains the real thing"
-            )
-        if isinstance(budgets, str):
-            budgets = ResourceBudgets.parse(budgets)  # validate up front
+        self.config = config
+        self.sandbox_config = config.sandbox
         self.budgets_spec = (
-            budgets.to_spec() if budgets is not None and budgets.enabled else None
+            config.budgets.to_spec()
+            if config.budgets is not None and config.budgets.enabled
+            else None
         )
-        self.dialect = (
-            dialect_by_name(dialect) if isinstance(dialect, str) else dialect
-        )
-        self.jobs = jobs
-        self.budget = budget
-        self.enable_coverage = enable_coverage
-        self.seed = seed
-        self.max_partners = max_partners
-        self.faults_spec = self._normalize_faults(faults)
-        self.fault_seed = fault_seed
-        self.checkpoint_path = checkpoint_path
-        self.checkpoint_every = checkpoint_every
-        self.statement_deadline = statement_deadline
-        self.statement_cache = statement_cache
-        self.oracle_names = parse_oracle_names(oracles)
+        if isinstance(dialect, Dialect):
+            self.dialect = dialect
+        else:
+            if not config.dialect:
+                raise ValueError(
+                    "ParallelCampaign needs a dialect (or config.dialect)"
+                )
+            self.dialect = dialect_by_name(config.dialect)
+        self.jobs = config.jobs
+        self.budget = config.budget
+        self.enable_coverage = config.enable_coverage
+        self.seed = config.seed
+        self.max_partners = config.max_partners
+        self.faults_spec = fault_spec(config.faults)
+        self.fault_seed = config.fault_seed
+        self.checkpoint_path = config.checkpoint_path
+        self.checkpoint_every = config.checkpoint_every
+        self.statement_deadline = config.statement_deadline
+        self.statement_cache = config.statement_cache
+        self.oracle_names = config.oracles
         #: test hook — see ``_run_shard``'s ``stop_after``
         self._stop_after: Optional[int] = None
-
-    @staticmethod
-    def _normalize_faults(faults: Union[None, str, FaultPlan]) -> Optional[str]:
-        if faults is None:
-            return None
-        if isinstance(faults, FaultPlan):
-            # re-encode as a spec string so it crosses process boundaries
-            return ",".join(
-                f"{name}={getattr(faults, name)}"
-                for name in (
-                    "hang_rate", "slow_rate", "drop_rate",
-                    "flaky_crash_rate", "restart_failure_rate",
-                )
-            )
-        return faults
 
     # ------------------------------------------------------------------
     def run(self, resume: bool = False) -> CampaignResult:
@@ -713,34 +709,46 @@ class ParallelCampaign:
 
 
 def run_parallel_campaign(
-    dialect_name: str,
-    jobs: int = 2,
-    budget: int = BUDGET_24_HOURS,
-    enable_coverage: bool = False,
-    seed: int = 0,
-    faults: Optional[str] = None,
-    fault_seed: int = 0,
-    checkpoint: Optional[str] = None,
-    checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+    dialect_name: Optional[str] = None,
+    jobs: Any = _UNSET,
+    budget: Any = _UNSET,
+    enable_coverage: Any = _UNSET,
+    seed: Any = _UNSET,
+    faults: Any = _UNSET,
+    fault_seed: Any = _UNSET,
+    checkpoint: Any = _UNSET,
+    checkpoint_every: Any = _UNSET,
     resume: bool = False,
-    statement_cache: bool = True,
-    oracles: OracleSpec = None,
-    budgets: Union[None, str, ResourceBudgets] = None,
-    sandbox: Union[None, bool, SandboxConfig] = None,
+    statement_cache: Any = _UNSET,
+    oracles: OracleSpec = _UNSET,
+    budgets: Any = _UNSET,
+    sandbox: Any = _UNSET,
+    config: Optional[CampaignConfig] = None,
 ) -> CampaignResult:
-    """Convenience wrapper mirroring :func:`repro.core.run_campaign`."""
-    return ParallelCampaign(
-        dialect_name,
-        jobs=jobs,
-        budget=budget,
-        enable_coverage=enable_coverage,
-        seed=seed,
-        faults=faults,
-        fault_seed=fault_seed,
-        checkpoint_path=checkpoint,
-        checkpoint_every=checkpoint_every,
-        statement_cache=statement_cache,
-        oracles=oracles,
-        budgets=budgets,
-        sandbox=sandbox,
-    ).run(resume=resume)
+    """Convenience wrapper mirroring :func:`repro.core.run_campaign`.
+
+    Like ``run_campaign`` this is the compatibility surface: legacy
+    keywords fold into a :class:`CampaignConfig` without a warning.
+    """
+    config = resolve_config(
+        "run_parallel_campaign",
+        config,
+        {
+            "jobs": jobs,
+            "budget": budget,
+            "enable_coverage": enable_coverage,
+            "seed": seed,
+            "faults": faults,
+            "fault_seed": fault_seed,
+            "checkpoint_path": checkpoint,
+            "checkpoint_every": checkpoint_every,
+            "statement_cache": statement_cache,
+            "oracles": oracles,
+            "budgets": budgets,
+            "sandbox": sandbox,
+        },
+        dialect=dialect_name or "",
+        defaults={"jobs": 2},
+        warn=False,
+    )
+    return ParallelCampaign(config=config).run(resume=resume)

@@ -1,0 +1,34 @@
+"""Campaign-as-a-service: scheduler, job model, bug repository, HTTP API.
+
+Everything the one-shot CLI could do is reachable as a long-running
+service:
+
+* :mod:`repro.service.scheduler` — the reusable campaign lifecycle
+  (serial vs. sharded dispatch, checkpoint/resume wiring, finding
+  streaming) that both the CLI and the server call.
+* :mod:`repro.service.jobs` — the asynchronous job model: campaign and
+  replay jobs, their states, and the thread-safe store/queue.
+* :mod:`repro.service.bugrepo` — the persistent, deduplicating bug
+  repository (sqlite): findings from every campaign collapse onto
+  canonical records with triage status and regression replay.
+* :mod:`repro.service.server` — the threaded HTTP/JSON front end
+  (``repro serve``): submit jobs, poll streamed findings and supervisor
+  health, browse/triage/replay the repository.
+"""
+
+from .bugrepo import BugRecord, BugRepository, ReplayOutcome, ReplayReport
+from .jobs import (
+    JOB_STATES,
+    Job,
+    JobStore,
+    finding_to_dict,
+    result_to_summary,
+)
+from .scheduler import build_campaign, run_scheduled
+from .server import BugService
+
+__all__ = [
+    "BugRecord", "BugRepository", "BugService", "JOB_STATES", "Job",
+    "JobStore", "ReplayOutcome", "ReplayReport", "build_campaign",
+    "finding_to_dict", "result_to_summary", "run_scheduled",
+]

@@ -1,0 +1,229 @@
+"""The asynchronous job model: campaign and replay jobs, store, queue.
+
+A :class:`Job` is one unit of scheduled work — either a fuzzing
+**campaign** (runs a :class:`~repro.core.config.CampaignConfig` through
+the scheduler, streaming findings as they surface) or a regression
+**replay** (re-executes stored bug-repository triggers and reports
+status flips).  Jobs move through ``queued → running → done/failed``
+(or ``cancelled`` while still queued).
+
+The :class:`JobStore` is the thread-safe registry plus FIFO work queue
+shared between HTTP handler threads (producers) and the scheduler worker
+(consumer).  Findings stream through a cursor API —
+:meth:`Job.findings_since` returns everything past a client-held offset,
+so pollers never re-download the prefix.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.config import CampaignConfig
+
+#: the job lifecycle
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+
+def finding_to_dict(finding: Any) -> Dict[str, Any]:
+    """Serialize any oracle finding for the wire (stable JSON shape)."""
+    return {
+        "kind": getattr(finding, "kind", "crash"),
+        "label": finding.bug_type_label,
+        "dialect": getattr(finding, "dbms", ""),
+        "function": getattr(finding, "function", ""),
+        "pattern": getattr(finding, "pattern", ""),
+        "sql": getattr(finding, "sql", ""),
+        "peer": getattr(finding, "peer", "") or "",
+        "message": getattr(finding, "message", "") or "",
+        "query_index": getattr(finding, "query_index", -1),
+    }
+
+
+def result_to_summary(result: Any) -> Dict[str, Any]:
+    """Serialize a :class:`CampaignResult` into the job's summary dict."""
+    summary = {
+        "dialect": result.dialect,
+        "queries_executed": result.queries_executed,
+        "bug_count": result.bug_count,
+        "finding_count": len(result.findings),
+        "triggered_functions": sorted(result.triggered_functions),
+        "branch_coverage": result.branch_coverage,
+        "outcomes": dict(result.outcomes),
+        "quarantined": result.quarantined,
+        "elapsed_seconds": result.elapsed_seconds,
+        "wall_seconds": result.wall_seconds,
+    }
+    if result.fault_counters:
+        summary["fault_counters"] = dict(result.fault_counters)
+    if result.sandbox_active:
+        # PR 5's supervisor health, surfaced to service pollers
+        summary["sandbox"] = {
+            "kills": result.sandbox_kills,
+            "worker_deaths": result.sandbox_worker_deaths,
+            "respawns": result.sandbox_respawns,
+            "open_breakers": list(result.open_breakers),
+            "quarantined_statements": result.quarantined_statements,
+            "skipped_statements": result.skipped_statements,
+        }
+    return summary
+
+
+class Job:
+    """One scheduled unit of work, with streaming finding storage."""
+
+    def __init__(
+        self,
+        job_id: str,
+        kind: str,
+        config: Optional[CampaignConfig] = None,
+        params: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if kind not in ("campaign", "replay"):
+            raise ValueError(f"unknown job kind {kind!r}")
+        self.job_id = job_id
+        self.kind = kind
+        self.config = config
+        self.params = dict(params or {})
+        self.state = "queued"
+        self.error = ""
+        self.created_at = time.time()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.summary: Dict[str, Any] = {}
+        self.progress: Dict[str, Any] = {}
+        self.ingest: Dict[str, Any] = {}
+        self._findings: List[Dict[str, Any]] = []
+        self._lock = threading.Lock()
+
+    # -- state transitions (scheduler side) -----------------------------
+    def mark_running(self) -> None:
+        with self._lock:
+            self.state = "running"
+            self.started_at = time.time()
+
+    def mark_done(self, summary: Optional[Dict[str, Any]] = None) -> None:
+        with self._lock:
+            self.state = "done"
+            self.finished_at = time.time()
+            if summary is not None:
+                self.summary = summary
+
+    def mark_failed(self, error: str) -> None:
+        with self._lock:
+            self.state = "failed"
+            self.finished_at = time.time()
+            self.error = error
+
+    def mark_cancelled(self) -> None:
+        with self._lock:
+            if self.state == "queued":
+                self.state = "cancelled"
+                self.finished_at = time.time()
+
+    # -- streaming ------------------------------------------------------
+    def add_finding(self, finding: Any, position: int = -1) -> None:
+        entry = finding_to_dict(finding)
+        entry["position"] = position
+        with self._lock:
+            self._findings.append(entry)
+
+    def set_progress(self, progress: Dict[str, Any]) -> None:
+        with self._lock:
+            self.progress = dict(progress)
+
+    def findings_since(self, cursor: int = 0) -> Tuple[int, List[Dict[str, Any]]]:
+        """Return ``(next_cursor, findings[cursor:])``."""
+        with self._lock:
+            cursor = max(0, int(cursor))
+            return len(self._findings), list(self._findings[cursor:])
+
+    @property
+    def finding_count(self) -> int:
+        with self._lock:
+            return len(self._findings)
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            data: Dict[str, Any] = {
+                "id": self.job_id,
+                "kind": self.kind,
+                "state": self.state,
+                "created_at": self.created_at,
+                "started_at": self.started_at,
+                "finished_at": self.finished_at,
+                "finding_count": len(self._findings),
+                "progress": dict(self.progress),
+            }
+            if self.config is not None:
+                data["config"] = self.config.to_dict()
+            if self.params:
+                data["params"] = dict(self.params)
+            if self.error:
+                data["error"] = self.error
+            if self.summary:
+                data["summary"] = dict(self.summary)
+            if self.ingest:
+                data["ingest"] = dict(self.ingest)
+            return data
+
+
+class JobStore:
+    """Thread-safe job registry plus the scheduler's FIFO work queue."""
+
+    def __init__(self) -> None:
+        self._jobs: Dict[str, Job] = {}
+        self._order: List[str] = []
+        self._queue: "queue.Queue[Optional[str]]" = queue.Queue()
+        self._lock = threading.Lock()
+        self._counter = 0
+
+    def submit(
+        self,
+        kind: str,
+        config: Optional[CampaignConfig] = None,
+        params: Optional[Dict[str, Any]] = None,
+    ) -> Job:
+        with self._lock:
+            self._counter += 1
+            job = Job(f"job-{self._counter:04d}", kind, config, params)
+            self._jobs[job.job_id] = job
+            self._order.append(job.job_id)
+        self._queue.put(job.job_id)
+        return job
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def list(self) -> List[Job]:
+        with self._lock:
+            return [self._jobs[job_id] for job_id in self._order]
+
+    def cancel(self, job_id: str) -> Optional[Job]:
+        job = self.get(job_id)
+        if job is not None:
+            job.mark_cancelled()
+        return job
+
+    # -- worker side ----------------------------------------------------
+    def next_job(self, timeout: float = 0.2) -> Optional[Job]:
+        """Block up to *timeout* for the next runnable job (skips
+        cancelled entries); ``None`` on timeout or poison pill."""
+        try:
+            job_id = self._queue.get(timeout=timeout)
+        except queue.Empty:
+            return None
+        if job_id is None:
+            return None
+        job = self.get(job_id)
+        if job is None or job.state != "queued":
+            return None
+        return job
+
+    def poison(self) -> None:
+        """Wake a blocked worker so it can observe shutdown."""
+        self._queue.put(None)

@@ -1,0 +1,153 @@
+"""The reusable campaign lifecycle — shared by the CLI and the server.
+
+Historically ``repro.cli`` owned the dispatch logic (serial
+:class:`~repro.core.campaign.Campaign` vs. sharded
+:class:`~repro.perf.parallel.ParallelCampaign`, checkpoint/resume
+spelling differences between the two).  That logic now lives here so the
+one-shot CLI and the long-running service drive campaigns through the
+same door:
+
+* :func:`build_campaign` — config in, ready-to-run campaign object out.
+* :func:`run_scheduled` — build, wire streaming hooks, run, return the
+  :class:`~repro.core.campaign.CampaignResult`.
+* :class:`SchedulerWorker` — the service's consumer thread: pulls jobs
+  off the :class:`~repro.service.jobs.JobStore` queue, runs campaigns
+  (streaming findings into the job as they surface) and replays, and
+  folds campaign findings into the :class:`~repro.service.bugrepo.BugRepository`.
+
+Serial campaigns stream findings live through ``Campaign.on_finding``;
+sharded campaigns (``config.jobs > 1``) execute in worker processes, so
+their findings backfill into the job when the shards merge.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from typing import Any, Callable, Optional, Union
+
+from ..core.campaign import Campaign, CampaignResult
+from ..core.config import CampaignConfig
+from ..dialects import dialect_by_name
+from ..perf.parallel import ParallelCampaign
+from .bugrepo import BugRepository
+from .jobs import Job, JobStore, result_to_summary
+
+
+def build_campaign(config: CampaignConfig) -> Union[Campaign, "ParallelCampaign"]:
+    """Instantiate the right campaign class for *config*.
+
+    ``config.jobs == 1`` builds a serial :class:`Campaign` (supports
+    fault injectors, live finding streaming, simulated clocks);
+    ``config.jobs > 1`` builds a sharded :class:`ParallelCampaign`.
+    """
+    if not config.dialect:
+        raise ValueError("build_campaign needs config.dialect to be set")
+    if config.parallel:
+        return ParallelCampaign(config=config)
+    return Campaign(dialect_by_name(config.dialect), config=config)
+
+
+def run_scheduled(
+    config: CampaignConfig,
+    resume: Optional[str] = None,
+    on_finding: Optional[Callable[[Any, int], None]] = None,
+    on_progress: Optional[Callable[[dict], None]] = None,
+) -> CampaignResult:
+    """Run one campaign end to end with optional streaming hooks.
+
+    *resume* is a checkpoint path; serial campaigns load it directly,
+    sharded campaigns re-point their checkpoint at it and resume their
+    per-shard sidecars (the CLI's historical ``--resume`` semantics).
+    """
+    if resume is not None and config.parallel:
+        # sharded resume: the checkpoint path *is* the resume path
+        config = config.replace(checkpoint_path=resume)
+    campaign = build_campaign(config)
+    if isinstance(campaign, Campaign):
+        if on_finding is not None:
+            campaign.on_finding = on_finding
+        if on_progress is not None:
+            campaign.on_progress = on_progress
+        return campaign.run(resume=resume)
+    result = campaign.run(resume=resume is not None)
+    # shards ran out of process: backfill the stream at merge time
+    if on_finding is not None:
+        for finding in list(result.bugs) + list(result.findings):
+            on_finding(finding, getattr(finding, "query_index", -1))
+    if on_progress is not None:
+        on_progress({
+            "position": result.queries_executed,
+            "budget": config.budget,
+            "outcomes": dict(result.outcomes),
+        })
+    return result
+
+
+class SchedulerWorker:
+    """The service's job consumer: one daemon thread draining the queue."""
+
+    def __init__(
+        self,
+        store: JobStore,
+        repo: BugRepository,
+        name: str = "repro-scheduler",
+    ) -> None:
+        self.store = store
+        self.repo = repo
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._loop, name=name, daemon=True)
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> "SchedulerWorker":
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 30.0) -> None:
+        self._stop.set()
+        self.store.poison()
+        if self._thread.is_alive():
+            self._thread.join(timeout=timeout)
+
+    @property
+    def alive(self) -> bool:
+        return self._thread.is_alive()
+
+    # -- the drain loop -------------------------------------------------
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            job = self.store.next_job(timeout=0.2)
+            if job is None:
+                continue
+            self._run_job(job)
+
+    def _run_job(self, job: Job) -> None:
+        job.mark_running()
+        try:
+            if job.kind == "campaign":
+                self._run_campaign_job(job)
+            else:
+                self._run_replay_job(job)
+        except Exception:  # noqa: BLE001 - job isolation: record, don't die
+            job.mark_failed(traceback.format_exc(limit=8))
+
+    def _run_campaign_job(self, job: Job) -> None:
+        config = job.config
+        assert config is not None
+        result = run_scheduled(
+            config,
+            resume=job.params.get("resume"),
+            on_finding=job.add_finding,
+            on_progress=job.set_progress,
+        )
+        job.ingest = self.repo.record_result(result, campaign_id=job.job_id)
+        job.mark_done(result_to_summary(result))
+
+    def _run_replay_job(self, job: Job) -> None:
+        report = self.repo.replay(
+            dialect=job.params.get("dialect"),
+            target=job.params.get("target"),
+            record_ids=job.params.get("record_ids"),
+            job_id=job.job_id,
+        )
+        job.mark_done(report.to_dict())

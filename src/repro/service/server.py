@@ -1,0 +1,293 @@
+"""The threaded HTTP/JSON front end (``repro serve``).
+
+Campaign-as-a-service: a stdlib-only (:mod:`http.server`) API that
+accepts campaign/replay jobs, streams findings while campaigns run, and
+exposes the persistent bug repository for browsing, triage, and replay.
+
+Endpoints::
+
+    GET  /health                   service liveness + job/repo counters
+    POST /jobs                     submit {"kind": "campaign", "config": {...}}
+                                   or     {"kind": "replay", "dialect": ...,
+                                           "target": ..., "record_ids": [...]}
+    GET  /jobs                     all jobs, oldest first
+    GET  /jobs/<id>                one job (state, progress, summary)
+    GET  /jobs/<id>/findings?since=N   streamed findings past cursor N
+    POST /jobs/<id>/cancel         cancel a still-queued job
+    GET  /bugs?dialect=&triage=    repository records
+    GET  /bugs/<id>                one record + its replay history
+    POST /bugs/<id>/triage         {"status": "confirmed"}
+    POST /shutdown                 graceful stop
+
+Campaign configs arrive as the JSON shape of
+:meth:`~repro.core.config.CampaignConfig.to_dict`; unknown keys are a
+hard 400, mirroring the library's ``from_dict`` contract.  Everything
+binds to ``127.0.0.1`` by default and ``port=0`` picks an ephemeral
+port — tests boot a real server per test.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from ..core.config import CampaignConfig
+from .bugrepo import BugRepository
+from .jobs import JobStore
+from .scheduler import SchedulerWorker
+
+_JOB_RE = re.compile(r"^/jobs/(?P<id>[\w-]+)(?P<rest>/findings|/cancel)?$")
+_BUG_RE = re.compile(r"^/bugs/(?P<id>\d+)(?P<rest>/triage|/replays)?$")
+
+
+class ServiceError(Exception):
+    """An HTTP-visible request error."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class BugService:
+    """The long-running campaign scheduler + bug repository service."""
+
+    def __init__(
+        self,
+        data_dir: str,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        minimize: bool = True,
+        default_budgets: Optional[str] = None,
+    ) -> None:
+        self.data_dir = data_dir
+        #: per-job ResourceGovernor quota applied to campaign submissions
+        #: that don't carry their own 'budgets' (a submitted spec wins)
+        self.default_budgets = default_budgets
+        os.makedirs(data_dir, exist_ok=True)
+        self.repo = BugRepository(
+            os.path.join(data_dir, "bugs.sqlite"), minimize=minimize
+        )
+        self.store = JobStore()
+        self.worker = SchedulerWorker(self.store, self.repo)
+        self._httpd = ThreadingHTTPServer((host, port), _make_handler(self))
+        self._httpd.daemon_threads = True
+        self._serve_thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "BugService":
+        """Start the scheduler worker and the HTTP listener (background)."""
+        self.worker.start()
+        self._serve_thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-http",
+            daemon=True,
+        )
+        self._serve_thread.start()
+        return self
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Graceful shutdown: stop accepting, drain the worker."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=5.0)
+        self.worker.stop(timeout=timeout)
+
+    def serve_forever(self) -> None:
+        """Foreground mode (``repro serve``): block until interrupted."""
+        self.worker.start()
+        try:
+            self._httpd.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self._httpd.server_close()
+            self.worker.stop()
+
+    # -- request handling (called from handler threads) -----------------
+    def handle(
+        self, method: str, path: str, query: Dict[str, Any], body: Dict[str, Any]
+    ) -> Tuple[int, Dict[str, Any]]:
+        if method == "GET" and path == "/health":
+            return 200, self._health()
+        if path == "/jobs":
+            if method == "POST":
+                return 200, self._submit(body)
+            if method == "GET":
+                return 200, {"jobs": [j.to_dict() for j in self.store.list()]}
+        match = _JOB_RE.match(path)
+        if match is not None:
+            return self._job_route(method, match, query)
+        if path == "/bugs" and method == "GET":
+            records = self.repo.list(
+                dialect=query.get("dialect"), triage=query.get("triage")
+            )
+            return 200, {"bugs": [r.to_dict() for r in records]}
+        match = _BUG_RE.match(path)
+        if match is not None:
+            return self._bug_route(method, match, body)
+        if method == "POST" and path == "/shutdown":
+            # ack first; tearing down from inside the handler would deadlock
+            threading.Thread(target=self.stop, daemon=True).start()
+            return 200, {"status": "stopping"}
+        raise ServiceError(404, f"no route for {method} {path}")
+
+    def _health(self) -> Dict[str, Any]:
+        jobs = self.store.list()
+        states: Dict[str, int] = {}
+        for job in jobs:
+            states[job.state] = states.get(job.state, 0) + 1
+        return {
+            "status": "ok",
+            "worker_alive": self.worker.alive,
+            "jobs": states,
+            "bug_records": self.repo.count(),
+            "data_dir": self.data_dir,
+        }
+
+    def _submit(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        kind = body.get("kind", "campaign")
+        if kind == "campaign":
+            raw = body.get("config")
+            if not isinstance(raw, dict):
+                raise ServiceError(
+                    400, "campaign jobs need a 'config' object "
+                    "(the CampaignConfig.to_dict shape)"
+                )
+            if self.default_budgets and not raw.get("budgets"):
+                raw = dict(raw, budgets=self.default_budgets)
+            try:
+                config = CampaignConfig.from_dict(raw)
+            except (ValueError, TypeError) as exc:
+                raise ServiceError(400, str(exc))
+            if not config.dialect:
+                raise ServiceError(400, "config.dialect is required")
+            params = {}
+            if body.get("resume"):
+                params["resume"] = str(body["resume"])
+            job = self.store.submit("campaign", config=config, params=params)
+        elif kind == "replay":
+            params = {
+                "dialect": body.get("dialect"),
+                "target": body.get("target"),
+                "record_ids": body.get("record_ids"),
+            }
+            job = self.store.submit("replay", params=params)
+        else:
+            raise ServiceError(400, f"unknown job kind {kind!r}")
+        return job.to_dict()
+
+    def _job_route(
+        self, method: str, match: "re.Match[str]", query: Dict[str, Any]
+    ) -> Tuple[int, Dict[str, Any]]:
+        job = self.store.get(match.group("id"))
+        if job is None:
+            raise ServiceError(404, f"no job {match.group('id')!r}")
+        rest = match.group("rest")
+        if rest == "/findings" and method == "GET":
+            try:
+                since = int(query.get("since", 0))
+            except (TypeError, ValueError):
+                raise ServiceError(400, "'since' must be an integer cursor")
+            cursor, findings = job.findings_since(since)
+            return 200, {"next": cursor, "state": job.state, "findings": findings}
+        if rest == "/cancel" and method == "POST":
+            job.mark_cancelled()
+            return 200, job.to_dict()
+        if rest is None and method == "GET":
+            return 200, job.to_dict()
+        raise ServiceError(404, f"no route for {method} /jobs/...{rest or ''}")
+
+    def _bug_route(
+        self, method: str, match: "re.Match[str]", body: Dict[str, Any]
+    ) -> Tuple[int, Dict[str, Any]]:
+        record_id = int(match.group("id"))
+        record = self.repo.get(record_id)
+        if record is None:
+            raise ServiceError(404, f"no bug record {record_id}")
+        rest = match.group("rest")
+        if rest is None and method == "GET":
+            data = record.to_dict()
+            data["replays"] = self.repo.replay_history(record_id)
+            return 200, data
+        if rest == "/triage" and method == "POST":
+            status = body.get("status", "")
+            try:
+                updated = self.repo.set_triage(record_id, status)
+            except ValueError as exc:
+                raise ServiceError(400, str(exc))
+            return 200, updated.to_dict()
+        raise ServiceError(404, f"no route for {method} /bugs/...{rest or ''}")
+
+
+def _make_handler(service: BugService):
+    """Bind a handler class to *service* (http.server instantiates it
+    per request, so state rides on a closure, not the instance)."""
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        # silence per-request stderr logging; the service is the interface
+        def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+            pass
+
+        def _dispatch(self, method: str) -> None:
+            parsed = urlparse(self.path)
+            query = {
+                key: values[-1]
+                for key, values in parse_qs(parsed.query).items()
+            }
+            body: Dict[str, Any] = {}
+            length = int(self.headers.get("Content-Length") or 0)
+            if length:
+                try:
+                    body = json.loads(self.rfile.read(length).decode("utf-8"))
+                except (ValueError, UnicodeDecodeError):
+                    self._reply(400, {"error": "request body is not JSON"})
+                    return
+                if not isinstance(body, dict):
+                    self._reply(400, {"error": "request body must be an object"})
+                    return
+            try:
+                status, payload = service.handle(method, parsed.path, query, body)
+            except ServiceError as exc:
+                self._reply(exc.status, {"error": exc.message})
+                return
+            except Exception as exc:  # noqa: BLE001 - keep the server alive
+                self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+                return
+            self._reply(status, payload)
+
+        def _reply(self, status: int, payload: Dict[str, Any]) -> None:
+            data = json.dumps(payload).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+
+        def do_GET(self) -> None:  # noqa: N802
+            self._dispatch("GET")
+
+        def do_POST(self) -> None:  # noqa: N802
+            self._dispatch("POST")
+
+    return Handler

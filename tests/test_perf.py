@@ -12,6 +12,7 @@ import itertools
 import pytest
 
 from repro.core.campaign import Campaign, run_campaign
+from repro.core.config import CampaignConfig
 from repro.core.collect import SeedCollector
 from repro.core.patterns import GeneratedCase, PatternEngine
 from repro.core.runner import Runner
@@ -180,9 +181,12 @@ class TestCacheDifferential:
 # ---------------------------------------------------------------------------
 class TestParallelDeterminism:
     def test_jobs_4_signature_equals_serial(self):
-        serial = Campaign(dialect_by_name("duckdb"), budget=2_000, seed=3).run()
+        serial = Campaign(
+            dialect_by_name("duckdb"),
+            config=CampaignConfig(dialect="duckdb", budget=2_000, seed=3),
+        ).run()
         parallel = ParallelCampaign(
-            "duckdb", jobs=4, budget=2_000, seed=3
+            config=CampaignConfig(dialect="duckdb", jobs=4, budget=2_000, seed=3)
         ).run()
         assert parallel.signature() == serial.signature()
 
@@ -203,7 +207,7 @@ class TestParallelDeterminism:
 
     def test_rejects_bad_jobs(self):
         with pytest.raises(ValueError):
-            ParallelCampaign("duckdb", jobs=0)
+            ParallelCampaign(config=CampaignConfig(dialect="duckdb", jobs=0))
 
     def test_merged_throughput_counters_populated(self):
         result = run_parallel_campaign("duckdb", jobs=2, budget=1_000, seed=3)
@@ -218,33 +222,33 @@ class TestParallelDeterminism:
 class TestParallelResume:
     def test_interrupted_shards_resume_to_identical_signature(self, tmp_path):
         path = str(tmp_path / "campaign.ckpt")
-        interrupted = ParallelCampaign(
-            "duckdb", jobs=2, budget=1_200, seed=3,
+        config = CampaignConfig(
+            dialect="duckdb", jobs=2, budget=1_200, seed=3,
             checkpoint_path=path, checkpoint_every=100,
         )
+        interrupted = ParallelCampaign(config=config)
         interrupted._stop_after = 150  # simulate a mid-campaign kill
         partial = interrupted.run()
         assert partial.queries_executed < 1_200
 
-        resumed = ParallelCampaign(
-            "duckdb", jobs=2, budget=1_200, seed=3,
-            checkpoint_path=path, checkpoint_every=100,
-        ).run(resume=True)
-        fresh = ParallelCampaign("duckdb", jobs=2, budget=1_200, seed=3).run()
+        resumed = ParallelCampaign(config=config).run(resume=True)
+        fresh = ParallelCampaign(
+            config=config.replace(checkpoint_path=None)
+        ).run()
         assert resumed.signature() == fresh.signature()
 
     def test_resume_rejects_mismatched_configuration(self, tmp_path):
         from repro.robustness.checkpoint import CheckpointError
 
         path = str(tmp_path / "campaign.ckpt")
-        ParallelCampaign(
-            "duckdb", jobs=2, budget=600, seed=3,
+        config = CampaignConfig(
+            dialect="duckdb", jobs=2, budget=600, seed=3,
             checkpoint_path=path, checkpoint_every=100,
-        ).run()
+        )
+        ParallelCampaign(config=config).run()
         with pytest.raises(CheckpointError):
             ParallelCampaign(
-                "duckdb", jobs=2, budget=600, seed=4,  # different seed
-                checkpoint_path=path, checkpoint_every=100,
+                config=config.replace(seed=4)  # different seed
             ).run(resume=True)
 
 
@@ -344,14 +348,14 @@ class TestParallelOracles:
         from repro.robustness.checkpoint import CheckpointError
 
         path = str(tmp_path / "campaign.ckpt")
-        interrupted = ParallelCampaign(
-            "duckdb", jobs=2, budget=1_200, seed=3, oracles=self.ALL,
+        config = CampaignConfig(
+            dialect="duckdb", jobs=2, budget=1_200, seed=3, oracles=self.ALL,
             checkpoint_path=path, checkpoint_every=100,
         )
+        interrupted = ParallelCampaign(config=config)
         interrupted._stop_after = 150
         interrupted.run()
         with pytest.raises(CheckpointError):
             ParallelCampaign(
-                "duckdb", jobs=2, budget=1_200, seed=3,  # crash-only now
-                checkpoint_path=path, checkpoint_every=100,
+                config=config.replace(oracles=("crash",))  # crash-only now
             ).run(resume=True)

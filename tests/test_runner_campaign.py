@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core.campaign import Campaign, run_campaign
+from repro.core.config import CampaignConfig
 from repro.core.oracles import CrashOracle
 from repro.core.runner import Runner
 from repro.dialects import bugs_for, dialect_by_name
@@ -164,7 +165,8 @@ class TestCampaign:
 
     def test_stop_when_all_found(self):
         dialect = dialect_by_name("postgresql")
-        campaign = Campaign(dialect, budget=200_000, stop_when_all_found=True)
+        campaign = Campaign(dialect, config=CampaignConfig(
+            dialect="postgresql", budget=200_000, stop_when_all_found=True))
         result = campaign.run()
         assert result.queries_executed < 200_000
         assert result.bug_count == 1
@@ -186,9 +188,10 @@ class TestCampaign:
         from repro.robustness import SimulatedClock
 
         dialect = dialect_by_name("monetdb")
-        a = Campaign(dialect, budget=2000, rng=random.Random(99),
+        config = CampaignConfig(dialect="monetdb", budget=2000)
+        a = Campaign(dialect, config=config, rng=random.Random(99),
                      clock=SimulatedClock()).run()
-        b = Campaign(dialect_by_name("monetdb"), budget=2000,
+        b = Campaign(dialect_by_name("monetdb"), config=config,
                      rng=random.Random(99), clock=SimulatedClock()).run()
         assert a.signature() == b.signature()
         assert a.elapsed_seconds == b.elapsed_seconds

@@ -5,6 +5,7 @@ import pytest
 
 from repro.core.campaign import Campaign, run_campaign
 from repro.core.collect import SeedCollector
+from repro.core.config import CampaignConfig
 from repro.core.runner import Runner
 from repro.dialects import dialect_by_name
 from repro.engine.errors import ResourceError, ResourceExhausted, SQLError
@@ -299,9 +300,12 @@ class TestSandboxCampaign:
 
         def campaign(quarantine):
             c = Campaign(
-                dialect_by_name("mariadb"), budget=300,
-                sandbox=SandboxConfig(breaker_threshold=1,
-                                      quarantine=quarantine),
+                dialect_by_name("mariadb"),
+                config=CampaignConfig(
+                    dialect="mariadb", budget=300,
+                    sandbox=SandboxConfig(breaker_threshold=1,
+                                          quarantine=quarantine),
+                ),
             )
             c.containment.observe(
                 "harness_crash", "SELECT never_generated;", family, "boom"

@@ -1,0 +1,244 @@
+"""Campaign-as-a-service, end to end over real HTTP.
+
+Boots a :class:`~repro.service.server.BugService` on an ephemeral port,
+submits a campaign job through the JSON API, polls the streamed-findings
+cursor while the campaign runs, checks the deduplicated repository
+records, runs a replay job, and exercises triage/cancel/error paths —
+the full lifecycle the CLI's ``repro serve`` offers.
+
+Also pins the API-redesign acceptance bar: a default-config ``repro run``
+(serial *and* sharded) produces a byte-identical campaign signature to
+calling the library directly.
+"""
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core import CampaignConfig, run_campaign
+from repro.service import BugService
+from repro.service.jobs import JOB_STATES, Job, JobStore
+from repro.service.scheduler import build_campaign, run_scheduled
+
+
+# ---------------------------------------------------------------------------
+# HTTP plumbing
+# ---------------------------------------------------------------------------
+@pytest.fixture
+def service(tmp_path):
+    svc = BugService(str(tmp_path / "data")).start()
+    yield svc
+    svc.stop()
+
+
+def _request(service, method, path, body=None):
+    data = json.dumps(body).encode() if body is not None else None
+    request = urllib.request.Request(
+        service.url + path,
+        data=data,
+        method=method,
+        headers={"Content-Type": "application/json"} if data else {},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def _wait(service, job_id, deadline=120.0):
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        _, job = _request(service, "GET", f"/jobs/{job_id}")
+        if job["state"] in ("done", "failed", "cancelled"):
+            return job
+        time.sleep(0.1)
+    raise AssertionError(f"job {job_id} did not finish: {job}")
+
+
+class TestServiceEndToEnd:
+    def test_submit_stream_dedup_replay(self, service):
+        status, health = _request(service, "GET", "/health")
+        assert status == 200 and health["worker_alive"]
+
+        # -- submit a campaign job --------------------------------------
+        config = CampaignConfig(dialect="virtuoso", budget=500).to_dict()
+        status, job = _request(
+            service, "POST", "/jobs", {"kind": "campaign", "config": config}
+        )
+        assert status == 200 and job["state"] == "queued"
+        job_id = job["id"]
+
+        # -- poll the streamed-findings cursor while it runs ------------
+        streamed = []
+        cursor = 0
+        end = time.monotonic() + 120
+        while time.monotonic() < end:
+            status, chunk = _request(
+                service, "GET", f"/jobs/{job_id}/findings?since={cursor}"
+            )
+            assert status == 200
+            assert cursor + len(chunk["findings"]) == chunk["next"]
+            streamed.extend(chunk["findings"])
+            cursor = chunk["next"]
+            if chunk["state"] in ("done", "failed"):
+                break
+            time.sleep(0.1)
+
+        final = _wait(service, job_id)
+        assert final["state"] == "done", final.get("error")
+        assert final["summary"]["bug_count"] == len(streamed) > 0
+        # the stream carried real positions and labels
+        assert all(f["label"] and f["position"] >= 0 for f in streamed)
+
+        # -- the repository deduplicated the campaign's findings --------
+        assert final["ingest"]["new_records"] == len(streamed)
+        status, listing = _request(service, "GET", "/bugs")
+        assert len(listing["bugs"]) == len(streamed)
+        record = listing["bugs"][0]
+        assert record["dialect"] == "virtuoso"
+        assert record["kinds"] == ["crash"]
+
+        # resubmitting the same campaign only bumps occurrences
+        status, rerun = _request(
+            service, "POST", "/jobs", {"kind": "campaign", "config": config}
+        )
+        rerun_final = _wait(service, rerun["id"])
+        assert rerun_final["ingest"]["new_records"] == 0
+        assert rerun_final["ingest"]["duplicates"] == len(streamed)
+        status, listing = _request(service, "GET", "/bugs")
+        assert len(listing["bugs"]) == len(streamed)
+
+        # -- a replay job re-fires every stored trigger -----------------
+        status, replay = _request(
+            service, "POST", "/jobs", {"kind": "replay", "dialect": "virtuoso"}
+        )
+        replay_final = _wait(service, replay["id"])
+        assert replay_final["state"] == "done"
+        summary = replay_final["summary"]
+        assert summary["replayed"] == len(streamed)
+        assert summary["still_firing"] == len(streamed)
+        assert summary["flipped"] == 0
+
+        # -- triage over HTTP ------------------------------------------
+        record_id = record["id"]
+        status, updated = _request(
+            service, "POST", f"/bugs/{record_id}/triage",
+            {"status": "confirmed"},
+        )
+        assert status == 200 and updated["triage"] == "confirmed"
+        status, shown = _request(service, "GET", f"/bugs/{record_id}")
+        assert shown["triage"] == "confirmed"
+        assert shown["replays"]  # the replay job left history
+
+    def test_api_error_paths(self, service):
+        status, body = _request(service, "GET", "/nope")
+        assert status == 404
+        status, body = _request(service, "POST", "/jobs", {"kind": "campaign"})
+        assert status == 400 and "config" in body["error"]
+        status, body = _request(
+            service, "POST", "/jobs",
+            {"kind": "campaign", "config": {"dialect": "duckdb", "bogus": 1}},
+        )
+        assert status == 400 and "bogus" in body["error"]
+        status, body = _request(
+            service, "POST", "/jobs", {"kind": "sabotage"}
+        )
+        assert status == 400
+        status, body = _request(service, "GET", "/jobs/job-9999")
+        assert status == 404
+        status, body = _request(service, "GET", "/bugs/999")
+        assert status == 404
+
+    def test_invalid_config_fails_loudly_not_silently(self, service):
+        config = {"dialect": "duckdb", "sandbox": True, "faults": "default"}
+        status, body = _request(
+            service, "POST", "/jobs", {"kind": "campaign", "config": config}
+        )
+        assert status == 400
+        assert "mutually exclusive" in body["error"]
+
+
+class TestJobModel:
+    def test_job_states_and_cursor(self):
+        store = JobStore()
+        job = store.submit("campaign", config=CampaignConfig(dialect="duckdb"))
+        assert job.state == "queued" and job.state in JOB_STATES
+        assert store.next_job(timeout=1.0) is job
+        job.mark_running()
+        bug = run_campaign("virtuoso", budget=500).bugs[0]
+        job.add_finding(bug, position=7)
+        cursor, first = job.findings_since(0)
+        assert cursor == 1 and first[0]["position"] == 7
+        _, rest = job.findings_since(cursor)
+        assert rest == []
+        job.mark_done({"bug_count": 1})
+        assert job.to_dict()["summary"]["bug_count"] == 1
+
+    def test_cancelled_jobs_are_skipped_by_the_worker(self):
+        store = JobStore()
+        job = store.submit("replay")
+        store.cancel(job.job_id)
+        assert job.state == "cancelled"
+        assert store.next_job(timeout=0.5) is None
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            Job("job-0001", "espresso")
+
+
+class TestSchedulerDispatch:
+    def test_build_campaign_dispatches_on_jobs(self):
+        from repro.core.campaign import Campaign
+        from repro.perf.parallel import ParallelCampaign
+
+        serial = build_campaign(CampaignConfig(dialect="duckdb"))
+        assert isinstance(serial, Campaign)
+        sharded = build_campaign(CampaignConfig(dialect="duckdb", jobs=2))
+        assert isinstance(sharded, ParallelCampaign)
+        with pytest.raises(ValueError, match="dialect"):
+            build_campaign(CampaignConfig())
+
+    def test_serial_streaming_hooks_fire(self):
+        seen = []
+        progress = []
+        result = run_scheduled(
+            CampaignConfig(dialect="virtuoso", budget=500),
+            on_finding=lambda f, pos: seen.append((f.bug_type_label, pos)),
+            on_progress=progress.append,
+        )
+        assert [label for label, _ in seen] == [
+            b.bug_type_label for b in result.bugs
+        ]
+        assert all(pos >= 0 for _, pos in seen)
+        assert progress and progress[-1]["budget"] == 500
+
+    def test_sharded_run_backfills_the_stream(self):
+        seen = []
+        result = run_scheduled(
+            CampaignConfig(dialect="virtuoso", budget=500, jobs=2),
+            on_finding=lambda f, pos: seen.append(f),
+        )
+        assert len(seen) == len(result.bugs)
+
+
+class TestRunSignatureParity:
+    """The acceptance bar: the redesigned entry points change nothing
+    about what a default-config campaign computes."""
+
+    def test_serial_cli_path_matches_library(self):
+        direct = run_campaign("duckdb", budget=600)
+        via_scheduler = run_scheduled(
+            CampaignConfig(dialect="duckdb", budget=600)
+        )
+        assert direct.signature() == via_scheduler.signature()
+
+    def test_sharded_cli_path_matches_library(self):
+        direct = run_campaign("duckdb", budget=600)
+        via_scheduler = run_scheduled(
+            CampaignConfig(dialect="duckdb", budget=600, jobs=4)
+        )
+        assert direct.signature() == via_scheduler.signature()
