@@ -147,8 +147,8 @@ def main() -> None:
     if status != 200 or updated["triage"] != "confirmed":
         fail(f"triage failed: {status} {updated}")
     service.stop()
-    if service.worker.alive:
-        fail("scheduler worker still alive after stop()")
+    if service.pool.alive:
+        fail("scheduler workers still alive after stop()")
 
     print(f"OK: streamed {len(streamed)} findings, {bug_count} deduplicated "
           f"records, replay clean, shutdown clean")

@@ -125,6 +125,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_serve.add_argument("--budgets", metavar="SPEC", default=None,
                          help="default per-job resource quota applied to "
                          "campaign submissions without their own budgets")
+    p_serve.add_argument("--workers", type=int, default=1,
+                         help="concurrent scheduler workers claiming jobs "
+                         "under leases (default: 1)")
+    p_serve.add_argument("--queue-depth", type=int, default=64,
+                         help="admission watermark: queued jobs past this "
+                         "are shed with HTTP 429 (default: 64)")
+    p_serve.add_argument("--quota", type=int, default=None,
+                         help="max queued+running jobs per submitter; "
+                         "over-quota submissions land in the terminal "
+                         "'rejected' job state (default: unlimited)")
+    p_serve.add_argument("--lease-seconds", type=float, default=30.0,
+                         help="worker lease duration; an expired lease "
+                         "makes a running job reclaimable (default: 30)")
 
     p_bugs = sub.add_parser("bugs", help="browse the persistent bug repository")
     p_bugs.add_argument("--data-dir", default=_DEFAULT_DATA_DIR,
@@ -266,9 +279,19 @@ def _cmd_serve(args) -> int:
         port=args.port,
         minimize=not args.no_minimize,
         default_budgets=args.budgets,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        submitter_quota=args.quota,
+        lease_seconds=args.lease_seconds,
     )
     print(f"repro service listening on {service.url}")
     print(f"bug repository: {os.path.join(args.data_dir, 'bugs.sqlite')}")
+    print(f"job journal:    {os.path.join(args.data_dir, 'jobs.sqlite')} "
+          f"({args.workers} worker{'s' if args.workers != 1 else ''})")
+    recovered = service.recovered
+    if recovered["requeued"] or recovered["failed"]:
+        print(f"crash recovery: requeued {len(recovered['requeued'])}, "
+              f"abandoned {len(recovered['failed'])}")
     service.serve_forever()
     return 0
 

@@ -97,6 +97,10 @@ class CampaignConfig:
     sandbox: Any = None
     #: worker processes; ``1`` runs the serial :class:`Campaign`
     jobs: int = 1
+    #: who submitted this campaign (service quota accounting; free-form)
+    submitter: str = ""
+    #: scheduling priority (higher claims first); no effect on results
+    priority: int = 0
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "oracles", parse_oracle_names(self.oracles))
@@ -124,6 +128,16 @@ class CampaignConfig:
             raise ValueError(
                 f"the 'checkpoint_every' option must be >= 0 "
                 f"(got {self.checkpoint_every})"
+            )
+        if not isinstance(self.submitter, str):
+            raise TypeError(
+                f"the 'submitter' option must be a string "
+                f"(got {self.submitter!r})"
+            )
+        if isinstance(self.priority, bool) or not isinstance(self.priority, int):
+            raise TypeError(
+                f"the 'priority' option must be an integer "
+                f"(got {self.priority!r})"
             )
         if self.sandbox is not None and self.faults is not None:
             raise ValueError(
@@ -193,6 +207,8 @@ class CampaignConfig:
             "budgets": self.budgets.to_spec() if self.budgets is not None else None,
             "sandbox": sandbox,
             "jobs": self.jobs,
+            "submitter": self.submitter,
+            "priority": self.priority,
         }
 
     @classmethod

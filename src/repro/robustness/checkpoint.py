@@ -135,6 +135,19 @@ class CampaignCheckpoint:
             )
         return cls(**data)
 
+    @classmethod
+    def try_load(cls, path: str) -> Optional["CampaignCheckpoint"]:
+        """Load a checkpoint if one usably exists, else ``None``.
+
+        The service's crash recovery uses this to decide whether an
+        orphaned job can resume: a missing, corrupt, or wrong-version
+        sidecar means "start the campaign over", not "refuse to run".
+        """
+        try:
+            return cls.load(path)
+        except CheckpointError:
+            return None
+
     # ------------------------------------------------------------------
     def validate_for(
         self,

@@ -5,30 +5,51 @@ service:
 
 * :mod:`repro.service.scheduler` — the reusable campaign lifecycle
   (serial vs. sharded dispatch, checkpoint/resume wiring, finding
-  streaming) that both the CLI and the server call.
+  streaming) that both the CLI and the server call, plus the leased
+  :class:`~repro.service.scheduler.SchedulerPool` of N worker threads
+  with cooperative cancellation and graceful drain.
 * :mod:`repro.service.jobs` — the asynchronous job model: campaign and
-  replay jobs, their states, and the thread-safe store/queue.
+  replay jobs, CAS state transitions under leases, retry backoff,
+  bounded finding buffers, and admission control (queue watermark +
+  per-submitter quotas).
+* :mod:`repro.service.journal` — the durable sqlite job journal (WAL):
+  every job's config, state transitions, retries, lease, and checkpoint
+  path survive the process; startup recovery re-enqueues orphaned work.
 * :mod:`repro.service.bugrepo` — the persistent, deduplicating bug
   repository (sqlite): findings from every campaign collapse onto
   canonical records with triage status and regression replay.
 * :mod:`repro.service.server` — the threaded HTTP/JSON front end
   (``repro serve``): submit jobs, poll streamed findings and supervisor
-  health, browse/triage/replay the repository.
+  health, browse/triage/replay the repository, with overload
+  protection (HTTP 429 load shedding, HTTP 413 body caps).
 """
 
 from .bugrepo import BugRecord, BugRepository, ReplayOutcome, ReplayReport
 from .jobs import (
     JOB_STATES,
+    TERMINAL_STATES,
     Job,
     JobStore,
+    QueueFull,
     finding_to_dict,
     result_to_summary,
+    signature_digest,
 )
-from .scheduler import build_campaign, run_scheduled
+from .journal import JobJournal, open_database
+from .scheduler import (
+    JobInterrupted,
+    SchedulerPool,
+    SchedulerWorker,
+    build_campaign,
+    run_scheduled,
+)
 from .server import BugService
 
 __all__ = [
     "BugRecord", "BugRepository", "BugService", "JOB_STATES", "Job",
-    "JobStore", "ReplayOutcome", "ReplayReport", "build_campaign",
-    "finding_to_dict", "result_to_summary", "run_scheduled",
+    "JobInterrupted", "JobJournal", "JobStore", "QueueFull",
+    "ReplayOutcome", "ReplayReport", "SchedulerPool", "SchedulerWorker",
+    "TERMINAL_STATES", "build_campaign", "finding_to_dict",
+    "open_database", "result_to_summary", "run_scheduled",
+    "signature_digest",
 ]

@@ -27,10 +27,14 @@ free.  This module is that repository:
   own dialect update its ``last_status``; re-targeted replays (another
   dialect) are report-only.
 
-Storage is a single sqlite database under the service data directory.
-Connections are opened per operation (sqlite serializes writers), so the
-repository is safe to share between the scheduler worker and HTTP handler
-threads.
+Storage is a single sqlite database under the service data directory,
+opened in WAL mode through the shared
+:func:`~repro.service.journal.open_database` plumbing (same family as
+the job journal's ``jobs.sqlite``).  Connections are opened per
+operation (sqlite serializes writers), so the repository is safe to
+share between scheduler workers and HTTP handler threads — and, unlike
+the journal's single-writer connection, across processes (the CLI's
+``repro bugs`` reads it while a service runs).
 """
 
 from __future__ import annotations
@@ -47,6 +51,7 @@ from ..core.minimize import CrashProbe, DivergenceProbe, minimize_poc
 from ..dialects import dialect_by_name, dialect_names
 from ..engine.connection import ServerCrashed
 from ..engine.errors import SQLError
+from .journal import open_database
 
 #: triage workflow states
 TRIAGE_STATES = ("new", "confirmed", "reported", "fixed", "wontfix", "invalid")
@@ -221,9 +226,7 @@ class BugRepository:
 
     # ------------------------------------------------------------------
     def _connect(self) -> sqlite3.Connection:
-        db = sqlite3.connect(self.path, timeout=30.0)
-        db.row_factory = sqlite3.Row
-        return db
+        return open_database(self.path)
 
     @staticmethod
     def _row_to_record(row: sqlite3.Row) -> BugRecord:

@@ -1,0 +1,238 @@
+"""The durable job journal (sqlite, WAL): the service's flight recorder.
+
+PR 6's :class:`~repro.service.jobs.JobStore` was an in-memory registry —
+a SIGKILL, OOM, or host reboot silently lost every queued and running
+campaign, even though the robustness layer already knows how to resume
+them from checkpoints.  The journal closes that gap: every job's config,
+parameters, state transitions, retry count, lease, and checkpoint path
+are written through to a sqlite database in the service data directory
+(same file family as ``bugs.sqlite``), so a restarted service can
+reconstruct the full job history and re-enqueue interrupted work.
+
+Design notes:
+
+* **One shared connection, one lock.**  The journal is written by worker
+  threads and HTTP handler threads of a single service process, so a
+  single ``check_same_thread=False`` connection serialized by an
+  ``RLock`` is simpler and faster than per-operation connections, and it
+  makes ``:memory:`` journals work for tests.  Cross-*process* readers
+  (a crashed service's successor) only ever see the file after the
+  writer died, which WAL + per-statement commits make safe.
+* **WAL mode** on file-backed journals: readers never block the writer,
+  and a kill between ``fsync``\\ s can lose at most the tail transition,
+  never corrupt the file (sqlite's crash-safety contract).
+* **Append-only transition log.**  Besides the current-row ``jobs``
+  table there is a ``transitions`` audit table recording every state
+  change with a timestamp and detail string — the raw material for
+  post-mortems ("how often did this job retry, and why").
+
+:func:`open_database` is the shared connection helper also used by
+:mod:`repro.service.bugrepo` so both databases get the same pragmas.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+from typing import Any, Dict, List, Optional
+
+#: bump when the journal layout changes incompatibly
+JOURNAL_VERSION = 1
+
+
+def open_database(
+    path: str,
+    timeout: float = 30.0,
+    check_same_thread: bool = True,
+) -> sqlite3.Connection:
+    """Open a service sqlite database with the shared pragma set.
+
+    File-backed databases get WAL journaling (concurrent readers, crash
+    safety) and ``NORMAL`` synchronous mode (fsync at WAL checkpoints —
+    a power loss can drop the last transactions but never corrupt).
+    ``:memory:`` databases skip the pragmas (WAL is meaningless there).
+    """
+    if path != ":memory:":
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+    db = sqlite3.connect(
+        path, timeout=timeout, check_same_thread=check_same_thread
+    )
+    db.row_factory = sqlite3.Row
+    if path != ":memory:":
+        db.execute("PRAGMA journal_mode=WAL")
+        db.execute("PRAGMA synchronous=NORMAL")
+    return db
+
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS jobs (
+    job_id          TEXT PRIMARY KEY,
+    seq             INTEGER NOT NULL,
+    kind            TEXT NOT NULL,
+    config          TEXT,
+    params          TEXT NOT NULL DEFAULT '{}',
+    submitter       TEXT NOT NULL DEFAULT '',
+    priority        INTEGER NOT NULL DEFAULT 0,
+    state           TEXT NOT NULL,
+    error           TEXT NOT NULL DEFAULT '',
+    retries         INTEGER NOT NULL DEFAULT 0,
+    max_retries     INTEGER NOT NULL DEFAULT 2,
+    next_attempt_at REAL NOT NULL DEFAULT 0,
+    checkpoint_path TEXT NOT NULL DEFAULT '',
+    lease_owner     TEXT NOT NULL DEFAULT '',
+    lease_seq       INTEGER NOT NULL DEFAULT 0,
+    lease_expires   REAL NOT NULL DEFAULT 0,
+    created_at      REAL NOT NULL,
+    started_at      REAL,
+    finished_at     REAL,
+    summary         TEXT NOT NULL DEFAULT '{}',
+    ingest          TEXT NOT NULL DEFAULT '{}',
+    findings_total  INTEGER NOT NULL DEFAULT 0
+);
+CREATE INDEX IF NOT EXISTS jobs_state ON jobs (state, priority, seq);
+CREATE TABLE IF NOT EXISTS transitions (
+    id     INTEGER PRIMARY KEY AUTOINCREMENT,
+    job_id TEXT NOT NULL,
+    state  TEXT NOT NULL,
+    detail TEXT NOT NULL DEFAULT '',
+    at     REAL NOT NULL
+);
+"""
+
+
+class JournalError(Exception):
+    """The journal is unreadable or from an incompatible version."""
+
+
+class JobJournal:
+    """Write-through persistence for the job store.
+
+    Every mutation the :class:`~repro.service.jobs.JobStore` makes to a
+    job is mirrored here synchronously (one UPDATE + optional audit
+    INSERT per transition — cheap next to running a campaign).  On
+    startup the store calls :meth:`load_rows` to rebuild its registry
+    and :meth:`max_seq` to continue the job-id sequence.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._lock = threading.RLock()
+        self._db: Optional[sqlite3.Connection] = open_database(
+            path, check_same_thread=False
+        )
+        with self._lock:
+            self._db.executescript(_SCHEMA)
+            row = self._db.execute(
+                "SELECT value FROM meta WHERE key='version'"
+            ).fetchone()
+            if row is None:
+                self._db.execute(
+                    "INSERT INTO meta (key, value) VALUES ('version', ?)",
+                    (str(JOURNAL_VERSION),),
+                )
+            elif int(row["value"]) != JOURNAL_VERSION:
+                raise JournalError(
+                    f"job journal {path!r} has version {row['value']}, "
+                    f"expected {JOURNAL_VERSION}"
+                )
+            self._db.commit()
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        with self._lock:
+            if self._db is not None:
+                self._db.commit()
+                self._db.close()
+                self._db = None
+
+    @property
+    def closed(self) -> bool:
+        return self._db is None
+
+    # ------------------------------------------------------------------
+    def insert(self, row: Dict[str, Any]) -> None:
+        """Journal a newly submitted job (full row)."""
+        with self._lock:
+            if self._db is None:
+                return
+            columns = sorted(row)
+            self._db.execute(
+                f"INSERT INTO jobs ({', '.join(columns)}) "
+                f"VALUES ({', '.join('?' for _ in columns)})",
+                [_encode(row[c]) for c in columns],
+            )
+            self._db.execute(
+                "INSERT INTO transitions (job_id, state, detail, at)"
+                " VALUES (?,?,?,?)",
+                (row["job_id"], row["state"], "submitted", row["created_at"]),
+            )
+            self._db.commit()
+
+    def update(
+        self,
+        row: Dict[str, Any],
+        transition: Optional[str] = None,
+        at: float = 0.0,
+    ) -> None:
+        """Write a job's current row back; optionally audit a transition."""
+        with self._lock:
+            if self._db is None:
+                return
+            job_id = row["job_id"]
+            columns = sorted(c for c in row if c != "job_id")
+            self._db.execute(
+                f"UPDATE jobs SET {', '.join(f'{c}=?' for c in columns)}"
+                f" WHERE job_id=?",
+                [_encode(row[c]) for c in columns] + [job_id],
+            )
+            if transition is not None:
+                self._db.execute(
+                    "INSERT INTO transitions (job_id, state, detail, at)"
+                    " VALUES (?,?,?,?)",
+                    (job_id, row["state"], transition, at),
+                )
+            self._db.commit()
+
+    # ------------------------------------------------------------------
+    def load_rows(self) -> List[Dict[str, Any]]:
+        """All journaled jobs in submission order (for startup rebuild)."""
+        with self._lock:
+            if self._db is None:
+                return []
+            rows = self._db.execute("SELECT * FROM jobs ORDER BY seq").fetchall()
+        return [dict(row) for row in rows]
+
+    def max_seq(self) -> int:
+        with self._lock:
+            if self._db is None:
+                return 0
+            (value,) = self._db.execute(
+                "SELECT COALESCE(MAX(seq), 0) FROM jobs"
+            ).fetchone()
+        return int(value)
+
+    def transitions(self, job_id: str) -> List[Dict[str, Any]]:
+        """The audit trail for one job, oldest first."""
+        with self._lock:
+            if self._db is None:
+                return []
+            rows = self._db.execute(
+                "SELECT state, detail, at FROM transitions"
+                " WHERE job_id=? ORDER BY id",
+                (job_id,),
+            ).fetchall()
+        return [dict(row) for row in rows]
+
+
+def _encode(value: Any) -> Any:
+    """Journal column encoding: dicts/lists become JSON text."""
+    if isinstance(value, (dict, list)):
+        return json.dumps(value, sort_keys=True)
+    return value

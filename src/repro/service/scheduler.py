@@ -10,28 +10,49 @@ same door:
 * :func:`build_campaign` — config in, ready-to-run campaign object out.
 * :func:`run_scheduled` — build, wire streaming hooks, run, return the
   :class:`~repro.core.campaign.CampaignResult`.
-* :class:`SchedulerWorker` — the service's consumer thread: pulls jobs
-  off the :class:`~repro.service.jobs.JobStore` queue, runs campaigns
-  (streaming findings into the job as they surface) and replays, and
-  folds campaign findings into the :class:`~repro.service.bugrepo.BugRepository`.
+* :class:`SchedulerWorker` — one consumer thread: CAS-claims jobs from
+  the :class:`~repro.service.jobs.JobStore` under a lease, heartbeats
+  while the campaign runs, honours cooperative cancellation and drain
+  requests from the job's stop flags, and classifies failures into
+  retry-with-backoff vs. terminal ``failed``.
+* :class:`SchedulerPool` — N workers over one store; knows how to stop
+  hard (tests) or **drain** gracefully: stop claiming, interrupt running
+  campaigns at their next progress beat, requeue them with
+  ``resume=<checkpoint>`` so a restarted service continues where this
+  one stopped.
 
-Serial campaigns stream findings live through ``Campaign.on_finding``;
-sharded campaigns (``config.jobs > 1``) execute in worker processes, so
-their findings backfill into the job when the shards merge.
+Serial campaigns stream findings live through ``Campaign.on_finding``
+and are interruptible at every ``on_progress`` beat; sharded campaigns
+(``config.jobs > 1``) execute in worker processes, so their findings
+backfill at merge time and cancellation takes effect between shard
+generations.
 """
 
 from __future__ import annotations
 
 import threading
 import traceback
-from typing import Any, Callable, Optional, Union
+from typing import Any, Callable, List, Optional, Union
 
 from ..core.campaign import Campaign, CampaignResult
 from ..core.config import CampaignConfig
 from ..dialects import dialect_by_name
 from ..perf.parallel import ParallelCampaign
+from ..robustness.checkpoint import CampaignCheckpoint
 from .bugrepo import BugRepository
 from .jobs import Job, JobStore, result_to_summary
+
+#: lease floor for the non-heartbeating phases (ingest/minimization,
+#: replay jobs): generous enough that normal work never loses its lease
+SLOW_PHASE_LEASE_SECONDS = 300.0
+
+
+class JobInterrupted(Exception):
+    """A cooperative stop fired mid-campaign (``cancel`` or ``drain``)."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
 
 
 def build_campaign(config: CampaignConfig) -> Union[Campaign, "ParallelCampaign"]:
@@ -85,17 +106,21 @@ def run_scheduled(
 
 
 class SchedulerWorker:
-    """The service's job consumer: one daemon thread draining the queue."""
+    """One job consumer: claim under lease, run, finish via CAS."""
 
     def __init__(
         self,
         store: JobStore,
         repo: BugRepository,
         name: str = "repro-scheduler",
+        drain_flag: Optional[threading.Event] = None,
     ) -> None:
         self.store = store
         self.repo = repo
+        self.name = name
         self._stop = threading.Event()
+        #: shared by the pool: set => interrupt campaigns for requeue
+        self._drain = drain_flag if drain_flag is not None else threading.Event()
         self._thread = threading.Thread(target=self._loop, name=name, daemon=True)
 
     # -- lifecycle ------------------------------------------------------
@@ -103,8 +128,10 @@ class SchedulerWorker:
         self._thread.start()
         return self
 
-    def stop(self, timeout: float = 30.0) -> None:
+    def stop(self, timeout: float = 30.0, drain: bool = False) -> None:
         self._stop.set()
+        if drain:
+            self._drain.set()
         self.store.poison()
         if self._thread.is_alive():
             self._thread.join(timeout=timeout)
@@ -116,38 +143,150 @@ class SchedulerWorker:
     # -- the drain loop -------------------------------------------------
     def _loop(self) -> None:
         while not self._stop.is_set():
-            job = self.store.next_job(timeout=0.2)
-            if job is None:
+            if not self.store.wait(timeout=0.2):
+                break  # poison pill: one per worker
+            if self._stop.is_set() or self._drain.is_set():
+                break
+            self.store.reclaim_expired()
+            claimed = self.store.claim(owner=self.name)
+            if claimed is None:
                 continue
-            self._run_job(job)
+            self._run_job(*claimed)
 
-    def _run_job(self, job: Job) -> None:
-        job.mark_running()
+    def _run_job(self, job: Job, lease_seq: int) -> None:
         try:
             if job.kind == "campaign":
-                self._run_campaign_job(job)
+                self._run_campaign_job(job, lease_seq)
             else:
-                self._run_replay_job(job)
+                self._run_replay_job(job, lease_seq)
+        except JobInterrupted as interrupt:
+            if interrupt.reason == "cancel":
+                job.finish_cancelled(lease_seq)
+            else:  # drain: hand the job to the next service incarnation
+                job.requeue(
+                    lease_seq,
+                    resume=self._resumable(job),
+                    detail="requeued by drain",
+                )
         except Exception:  # noqa: BLE001 - job isolation: record, don't die
-            job.mark_failed(traceback.format_exc(limit=8))
+            error = traceback.format_exc(limit=8)
+            job.mark_retrying(
+                error,
+                lease_seq=lease_seq,
+                backoff_base=self.store.backoff_base,
+                backoff_cap=self.store.backoff_cap,
+                resume=self._resumable(job),
+            )
 
-    def _run_campaign_job(self, job: Job) -> None:
+    @staticmethod
+    def _resumable(job: Job) -> Optional[str]:
+        """The job's checkpoint path, if a loadable snapshot exists."""
+        path = job.checkpoint_path
+        if path and CampaignCheckpoint.try_load(path) is not None:
+            return path
+        return None
+
+    def _hooks(self, job: Job, lease_seq: int):
+        """The streaming callbacks, wired for leases + cooperative stop."""
+
+        def on_progress(snapshot: dict) -> None:
+            job.set_progress(snapshot)
+            job.heartbeat(lease_seq, self.store.lease_seconds)
+            if job.cancel_event.is_set():
+                raise JobInterrupted("cancel")
+            if self._drain.is_set() or job.drain_event.is_set():
+                raise JobInterrupted("drain")
+
+        return job.add_finding, on_progress
+
+    def _run_campaign_job(self, job: Job, lease_seq: int) -> None:
         config = job.config
         assert config is not None
+        on_finding, on_progress = self._hooks(job, lease_seq)
         result = run_scheduled(
             config,
             resume=job.params.get("resume"),
-            on_finding=job.add_finding,
-            on_progress=job.set_progress,
+            on_finding=on_finding,
+            on_progress=on_progress,
         )
-        job.ingest = self.repo.record_result(result, campaign_id=job.job_id)
-        job.mark_done(result_to_summary(result))
+        # ingest can minimize hundreds of findings — too slow for the
+        # normal heartbeat cadence, so take a long lease up front
+        job.heartbeat(
+            lease_seq,
+            max(self.store.lease_seconds, SLOW_PHASE_LEASE_SECONDS),
+        )
+        ingest = self.repo.record_result(result, campaign_id=job.job_id)
+        job.set_ingest(ingest)
+        job.mark_done(result_to_summary(result), lease_seq)
 
-    def _run_replay_job(self, job: Job) -> None:
+    def _run_replay_job(self, job: Job, lease_seq: int) -> None:
+        # replays execute every stored trigger without progress beats
+        job.heartbeat(
+            lease_seq,
+            max(self.store.lease_seconds, SLOW_PHASE_LEASE_SECONDS),
+        )
         report = self.repo.replay(
             dialect=job.params.get("dialect"),
             target=job.params.get("target"),
             record_ids=job.params.get("record_ids"),
             job_id=job.job_id,
         )
-        job.mark_done(report.to_dict())
+        job.mark_done(report.to_dict(), lease_seq)
+
+
+class SchedulerPool:
+    """N scheduler workers over one store, with graceful drain."""
+
+    def __init__(
+        self,
+        store: JobStore,
+        repo: BugRepository,
+        workers: int = 1,
+        name: str = "repro-scheduler",
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"the worker pool needs >= 1 workers (got {workers})")
+        self.store = store
+        self.repo = repo
+        self._drain = threading.Event()
+        self.workers: List[SchedulerWorker] = [
+            SchedulerWorker(
+                store, repo, name=f"{name}-{index}", drain_flag=self._drain
+            )
+            for index in range(workers)
+        ]
+
+    def start(self) -> "SchedulerPool":
+        for worker in self.workers:
+            worker.start()
+        return self
+
+    def stop(self, timeout: float = 30.0, drain: bool = True) -> None:
+        """Stop all workers.
+
+        With *drain* (the default), running campaigns are interrupted at
+        their next progress beat and requeued with ``resume`` pointing at
+        their checkpoint sidecar — the journal then carries them to the
+        next service start.  Without it, workers still exit between jobs
+        but running campaigns run to completion first (tests' hard-stop).
+        """
+        if drain:
+            self._drain.set()
+            for job in self.store.list():
+                if job.state == "running":
+                    job.drain_event.set()
+        for worker in self.workers:
+            worker._stop.set()
+        # one pill per worker: each blocked thread eats exactly one
+        self.store.poison(len(self.workers))
+        for worker in self.workers:
+            if worker._thread.is_alive():
+                worker._thread.join(timeout=timeout)
+
+    @property
+    def alive(self) -> bool:
+        return any(worker.alive for worker in self.workers)
+
+    @property
+    def alive_count(self) -> int:
+        return sum(1 for worker in self.workers if worker.alive)

@@ -13,7 +13,9 @@ Endpoints::
     GET  /jobs                     all jobs, oldest first
     GET  /jobs/<id>                one job (state, progress, summary)
     GET  /jobs/<id>/findings?since=N   streamed findings past cursor N
-    POST /jobs/<id>/cancel         cancel a still-queued job
+    GET  /jobs/<id>/transitions    the job's journaled state history
+    POST /jobs/<id>/cancel         cancel a queued job, or request
+                                   cooperative cancellation of a running one
     GET  /bugs?dialect=&triage=    repository records
     GET  /bugs/<id>                one record + its replay history
     POST /bugs/<id>/triage         {"status": "confirmed"}
@@ -24,6 +26,21 @@ Campaign configs arrive as the JSON shape of
 hard 400, mirroring the library's ``from_dict`` contract.  Everything
 binds to ``127.0.0.1`` by default and ``port=0`` picks an ephemeral
 port — tests boot a real server per test.
+
+Robustness (the durable-service layer):
+
+* jobs persist in a sqlite **journal** (``jobs.sqlite``, WAL) next to
+  the bug repository; on boot the service recovers orphaned work —
+  jobs a dead process left ``running`` resume from their checkpoint
+  sidecars (``<data-dir>/checkpoints/<job-id>.ckpt``, auto-assigned at
+  submission);
+* ``workers=N`` scheduler threads claim jobs under leases;
+* the admission queue is bounded — past the ``queue_depth`` watermark,
+  submissions get **HTTP 429** with a ``Retry-After`` header; request
+  bodies past ``max_body_bytes`` get **HTTP 413** before being read;
+* shutdown drains gracefully: stop admitting (503), interrupt running
+  campaigns at their next progress beat, journal them as ``queued``
+  with ``resume=<checkpoint>`` for the next incarnation.
 """
 
 from __future__ import annotations
@@ -38,20 +55,32 @@ from urllib.parse import parse_qs, urlparse
 
 from ..core.config import CampaignConfig
 from .bugrepo import BugRepository
-from .jobs import JobStore
-from .scheduler import SchedulerWorker
+from .jobs import JobStore, QueueFull
+from .journal import JobJournal
+from .scheduler import SchedulerPool
 
-_JOB_RE = re.compile(r"^/jobs/(?P<id>[\w-]+)(?P<rest>/findings|/cancel)?$")
+_JOB_RE = re.compile(
+    r"^/jobs/(?P<id>[\w-]+)(?P<rest>/findings|/cancel|/transitions)?$"
+)
 _BUG_RE = re.compile(r"^/bugs/(?P<id>\d+)(?P<rest>/triage|/replays)?$")
+
+#: request bodies past this are refused unread (HTTP 413)
+DEFAULT_MAX_BODY_BYTES = 1 << 20
 
 
 class ServiceError(Exception):
     """An HTTP-visible request error."""
 
-    def __init__(self, status: int, message: str) -> None:
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         super().__init__(message)
         self.status = status
         self.message = message
+        self.headers = dict(headers or {})
 
 
 class BugService:
@@ -64,17 +93,35 @@ class BugService:
         port: int = 0,
         minimize: bool = True,
         default_budgets: Optional[str] = None,
+        workers: int = 1,
+        queue_depth: Optional[int] = 64,
+        submitter_quota: Optional[int] = None,
+        lease_seconds: float = 30.0,
+        max_retries: int = 2,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
     ) -> None:
         self.data_dir = data_dir
         #: per-job ResourceGovernor quota applied to campaign submissions
         #: that don't carry their own 'budgets' (a submitted spec wins)
         self.default_budgets = default_budgets
+        self.max_body_bytes = max_body_bytes
         os.makedirs(data_dir, exist_ok=True)
         self.repo = BugRepository(
             os.path.join(data_dir, "bugs.sqlite"), minimize=minimize
         )
-        self.store = JobStore()
-        self.worker = SchedulerWorker(self.store, self.repo)
+        self.journal = JobJournal(os.path.join(data_dir, "jobs.sqlite"))
+        self.store = JobStore(
+            journal=self.journal,
+            checkpoint_dir=os.path.join(data_dir, "checkpoints"),
+            max_depth=queue_depth,
+            submitter_quota=submitter_quota,
+            max_retries=max_retries,
+            lease_seconds=lease_seconds,
+        )
+        #: what crash recovery re-enqueued/abandoned at boot
+        self.recovered = self.store.recover()
+        self.pool = SchedulerPool(self.store, self.repo, workers=workers)
+        self._draining = threading.Event()
         self._httpd = ThreadingHTTPServer((host, port), _make_handler(self))
         self._httpd.daemon_threads = True
         self._serve_thread: Optional[threading.Thread] = None
@@ -93,8 +140,8 @@ class BugService:
         return f"http://{self.host}:{self.port}"
 
     def start(self) -> "BugService":
-        """Start the scheduler worker and the HTTP listener (background)."""
-        self.worker.start()
+        """Start the scheduler workers and the HTTP listener (background)."""
+        self.pool.start()
         self._serve_thread = threading.Thread(
             target=self._httpd.serve_forever,
             name="repro-http",
@@ -103,24 +150,35 @@ class BugService:
         self._serve_thread.start()
         return self
 
-    def stop(self, timeout: float = 30.0) -> None:
-        """Graceful shutdown: stop accepting, drain the worker."""
+    def stop(self, timeout: float = 30.0, drain: bool = True) -> None:
+        """Graceful shutdown.
+
+        Ordered so nothing is lost: (1) stop admitting (submissions get
+        503 while existing reads still answer), (2) drain the worker
+        pool — running campaigns are interrupted at their next progress
+        beat and journaled back to ``queued`` with a resume checkpoint,
+        (3) stop the HTTP listener, (4) close the journal.
+        """
+        self._draining.set()
+        self.pool.stop(timeout=timeout, drain=drain)
         self._httpd.shutdown()
         self._httpd.server_close()
         if self._serve_thread is not None:
             self._serve_thread.join(timeout=5.0)
-        self.worker.stop(timeout=timeout)
+        self.journal.close()
 
     def serve_forever(self) -> None:
         """Foreground mode (``repro serve``): block until interrupted."""
-        self.worker.start()
+        self.pool.start()
         try:
             self._httpd.serve_forever()
         except KeyboardInterrupt:
             pass
         finally:
+            self._draining.set()
+            self.pool.stop(drain=True)
             self._httpd.server_close()
-            self.worker.stop()
+            self.journal.close()
 
     # -- request handling (called from handler threads) -----------------
     def handle(
@@ -151,20 +209,31 @@ class BugService:
         raise ServiceError(404, f"no route for {method} {path}")
 
     def _health(self) -> Dict[str, Any]:
-        jobs = self.store.list()
-        states: Dict[str, int] = {}
-        for job in jobs:
-            states[job.state] = states.get(job.state, 0) + 1
         return {
-            "status": "ok",
-            "worker_alive": self.worker.alive,
-            "jobs": states,
+            "status": "draining" if self._draining.is_set() else "ok",
+            "worker_alive": self.pool.alive,
+            "workers": len(self.pool.workers),
+            "workers_alive": self.pool.alive_count,
+            "queue_depth": self.store.queue_depth,
+            "shed": self.store.shed_count,
+            "recovered": self.recovered,
+            "jobs": self.store.state_counts(),
             "bug_records": self.repo.count(),
             "data_dir": self.data_dir,
         }
 
     def _submit(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        if self._draining.is_set():
+            raise ServiceError(
+                503, "service is draining; resubmit after restart",
+                headers={"Retry-After": "30"},
+            )
         kind = body.get("kind", "campaign")
+        submitter = str(body.get("submitter", "") or "")
+        try:
+            priority = int(body.get("priority", 0) or 0)
+        except (TypeError, ValueError):
+            raise ServiceError(400, "'priority' must be an integer")
         if kind == "campaign":
             raw = body.get("config")
             if not isinstance(raw, dict):
@@ -180,20 +249,39 @@ class BugService:
                 raise ServiceError(400, str(exc))
             if not config.dialect:
                 raise ServiceError(400, "config.dialect is required")
+            # top-level submission fields win; config carries the defaults
+            submitter = submitter or config.submitter
+            priority = priority or config.priority
             params = {}
             if body.get("resume"):
                 params["resume"] = str(body["resume"])
-            job = self.store.submit("campaign", config=config, params=params)
+            job = self._admit(
+                "campaign", config=config, params=params,
+                submitter=submitter, priority=priority,
+            )
         elif kind == "replay":
             params = {
                 "dialect": body.get("dialect"),
                 "target": body.get("target"),
                 "record_ids": body.get("record_ids"),
             }
-            job = self.store.submit("replay", params=params)
+            job = self._admit(
+                "replay", params=params,
+                submitter=submitter, priority=priority,
+            )
         else:
             raise ServiceError(400, f"unknown job kind {kind!r}")
         return job.to_dict()
+
+    def _admit(self, kind: str, **kwargs: Any):
+        """Submit through admission control, translating overload to 429."""
+        try:
+            return self.store.submit(kind, **kwargs)
+        except QueueFull as full:
+            raise ServiceError(
+                429, str(full),
+                headers={"Retry-After": str(full.retry_after)},
+            )
 
     def _job_route(
         self, method: str, match: "re.Match[str]", query: Dict[str, Any]
@@ -210,8 +298,15 @@ class BugService:
             cursor, findings = job.findings_since(since)
             return 200, {"next": cursor, "state": job.state, "findings": findings}
         if rest == "/cancel" and method == "POST":
-            job.mark_cancelled()
-            return 200, job.to_dict()
+            outcome = job.mark_cancelled()
+            data = job.to_dict()
+            data["cancel"] = outcome or "noop"
+            return 200, data
+        if rest == "/transitions" and method == "GET":
+            return 200, {
+                "id": job.job_id,
+                "transitions": self.journal.transitions(job.job_id),
+            }
         if rest is None and method == "GET":
             return 200, job.to_dict()
         raise ServiceError(404, f"no route for {method} /jobs/...{rest or ''}")
@@ -256,7 +351,28 @@ def _make_handler(service: BugService):
                 for key, values in parse_qs(parsed.query).items()
             }
             body: Dict[str, Any] = {}
-            length = int(self.headers.get("Content-Length") or 0)
+            try:
+                length = int(self.headers.get("Content-Length") or 0)
+            except (TypeError, ValueError):
+                self._reply(400, {"error": "bad Content-Length header"})
+                return
+            if length > service.max_body_bytes:
+                # Refuse without buffering: drain the wire in fixed-size
+                # chunks (so the client's write doesn't die on a broken
+                # pipe before it can read the status line) but never hold
+                # more than one chunk of the oversized body in memory.
+                remaining = length
+                while remaining > 0:
+                    chunk = self.rfile.read(min(remaining, 65536))
+                    if not chunk:
+                        break
+                    remaining -= len(chunk)
+                self._reply(413, {
+                    "error": f"request body of {length} bytes exceeds the "
+                    f"{service.max_body_bytes}-byte limit"
+                })
+                self.close_connection = True
+                return
             if length:
                 try:
                     body = json.loads(self.rfile.read(length).decode("utf-8"))
@@ -269,18 +385,25 @@ def _make_handler(service: BugService):
             try:
                 status, payload = service.handle(method, parsed.path, query, body)
             except ServiceError as exc:
-                self._reply(exc.status, {"error": exc.message})
+                self._reply(exc.status, {"error": exc.message}, exc.headers)
                 return
             except Exception as exc:  # noqa: BLE001 - keep the server alive
                 self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
                 return
             self._reply(status, payload)
 
-        def _reply(self, status: int, payload: Dict[str, Any]) -> None:
+        def _reply(
+            self,
+            status: int,
+            payload: Dict[str, Any],
+            headers: Optional[Dict[str, str]] = None,
+        ) -> None:
             data = json.dumps(payload).encode("utf-8")
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(data)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
             self.end_headers()
             self.wfile.write(data)
 

@@ -102,6 +102,19 @@ class TestRoundTrip:
         clone = CampaignConfig.from_dict(config.to_dict())
         assert fault_spec(clone.faults) == fault_spec(plan)
 
+    def test_submitter_and_priority_round_trip(self):
+        config = CampaignConfig(dialect="duckdb", submitter="ci", priority=3)
+        wire = config.to_dict()
+        assert wire["submitter"] == "ci" and wire["priority"] == 3
+        clone = CampaignConfig.from_dict(wire)
+        assert clone.submitter == "ci" and clone.priority == 3
+
+    def test_submitter_and_priority_are_validated(self):
+        with pytest.raises(TypeError, match="submitter"):
+            CampaignConfig(dialect="duckdb", submitter=7)
+        with pytest.raises(TypeError, match="priority"):
+            CampaignConfig(dialect="duckdb", priority="high")
+
 
 class TestDeprecationShim:
     def test_campaign_legacy_kwargs_warn(self):

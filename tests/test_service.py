@@ -20,8 +20,15 @@ import pytest
 
 from repro.core import CampaignConfig, run_campaign
 from repro.service import BugService
-from repro.service.jobs import JOB_STATES, Job, JobStore
-from repro.service.scheduler import build_campaign, run_scheduled
+from repro.service.bugrepo import BugRepository
+from repro.service.jobs import JOB_STATES, Job, JobStore, QueueFull
+from repro.service.journal import JobJournal
+from repro.service.scheduler import (
+    SchedulerPool,
+    SchedulerWorker,
+    build_campaign,
+    run_scheduled,
+)
 
 
 # ---------------------------------------------------------------------------
@@ -167,27 +174,127 @@ class TestJobModel:
         store = JobStore()
         job = store.submit("campaign", config=CampaignConfig(dialect="duckdb"))
         assert job.state == "queued" and job.state in JOB_STATES
-        assert store.next_job(timeout=1.0) is job
-        job.mark_running()
+        claimed = store.claim(owner="w0")
+        assert claimed is not None and claimed[0] is job
+        job, lease = claimed
+        assert job.state == "running"
         bug = run_campaign("virtuoso", budget=500).bugs[0]
         job.add_finding(bug, position=7)
         cursor, first = job.findings_since(0)
         assert cursor == 1 and first[0]["position"] == 7
         _, rest = job.findings_since(cursor)
         assert rest == []
-        job.mark_done({"bug_count": 1})
+        assert job.mark_done({"bug_count": 1}, lease)
         assert job.to_dict()["summary"]["bug_count"] == 1
 
-    def test_cancelled_jobs_are_skipped_by_the_worker(self):
+    def test_cancelled_jobs_are_not_claimable(self):
         store = JobStore()
         job = store.submit("replay")
         store.cancel(job.job_id)
         assert job.state == "cancelled"
-        assert store.next_job(timeout=0.5) is None
+        assert store.claim(owner="w0") is None
+
+    def test_cancel_claim_race_is_a_cas(self):
+        # the PR 6 race: a job cancelled between being popped and
+        # mark_running was silently revived to 'running'
+        store = JobStore()
+        job = store.submit("replay")
+        store.cancel(job.job_id)
+        assert job.mark_running("w0") is False
+        assert job.state == "cancelled"
+
+    def test_terminal_transitions_require_the_lease(self):
+        store = JobStore()
+        job = store.submit("replay")
+        _, lease = store.claim(owner="w0")
+        # a stale worker (lost lease) cannot finish the job
+        assert not job.mark_done({}, lease + 1)
+        assert not job.mark_failed("boom", lease + 1)
+        assert job.mark_retrying("boom", lease + 1) == ""
+        assert job.state == "running"
+        assert job.mark_done({"ok": 1}, lease)
+        assert job.state == "done"
 
     def test_unknown_kind_rejected(self):
         with pytest.raises(ValueError, match="kind"):
             Job("job-0001", "espresso")
+
+    def test_priority_orders_claims(self):
+        store = JobStore()
+        low = store.submit("replay", priority=0)
+        high = store.submit("replay", priority=5)
+        assert store.claim()[0] is high
+        assert store.claim()[0] is low
+
+    def test_findings_buffer_is_bounded(self):
+        store = JobStore(max_findings=5)
+        job = store.submit("campaign", config=CampaignConfig(dialect="duckdb"))
+        _, lease = store.claim()
+        bug = run_campaign("virtuoso", budget=500).bugs[0]
+        for position in range(9):
+            job.add_finding(bug, position=position)
+        assert job.finding_count == 9
+        assert job.findings_truncated == 4
+        # the cursor indexes the total stream, not the buffer
+        cursor, chunk = job.findings_since(0)
+        assert cursor == 9 and len(chunk) == 5
+        cursor2, chunk2 = job.findings_since(cursor)
+        assert cursor2 == 9 and chunk2 == []
+        # mid-buffer cursors still see the stored suffix
+        _, tail = job.findings_since(3)
+        assert [f["position"] for f in tail] == [3, 4]
+        job.mark_done({"bug_count": 9}, lease)
+        assert job.to_dict()["summary"]["findings_truncated"] == 4
+
+    def test_queue_watermark_sheds(self):
+        store = JobStore(max_depth=2)
+        store.submit("replay")
+        store.submit("replay")
+        with pytest.raises(QueueFull) as excinfo:
+            store.submit("replay")
+        assert excinfo.value.retry_after > 0
+        assert store.shed_count == 1
+
+    def test_submitter_quota_rejects_as_a_state(self):
+        store = JobStore(submitter_quota=1)
+        ok = store.submit("replay", submitter="alice")
+        over = store.submit("replay", submitter="alice")
+        other = store.submit("replay", submitter="bob")
+        assert ok.state == "queued"
+        assert over.state == "rejected" and "quota" in over.error
+        assert other.state == "queued"
+        # rejected jobs are terminal and never claimable
+        claimed_ids = {store.claim()[0].job_id, store.claim()[0].job_id}
+        assert over.job_id not in claimed_ids
+
+    def test_lease_expiry_reclaims_with_backoff(self):
+        store = JobStore(lease_seconds=0.05, backoff_base=0.01, max_retries=3)
+        job = store.submit("replay")
+        _, lease = store.claim(owner="w0")
+        time.sleep(0.1)
+        assert store.reclaim_expired() == [job.job_id]
+        assert job.state == "queued" and job.retries == 1
+        # ...and the stale worker's completion is refused
+        assert not job.mark_done({}, lease)
+
+    def test_heartbeat_prevents_reclaim(self):
+        store = JobStore(lease_seconds=0.2)
+        job = store.submit("replay")
+        _, lease = store.claim(owner="w0")
+        for _ in range(3):
+            time.sleep(0.05)
+            assert job.heartbeat(lease, 0.2)
+        assert store.reclaim_expired() == []
+        assert job.state == "running"
+
+    def test_retries_exhaust_to_terminal_failed(self):
+        store = JobStore(max_retries=1, backoff_base=0.0)
+        job = store.submit("replay")
+        _, lease = store.claim()
+        assert job.mark_retrying("first boom", lease, backoff_base=0.0) == "queued"
+        _, lease = store.claim()
+        assert job.mark_retrying("second boom", lease, backoff_base=0.0) == "failed"
+        assert job.state == "failed" and "second boom" in job.error
 
 
 class TestSchedulerDispatch:
@@ -223,6 +330,300 @@ class TestSchedulerDispatch:
             on_finding=lambda f, pos: seen.append(f),
         )
         assert len(seen) == len(result.bugs)
+
+
+class TestSchedulerFailurePaths:
+    """Worker crash isolation, poison pills, lease reclamation."""
+
+    def _pool(self, tmp_path, workers=1, **store_kwargs):
+        store_kwargs.setdefault("backoff_base", 0.0)
+        store = JobStore(
+            checkpoint_dir=str(tmp_path / "ckpt"), **store_kwargs
+        )
+        repo = BugRepository(str(tmp_path / "bugs.sqlite"), minimize=False)
+        pool = SchedulerPool(store, repo, workers=workers)
+        return store, repo, pool
+
+    def _wait_state(self, job, states, deadline=30.0):
+        end = time.monotonic() + deadline
+        while time.monotonic() < end:
+            if job.state in states:
+                return job.state
+            time.sleep(0.02)
+        raise AssertionError(f"job stuck in {job.state!r}, wanted {states}")
+
+    def test_worker_exception_marks_failed_with_traceback(self, tmp_path):
+        store, repo, pool = self._pool(tmp_path, max_retries=0)
+        # an unknown dialect blows up inside build_campaign
+        job = store.submit(
+            "campaign", config=CampaignConfig(dialect="not-a-dbms")
+        )
+        pool.start()
+        try:
+            assert self._wait_state(job, ("failed",)) == "failed"
+            assert "Traceback" in job.error
+            assert pool.alive  # the worker survived the job
+        finally:
+            pool.stop(drain=False)
+
+    def test_failed_jobs_retry_before_turning_terminal(self, tmp_path):
+        store, repo, pool = self._pool(tmp_path, max_retries=2)
+        job = store.submit(
+            "campaign", config=CampaignConfig(dialect="not-a-dbms")
+        )
+        pool.start()
+        try:
+            self._wait_state(job, ("failed",))
+            assert job.retries == 2
+        finally:
+            pool.stop(drain=False)
+
+    def test_poison_pills_stop_every_worker(self, tmp_path):
+        store, repo, pool = self._pool(tmp_path, workers=4)
+        pool.start()
+        assert pool.alive_count == 4
+        pool.stop(drain=False)  # one pill per worker
+        assert pool.alive_count == 0
+
+    def test_multi_worker_drains_mixed_queue_with_no_double_runs(self, tmp_path):
+        store, repo, pool = self._pool(tmp_path, workers=4)
+        jobs = []
+        for index in range(6):
+            jobs.append(store.submit(
+                "campaign",
+                config=CampaignConfig(dialect="virtuoso", budget=300),
+            ))
+            jobs.append(store.submit("replay"))
+        pool.start()
+        try:
+            for job in jobs:
+                assert self._wait_state(job, ("done",)) == "done"
+            # lease uniqueness: every job was claimed exactly once
+            assert all(job.lease_seq == 1 for job in jobs)
+            assert all(job.retries == 0 for job in jobs)
+        finally:
+            pool.stop(drain=False)
+
+    def test_lease_expiry_reclamation_end_to_end(self, tmp_path):
+        store, repo, pool = self._pool(
+            tmp_path, workers=1, lease_seconds=0.05, max_retries=3
+        )
+        job = store.submit(
+            "campaign", config=CampaignConfig(dialect="virtuoso", budget=300)
+        )
+        # a wedged worker claimed the job and went silent
+        claimed = store.claim(owner="wedged")
+        assert claimed is not None and claimed[0] is job
+        time.sleep(0.1)
+        pool.start()  # a healthy worker reclaims and completes it
+        try:
+            assert self._wait_state(job, ("done",)) == "done"
+            assert job.retries == 1 and job.lease_seq == 2
+        finally:
+            pool.stop(drain=False)
+
+    def test_cooperative_cancel_of_a_running_campaign(self, tmp_path):
+        store, repo, pool = self._pool(tmp_path, workers=1)
+        job = store.submit(
+            "campaign",
+            config=CampaignConfig(dialect="virtuoso", budget=200_000),
+        )
+        pool.start()
+        try:
+            self._wait_state(job, ("running",))
+            assert job.mark_cancelled() == "pending"
+            assert self._wait_state(job, ("cancelled",)) == "cancelled"
+        finally:
+            pool.stop(drain=False)
+
+
+class TestDurabilityAndRecovery:
+    """The journal: jobs survive the process; orphans resume."""
+
+    def test_journal_round_trips_jobs(self, tmp_path):
+        path = str(tmp_path / "jobs.sqlite")
+        journal = JobJournal(path)
+        store = JobStore(journal=journal)
+        config = CampaignConfig(dialect="duckdb", budget=777, priority=2)
+        job = store.submit(
+            "campaign", config=config, submitter="alice", priority=2
+        )
+        _, lease = store.claim(owner="w0")
+        job.mark_done({"bug_count": 3}, lease)
+        journal.close()
+
+        reloaded = JobStore(journal=JobJournal(path))
+        twin = reloaded.get(job.job_id)
+        assert twin is not None
+        assert twin.state == "done"
+        assert twin.submitter == "alice" and twin.priority == 2
+        assert twin.config.budget == 777
+        assert twin.summary == {"bug_count": 3}
+        # the id sequence continues across the restart
+        assert reloaded.submit("replay").job_id != job.job_id
+
+    def test_transitions_are_audited(self, tmp_path):
+        journal = JobJournal(str(tmp_path / "jobs.sqlite"))
+        store = JobStore(journal=journal)
+        job = store.submit("replay")
+        _, lease = store.claim(owner="w0")
+        job.mark_done({}, lease)
+        states = [t["state"] for t in journal.transitions(job.job_id)]
+        assert states == ["queued", "running", "done"]
+
+    def test_recovery_requeues_orphaned_running_jobs(self, tmp_path):
+        path = str(tmp_path / "jobs.sqlite")
+        journal = JobJournal(path)
+        store = JobStore(
+            journal=journal, checkpoint_dir=str(tmp_path / "ckpt")
+        )
+        job = store.submit(
+            "campaign", config=CampaignConfig(dialect="virtuoso", budget=400)
+        )
+        assert store.claim(owner="doomed") is not None  # then the host dies
+        journal.close()
+
+        # ...the next service incarnation boots over the same journal
+        reborn = JobStore(
+            journal=JobJournal(path), checkpoint_dir=str(tmp_path / "ckpt"),
+            backoff_base=0.0,
+        )
+        report = reborn.recover()
+        twin = reborn.get(job.job_id)
+        assert report["requeued"] == [job.job_id]
+        assert twin.state == "queued" and twin.retries == 1
+
+        repo = BugRepository(str(tmp_path / "bugs.sqlite"), minimize=False)
+        pool = SchedulerPool(reborn, repo, workers=1).start()
+        try:
+            end = time.monotonic() + 30
+            while twin.state != "done" and time.monotonic() < end:
+                time.sleep(0.02)
+            assert twin.state == "done"
+            # recovery is invisible in the outcome: same digest as a
+            # clean run of the same config
+            control = run_scheduled(twin.config)
+            from repro.service import signature_digest
+            assert twin.summary["signature_digest"] == signature_digest(control)
+        finally:
+            pool.stop(drain=False)
+
+    def test_recovery_exhausts_retries_to_failed(self, tmp_path):
+        path = str(tmp_path / "jobs.sqlite")
+        journal = JobJournal(path)
+        store = JobStore(journal=journal, max_retries=0)
+        store.submit("replay")
+        assert store.claim(owner="doomed") is not None
+        journal.close()
+        reborn = JobStore(journal=JobJournal(path), max_retries=0)
+        report = reborn.recover()
+        assert len(report["failed"]) == 1
+        job = reborn.get(report["failed"][0])
+        assert job.state == "failed" and "orphaned" in job.error
+
+    def test_graceful_drain_requeues_with_resume(self, tmp_path):
+        journal = JobJournal(str(tmp_path / "jobs.sqlite"))
+        store = JobStore(
+            journal=journal, checkpoint_dir=str(tmp_path / "ckpt")
+        )
+        repo = BugRepository(str(tmp_path / "bugs.sqlite"), minimize=False)
+        pool = SchedulerPool(store, repo, workers=1).start()
+        job = store.submit(
+            "campaign",
+            config=CampaignConfig(
+                dialect="virtuoso", budget=200_000, checkpoint_every=200
+            ),
+        )
+        end = time.monotonic() + 30
+        while job.state != "running" and time.monotonic() < end:
+            time.sleep(0.02)
+        # let it get past the first checkpoint so the drain can resume
+        end = time.monotonic() + 30
+        while not job.progress.get("position") and time.monotonic() < end:
+            time.sleep(0.02)
+        pool.stop(drain=True)
+        assert job.state == "queued"
+        assert job.retries == 0  # drain is not a failure
+        assert job.params.get("resume") == job.checkpoint_path
+
+
+class TestServiceOverloadProtection:
+    """HTTP-level robustness: 429 load shedding, 413 body caps."""
+
+    def test_queue_watermark_returns_429_with_retry_after(self, tmp_path):
+        svc = BugService(
+            str(tmp_path / "data"), queue_depth=2, workers=1
+        ).start()
+        try:
+            # jam the single worker with a long campaign, then fill up
+            config = CampaignConfig(dialect="virtuoso", budget=200_000)
+            _request(svc, "POST", "/jobs",
+                     {"kind": "campaign", "config": config.to_dict()})
+            small = CampaignConfig(dialect="virtuoso", budget=300).to_dict()
+            statuses = []
+            for _ in range(6):
+                status, _body = _request(
+                    svc, "POST", "/jobs",
+                    {"kind": "campaign", "config": small},
+                )
+                statuses.append(status)
+            assert 429 in statuses
+            # the Retry-After header rides on the 429
+            request = urllib.request.Request(
+                svc.url + "/jobs",
+                data=json.dumps(
+                    {"kind": "campaign", "config": small}
+                ).encode(),
+                method="POST",
+                headers={"Content-Type": "application/json"},
+            )
+            try:
+                urllib.request.urlopen(request, timeout=30)
+                raise AssertionError("expected HTTP 429")
+            except urllib.error.HTTPError as error:
+                assert error.code == 429
+                assert error.headers.get("Retry-After")
+            # the server stays responsive under shed load
+            status, health = _request(svc, "GET", "/health")
+            assert status == 200 and health["shed"] >= 2
+        finally:
+            svc.stop()
+
+    def test_oversized_body_is_413(self, service):
+        big = json.dumps({"pad": "x" * (2 << 20)}).encode()
+        request = urllib.request.Request(
+            service.url + "/jobs",
+            data=big,
+            method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            urllib.request.urlopen(request, timeout=30)
+            raise AssertionError("expected HTTP 413")
+        except urllib.error.HTTPError as error:
+            assert error.code == 413
+
+    def test_submitter_quota_over_http(self, tmp_path):
+        svc = BugService(
+            str(tmp_path / "data"), submitter_quota=1, workers=1
+        ).start()
+        try:
+            config = CampaignConfig(
+                dialect="virtuoso", budget=200_000
+            ).to_dict()
+            status, first = _request(
+                svc, "POST", "/jobs",
+                {"kind": "campaign", "config": config, "submitter": "alice"},
+            )
+            assert status == 200
+            status, second = _request(
+                svc, "POST", "/jobs",
+                {"kind": "campaign", "config": config, "submitter": "alice"},
+            )
+            assert status == 200 and second["state"] == "rejected"
+            assert "quota" in second["error"]
+        finally:
+            svc.stop()
 
 
 class TestRunSignatureParity:
