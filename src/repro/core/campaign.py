@@ -108,6 +108,11 @@ class CampaignResult:
     wall_seconds: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: plan→closure compilation counters (repro.perf.compiler); like the
+    #: cache counters these are throughput instrumentation and never enter
+    #: :meth:`signature` — compiled and interpreted runs sign identically
+    compiled_executions: int = 0
+    compile_fallbacks: int = 0
     #: sandbox supervisor health (``--sandbox`` campaigns only; the
     #: default-config signature layout is untouched when inactive)
     sandbox_active: bool = False
@@ -314,6 +319,7 @@ class Campaign:
             clock=self.clock,
             watchdog=Watchdog(self.clock, deadline_seconds=self.statement_deadline),
             statement_cache=self.statement_cache,
+            compile_plans=self.config.compile,
             budgets=self.budgets,
             sandbox=self.sandbox_config,
         )
@@ -490,6 +496,8 @@ class Campaign:
         result.wall_seconds = time.monotonic() - self._wall_started
         result.cache_hits = runner.cache_hits
         result.cache_misses = runner.cache_misses
+        result.compiled_executions = runner.compiled_executions
+        result.compile_fallbacks = runner.compile_fallbacks
         if self.containment is not None:
             result.sandbox_active = True
             result.open_breakers = self.containment.open_breakers

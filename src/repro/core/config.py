@@ -89,6 +89,9 @@ class CampaignConfig:
     checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY
     statement_deadline: float = DEFAULT_DEADLINE_SECONDS
     statement_cache: bool = True
+    #: plan→closure compilation (repro.perf.compiler); ``--no-compile``
+    #: clears it, and governed/sandboxed execution falls back on its own
+    compile: bool = True
     #: normalized to a validated name tuple at construction
     oracles: Any = None
     #: normalized to ``Optional[ResourceBudgets]`` at construction
@@ -203,6 +206,7 @@ class CampaignConfig:
             "checkpoint_every": self.checkpoint_every,
             "statement_deadline": self.statement_deadline,
             "statement_cache": self.statement_cache,
+            "compile": self.compile,
             "oracles": list(self.oracles),
             "budgets": self.budgets.to_spec() if self.budgets is not None else None,
             "sandbox": sandbox,

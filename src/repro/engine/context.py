@@ -43,7 +43,11 @@ class ExecutionContext:
         self.heap = Heap()
         self.stack = CallStack(max_depth=stack_depth)
         self.seed = seed
-        self.rng = random.Random(seed)
+        self._rng = random.Random(seed)
+        #: statement-keyed seed not yet applied to :attr:`_rng` (reseeding a
+        #: Mersenne Twister costs ~10µs; most statements never draw, so the
+        #: reseed is deferred until the first :attr:`rng` access)
+        self._rng_pending_seed: Optional[int] = None
         #: processing stage for crash attribution: parse | optimize | execute
         self.stage = "execute"
         #: names of built-in functions whose implementation actually ran
@@ -61,6 +65,11 @@ class ExecutionContext:
         #: optional resource governor (duck-typed; installed by the harness
         #: via :meth:`attach_governor` — the engine never imports it)
         self.governor = None
+        #: True while any ``seq::`` config key may exist; lets
+        #: :meth:`clear_sequence_state` skip its config scan on the hot path
+        self._has_sequence_state = any(
+            k.startswith("seq::") for k in self.config
+        )
 
     # ------------------------------------------------------------------
     def attach_governor(self, governor) -> None:
@@ -84,6 +93,15 @@ class ExecutionContext:
         self.stage = "execute"
         self.current_function = None
 
+    @property
+    def rng(self) -> random.Random:
+        """The statement-keyed RNG; applies any pending reseed first."""
+        pending = self._rng_pending_seed
+        if pending is not None:
+            self._rng_pending_seed = None
+            self._rng.seed(pending)
+        return self._rng
+
     def reseed_statement_rng(self, sql: str) -> None:
         """Reseed :attr:`rng` from ``(context seed, statement text)``.
 
@@ -92,10 +110,12 @@ class ExecutionContext:
         rng-dependent results a pure function of the statement, so crash
         reconfirmation replays them faithfully and parallel shard workers
         observe the same values as a serial run.  crc32 (not ``hash()``):
-        string hashing is salted per process.
+        string hashing is salted per process.  The (costly) Mersenne
+        Twister reseed itself is lazy — it happens on the first draw, and
+        statements that never draw skip it entirely.
         """
         digest = zlib.crc32(sql.encode("utf-8", "surrogatepass"))
-        self.rng.seed(((self.seed + 1) << 32) ^ digest)
+        self._rng_pending_seed = ((self.seed + 1) << 32) ^ digest
 
     def clear_sequence_state(self) -> None:
         """Drop NEXTVAL/SETVAL sequence counters (``seq::`` config keys).
@@ -106,11 +126,17 @@ class ExecutionContext:
         statement's outcome is a pure function of the statement itself —
         raw :class:`Connection` users keep ordinary session semantics.
         """
+        if not self._has_sequence_state:
+            return
         for key in [k for k in self.config if k.startswith("seq::")]:
             del self.config[key]
+        self._has_sequence_state = False
 
     def get_config(self, name: str, default: str = "") -> str:
         return self.config.get(name.lower(), default)
 
     def set_config(self, name: str, value: str) -> None:
-        self.config[name.lower()] = value
+        key = name.lower()
+        if key.startswith("seq::"):
+            self._has_sequence_state = True
+        self.config[key] = value

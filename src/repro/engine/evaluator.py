@@ -52,23 +52,45 @@ from .values import (
 )
 
 
+#: sentinel distinguishing "absent" from any bound value in scope lookups
+_MISSING = object()
+
+
 class RowScope:
     """Column-name → value binding for the current row."""
+
+    __slots__ = ("columns", "parent")
 
     def __init__(
         self,
         columns: Optional[Dict[str, SQLValue]] = None,
         parent: Optional["RowScope"] = None,
+        *,
+        lowered: bool = False,
     ) -> None:
-        self.columns = {k.lower(): v for k, v in (columns or {}).items()}
+        # callers that built the dict from already-lowered keys (the
+        # executor's binders) pass lowered=True to skip re-lowering
+        if columns is None:
+            self.columns: Dict[str, SQLValue] = {}
+        elif lowered:
+            self.columns = columns
+        else:
+            self.columns = {k.lower(): v for k, v in columns.items()}
         self.parent = parent
 
     def lookup(self, name: str) -> SQLValue:
         key = name.lower()
-        scope: Optional[RowScope] = self
+        # fast path: single-scope lookups (the overwhelmingly common case —
+        # bare SELECTs and unjoined FROMs have no parent chain) resolve with
+        # one dict probe and no loop
+        found = self.columns.get(key, _MISSING)
+        if found is not _MISSING:
+            return found
+        scope = self.parent
         while scope is not None:
-            if key in scope.columns:
-                return scope.columns[key]
+            found = scope.columns.get(key, _MISSING)
+            if found is not _MISSING:
+                return found
             scope = scope.parent
         raise NameError_(f"unknown column {name!r}")
 
@@ -93,9 +115,10 @@ class Evaluator:
 
     # ------------------------------------------------------------------
     def eval(self, expr: n.Expr) -> SQLValue:
-        method = _DISPATCH.get(type(expr))
-        if method is None:
-            raise TypeError_(f"cannot evaluate {type(expr).__name__}")
+        try:
+            method = _DISPATCH[type(expr)]
+        except KeyError:
+            raise TypeError_(f"cannot evaluate {type(expr).__name__}") from None
         governor = self.ctx.governor
         if governor is None:
             return method(self, expr)
@@ -208,6 +231,12 @@ class Evaluator:
                     keep.append(idx)
             columns = [[col[i] for i in keep] for col in columns]
         definition.check_arity(len(columns))
+        return self.call_aggregate(definition, columns)
+
+    def call_aggregate(
+        self, definition, columns: List[List[SQLValue]]
+    ) -> SQLValue:
+        """Invoke an aggregate implementation with instrumentation."""
         ctx = self.ctx
         ctx.note_function(definition.name)
         previous = ctx.current_function

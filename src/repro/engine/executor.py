@@ -271,7 +271,11 @@ class Executor:
                     if len(next_combined) > MAX_RESULT_ROWS:
                         raise ResourceError("join produces too many rows")
             combined = next_combined
-        return [RowScope(bindings, parent=outer_scope) for bindings in combined]
+        # binder output keys are already lowercased (see _bind_row)
+        return [
+            RowScope(bindings, parent=outer_scope, lowered=True)
+            for bindings in combined
+        ]
 
     def _resolve_source(
         self, source: n.Node, outer_scope: Optional[RowScope]
@@ -320,7 +324,10 @@ class Executor:
                 merged = dict(left)
                 merged.update(right)
                 if join.on is not None:
-                    value = Evaluator(self.ctx, RowScope(merged, parent=outer_scope)).eval(join.on)
+                    value = Evaluator(
+                        self.ctx,
+                        RowScope(merged, parent=outer_scope, lowered=True),
+                    ).eval(join.on)
                     if value.is_null or not value.as_bool():
                         continue
                 matched = True
@@ -477,7 +484,7 @@ class Executor:
         indexes = [table.column_index(col) for col, _ in stmt.assignments]
         updated = 0
         for row in table.rows:
-            scope = RowScope(self._bind_row(table, stmt.table, row))
+            scope = RowScope(self._bind_row(table, stmt.table, row), lowered=True)
             if stmt.where is not None:
                 keep = Evaluator(self.ctx, scope).eval(stmt.where)
                 if keep.is_null or not keep.as_bool():
@@ -500,7 +507,7 @@ class Executor:
         deleted = 0
         for row in table.rows:
             if stmt.where is not None:
-                scope = RowScope(self._bind_row(table, stmt.table, row))
+                scope = RowScope(self._bind_row(table, stmt.table, row), lowered=True)
                 keep = Evaluator(self.ctx, scope).eval(stmt.where)
                 if keep.is_null or not keep.as_bool():
                     kept.append(row)

@@ -45,28 +45,35 @@ class ResultFingerprint:
 
 
 def fingerprint_result(result) -> ResultFingerprint:
-    """Fingerprint an :class:`~repro.engine.executor.Result`."""
-    rows = []
+    """Fingerprint an :class:`~repro.engine.executor.Result`.
+
+    Batched: each row is rendered to one ``bytes`` string (the same
+    ``type\\x1frendering\\x1e…\\x1d`` framing as always), the encoded rows
+    are sorted — a multiset hash needs a canonical order, and comparing
+    pre-encoded byte strings is far cheaper than comparing tuples of
+    Python strings — and the digest is computed in a single hash call
+    instead of four ``update`` calls per cell.
+    """
     tags = set()
+    add_tag = tags.add
+    encoded = []
     for row in result.rows:
-        cells = []
+        parts = []
+        append = parts.append
         for cell in row:
-            tags.add(cell.type_name)
-            cells.append((cell.type_name, cell.render()))
-        rows.append(tuple(cells))
-    rows.sort()
-    hasher = hashlib.sha256()
-    for row in rows:
-        for type_name, rendering in row:
-            hasher.update(type_name.encode("utf-8"))
-            hasher.update(b"\x1f")
-            hasher.update(rendering.encode("utf-8", "surrogatepass"))
-            hasher.update(b"\x1e")
-        hasher.update(b"\x1d")
+            type_name = cell.type_name
+            add_tag(type_name)
+            append(type_name.encode("utf-8"))
+            append(b"\x1f")
+            append(cell.render().encode("utf-8", "surrogatepass"))
+            append(b"\x1e")
+        append(b"\x1d")
+        encoded.append(b"".join(parts))
+    encoded.sort()
     return ResultFingerprint(
-        row_count=len(rows),
+        row_count=len(encoded),
         type_tags=tuple(sorted(tags)),
-        digest=hasher.hexdigest()[:16],
+        digest=hashlib.sha256(b"".join(encoded)).hexdigest()[:16],
     )
 
 

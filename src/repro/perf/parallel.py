@@ -29,6 +29,12 @@ Architecture (see DESIGN.md for the full determinism argument):
   oracle's kept records by global stream position and re-deduplicates —
   the same first-occurrence order as the serial loop, so the merged
   findings match a serial run record for record.
+* **Bulky payloads never ride the pickle channel.**  The parent exports
+  its seed-phase statement cache as a template-factored warm corpus that
+  every worker imports before touching its stream, and each worker
+  returns its shard report as a packed value tree on disk — the
+  multiprocessing channel carries scalar arguments and fixed-size path
+  envelopes only (:mod:`repro.perf.transport`).
 
 Checkpoint/resume: each worker writes its own sidecar checkpoint
 (``<path>.shard<w>``) carrying its pipeline state.  On resume the parent
@@ -53,6 +59,7 @@ import json
 import multiprocessing
 import os
 import random
+import tempfile
 import time
 from typing import Any, Dict, List, Optional, Union
 
@@ -70,6 +77,14 @@ from ..robustness.faults import FaultInjector, make_fault_injector
 from ..robustness.policy import ServerQuarantined
 from ..robustness.sandbox import ContainmentState, SandboxConfig
 from ..robustness.watchdog import SimulatedClock, Watchdog
+from .transport import (
+    TransportStats,
+    pack_statements,
+    read_packed,
+    transport_stats,
+    unpack_statements,
+    write_packed,
+)
 
 
 #: sidecar layout version: bumped when the shard report/checkpoint schema
@@ -104,11 +119,18 @@ def _run_shard(
     budgets_spec: Optional[str] = None,
     sandbox_config: Optional[SandboxConfig] = None,
     containment_seed: Optional[Dict[str, Any]] = None,
+    compile_plans: bool = True,
+    warm_corpus_path: Optional[str] = None,
+    transport_dir: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Execute one worker's share of the generated stream.
 
-    Runs in a child process (or inline for ``jobs=1``); everything it
-    receives and returns must be picklable.  ``stop_after`` caps how many
+    Runs in a child process (or inline for ``jobs=1``).  The pickle
+    channel carries only this call's scalar arguments and a tiny path
+    envelope back: the warm statement corpus arrives template-factored at
+    ``warm_corpus_path`` and, when ``transport_dir`` is set, the shard
+    report leaves as a packed value tree on disk (see
+    :mod:`repro.perf.transport`).  ``stop_after`` caps how many
     statements this shard executes before returning early — a test hook
     that simulates a mid-campaign kill for resume testing.
     """
@@ -127,8 +149,20 @@ def _run_shard(
         statement_cache=statement_cache,
         budgets=budgets_spec,
         sandbox=sandbox_config,
+        compile_plans=compile_plans,
     )
     runner.capture_fingerprints = pipeline.needs_fingerprints
+    cache = runner.server.stmt_cache
+    if warm_corpus_path is not None and cache is not None and runner.sandbox is None:
+        # inherit the parent's warmed template cache: every statement the
+        # seed phase parsed enters this worker's cache pre-parsed and
+        # pre-optimized, so the shard's stream starts on the hit path.
+        # Warming is behaviour-neutral — it populates cache tiers the
+        # stream would have populated on first miss anyway.
+        with open(warm_corpus_path, "rb") as fh:
+            warm_sql = unpack_statements(fh.read())
+        for sql in warm_sql:
+            cache.warm(dialect.name, sql, runner.server.ctx)
     containment: Optional[ContainmentState] = None
     if sandbox_config is not None:
         containment = ContainmentState.from_config(sandbox_config)
@@ -158,6 +192,7 @@ def _run_shard(
             dialect_name, seed, budget, max_partners,
             enable_coverage, jobs, worker, oracle_names,
             budgets_spec, sandbox_config,
+            compile_plans=compile_plans,
         )
         if state is not None:
             # processed counts containment skips too; sidecars written
@@ -210,6 +245,7 @@ def _run_shard(
             jobs, worker, oracle_names, shard_executed, pipeline,
             outcome_counts, runner, shard_processed, sandbox_report(),
             budgets_spec, sandbox_config,
+            compile_plans=compile_plans,
         )
 
     try:
@@ -270,6 +306,8 @@ def _run_shard(
         else [],
         "cache_hits": runner.cache_hits,
         "cache_misses": runner.cache_misses,
+        "compiled_executions": runner.compiled_executions,
+        "compile_fallbacks": runner.compile_fallbacks,
         "restarts": runner.restarts,
         "timeouts": runner.timeouts,
         "flaky_crashes": runner.flaky_crashes,
@@ -286,8 +324,15 @@ def _run_shard(
             jobs, worker, oracle_names, shard_executed, pipeline,
             outcome_counts, runner, shard_processed, sandbox_report(),
             budgets_spec, sandbox_config,
+            compile_plans=compile_plans,
         )
     runner.close()
+    if transport_dir is not None:
+        # ship the report as a packed value tree; the pickle channel only
+        # ever carries this fixed-size envelope
+        packed_path = os.path.join(transport_dir, f"shard{worker}.report")
+        write_packed(packed_path, report)
+        return {"worker": worker, "packed_path": packed_path}
     return report
 
 
@@ -300,6 +345,7 @@ def _shard_spec(
     oracle_names: tuple,
     budgets_spec: Optional[str] = None,
     sandbox_config: Optional[SandboxConfig] = None,
+    compile_plans: bool = True,
 ) -> Dict[str, Any]:
     spec = {
         "version": CHECKPOINT_VERSION,
@@ -324,6 +370,8 @@ def _shard_spec(
             "quarantine": list(sandbox_config.quarantine),
             "max_message_bytes": sandbox_config.max_message_bytes,
         }
+    if not compile_plans:
+        spec["compile"] = False
     return spec
 
 
@@ -340,11 +388,13 @@ def _save_shard_checkpoint(
     sandbox_state: Optional[Dict[str, Any]] = None,
     budgets_spec: Optional[str] = None,
     sandbox_config: Optional[SandboxConfig] = None,
+    compile_plans: bool = True,
 ) -> None:
     payload = {
         "spec": _shard_spec(
             dialect, seed, budget, max_partners, enable_coverage, jobs,
             worker, oracle_names, budgets_spec, sandbox_config,
+            compile_plans,
         ),
         "shard_executed": shard_executed,
         "shard_processed": (
@@ -375,6 +425,7 @@ def _load_shard_checkpoint(
     oracle_names: tuple,
     budgets_spec: Optional[str] = None,
     sandbox_config: Optional[SandboxConfig] = None,
+    compile_plans: bool = True,
 ) -> Optional[Dict[str, Any]]:
     if not os.path.exists(path):
         return None
@@ -382,7 +433,7 @@ def _load_shard_checkpoint(
         payload = json.load(fh)
     expected = _shard_spec(
         dialect, seed, budget, max_partners, enable_coverage, jobs, worker,
-        oracle_names, budgets_spec, sandbox_config,
+        oracle_names, budgets_spec, sandbox_config, compile_plans,
     )
     if payload.get("spec") != expected:
         raise CheckpointError(
@@ -479,7 +530,11 @@ class ParallelCampaign:
         self.checkpoint_every = config.checkpoint_every
         self.statement_deadline = config.statement_deadline
         self.statement_cache = config.statement_cache
+        self.compile_plans = config.compile
         self.oracle_names = config.oracles
+        #: statement-transport measurement from the last run's warm-corpus
+        #: handoff (None when nothing was shipped)
+        self.last_transport: Optional[TransportStats] = None
         #: test hook — see ``_run_shard``'s ``stop_after``
         self._stop_after: Optional[int] = None
 
@@ -503,6 +558,7 @@ class ParallelCampaign:
             statement_cache=self.statement_cache,
             budgets=self.budgets_spec,
             sandbox=self.sandbox_config,
+            compile_plans=self.compile_plans,
         )
         runner.capture_fingerprints = pipeline.needs_fingerprints
         containment: Optional[ContainmentState] = (
@@ -559,44 +615,66 @@ class ParallelCampaign:
 
         # ---- fan out the generated stream ----------------------------
         reports: List[Dict[str, Any]] = []
+        self.last_transport = None
         if not quarantined and seed_count < self.budget:
             containment_seed = (
                 containment.export_state() if containment is not None else None
             )
-            shard_args = [
-                (
-                    self.dialect.name, worker, self.jobs, self.seed,
-                    self.budget, seed_count, return_types, self.max_partners,
-                    self.enable_coverage, self.faults_spec, self.fault_seed,
-                    self.statement_deadline, self.statement_cache,
-                    self.checkpoint_path, self.checkpoint_every, resume,
-                    self.oracle_names, self._stop_after,
-                    self.budgets_spec, self.sandbox_config, containment_seed,
-                )
-                for worker in range(self.jobs)
-            ]
-            if self.jobs == 1:
-                reports = [_run_shard(*shard_args[0])]
-            else:
-                ctx = multiprocessing.get_context(
-                    "fork" if "fork" in multiprocessing.get_all_start_methods()
-                    else "spawn"
-                )
-                if self.sandbox_config is not None:
-                    # Pool workers are daemonic and may not spawn the
-                    # sandbox's own subprocess children; ProcessPoolExecutor
-                    # workers are not, so sandboxed shards go through it.
-                    with concurrent.futures.ProcessPoolExecutor(
-                        max_workers=self.jobs, mp_context=ctx
-                    ) as executor:
-                        futures = [
-                            executor.submit(_run_shard, *spec)
-                            for spec in shard_args
-                        ]
-                        reports = [future.result() for future in futures]
+            # everything bulky crosses the process boundary through the
+            # byte-level transport in this directory: the warm corpus in,
+            # the packed shard reports out (see repro.perf.transport)
+            with tempfile.TemporaryDirectory(prefix="repro-shards-") as tdir:
+                warm_corpus_path: Optional[str] = None
+                parent_cache = runner.server.stmt_cache
+                if runner.sandbox is None and parent_cache is not None:
+                    warm_sql = parent_cache.export_warm_sql(self.dialect.name)
+                    if warm_sql:
+                        warm_corpus_path = os.path.join(tdir, "warm.stmt")
+                        with open(warm_corpus_path, "wb") as fh:
+                            fh.write(pack_statements(warm_sql))
+                        self.last_transport = transport_stats(warm_sql)
+                shard_args = [
+                    (
+                        self.dialect.name, worker, self.jobs, self.seed,
+                        self.budget, seed_count, return_types, self.max_partners,
+                        self.enable_coverage, self.faults_spec, self.fault_seed,
+                        self.statement_deadline, self.statement_cache,
+                        self.checkpoint_path, self.checkpoint_every, resume,
+                        self.oracle_names, self._stop_after,
+                        self.budgets_spec, self.sandbox_config, containment_seed,
+                        self.compile_plans, warm_corpus_path, tdir,
+                    )
+                    for worker in range(self.jobs)
+                ]
+                if self.jobs == 1:
+                    reports = [_run_shard(*shard_args[0])]
                 else:
-                    with ctx.Pool(processes=self.jobs) as pool:
-                        reports = pool.starmap(_run_shard, shard_args)
+                    ctx = multiprocessing.get_context(
+                        "fork" if "fork" in multiprocessing.get_all_start_methods()
+                        else "spawn"
+                    )
+                    if self.sandbox_config is not None:
+                        # Pool workers are daemonic and may not spawn the
+                        # sandbox's own subprocess children; ProcessPoolExecutor
+                        # workers are not, so sandboxed shards go through it.
+                        with concurrent.futures.ProcessPoolExecutor(
+                            max_workers=self.jobs, mp_context=ctx
+                        ) as executor:
+                            futures = [
+                                executor.submit(_run_shard, *spec)
+                                for spec in shard_args
+                            ]
+                            reports = [future.result() for future in futures]
+                    else:
+                        with ctx.Pool(processes=self.jobs) as pool:
+                            reports = pool.starmap(_run_shard, shard_args)
+                # inflate the path envelopes while the directory still exists
+                reports = [
+                    read_packed(report["packed_path"])
+                    if "packed_path" in report
+                    else report
+                    for report in reports
+                ]
 
         # ---- merge ----------------------------------------------------
         merged = self._merge(
@@ -642,6 +720,8 @@ class ParallelCampaign:
                 fault_counters[kind] = fault_counters.get(kind, 0) + count
         cache_hits = seed_runner.cache_hits
         cache_misses = seed_runner.cache_misses
+        compiled_executions = seed_runner.compiled_executions
+        compile_fallbacks = seed_runner.compile_fallbacks
         for report in reports:
             executed += report["shard_executed"]
             triggered |= set(report["triggered"])
@@ -655,6 +735,8 @@ class ParallelCampaign:
                 fault_counters[kind] = fault_counters.get(kind, 0) + count
             cache_hits += report["cache_hits"]
             cache_misses += report["cache_misses"]
+            compiled_executions += report.get("compiled_executions", 0)
+            compile_fallbacks += report.get("compile_fallbacks", 0)
             if report["quarantined"]:
                 quarantined = True
                 quarantine_reason = quarantine_reason or report["quarantine_reason"]
@@ -675,6 +757,8 @@ class ParallelCampaign:
         result.quarantine_reason = quarantine_reason
         result.cache_hits = cache_hits
         result.cache_misses = cache_misses
+        result.compiled_executions = compiled_executions
+        result.compile_fallbacks = compile_fallbacks
         if containment is not None:
             # fold the shards' containment outcomes into the parent's
             # seed-phase state for the supervisor summary

@@ -24,6 +24,17 @@ from .tokens import (
 )
 
 
+#: multi-char operators indexed by first character so the operator lexer
+#: only tries candidates that can match (source order — longest-first
+#: within a bucket — is preserved for greedy matching); the common
+#: punctuation tokens ``( ) , ;`` have no bucket and skip the scan entirely
+_MULTI_BY_FIRST = {}
+for _sym in MULTI_CHAR_OPERATORS:
+    _MULTI_BY_FIRST.setdefault(_sym[0], []).append(_sym)
+_MULTI_BY_FIRST = {k: tuple(v) for k, v in _MULTI_BY_FIRST.items()}
+del _sym
+
+
 class LexError(ValueError):
     """Raised when the input cannot be tokenized."""
 
@@ -219,11 +230,14 @@ class Lexer:
 
     def _lex_operator(self) -> Token:
         start = self.pos
-        for sym in MULTI_CHAR_OPERATORS:
-            if self.source.startswith(sym, self.pos):
-                self.pos += len(sym)
-                return Token(TokenKind.OPERATOR, sym, start)
-        ch = self.source[self.pos]
+        src = self.source
+        ch = src[start]
+        bucket = _MULTI_BY_FIRST.get(ch)
+        if bucket is not None:
+            for sym in bucket:
+                if src.startswith(sym, start):
+                    self.pos += len(sym)
+                    return Token(TokenKind.OPERATOR, sym, start)
         if ch in SINGLE_CHAR_OPERATORS:
             self.pos += 1
             return Token(TokenKind.OPERATOR, ch, start)
