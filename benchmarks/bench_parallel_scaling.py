@@ -5,8 +5,10 @@ hardware allows").  Measures the BUDGET_24H campaign serial vs sharded
 across 2/4/8 workers, cached vs uncached, **compiled vs interpreted**
 (the ``--compiled/--interpreted`` A/B axis), the statement cache's hit
 rate over the *entire* pattern-generated stream, the warm-stream replay
-throughput both ways, and the byte cost of the pickle-free shard
-transport — persisting everything to
+throughput both ways, the byte cost of the pickle-free shard transport,
+and the predicate-family axis (the seeded table workload under the
+TLP/NoREC metamorphic oracles: table-workload qps plus the
+compiled-vs-fallback execution share) — persisting everything to
 ``benchmarks/results/BENCH_throughput.json``.
 
 Two caveats are encoded rather than hidden:
@@ -96,6 +98,33 @@ def _parallel(jobs: int):
 
     return _cached(
         f"scaling_jobs{jobs}_compiled_{DIALECT}_{BUDGET_24H}_{SEED}", compute
+    )
+
+
+def _predicate_serial():
+    """The table-workload axis: predicate family + metamorphic oracles.
+
+    Every statement is a ``SELECT ... FROM fuzz_t WHERE ...`` scan whose
+    TLP/NoREC variants re-execute on the oracle-owned arms, so the qps
+    here is the metamorphic campaign's real cost, not the bare stream's.
+    The compiled-vs-fallback counters are the interesting axis: every
+    predicate carries a literal fold site, so the stream is
+    interpreter-bound (near-zero closure share); statements that do reach
+    the compiler hit FROM/WHERE shapes it declines, counted per execution
+    in ``compile_fallbacks``.
+    """
+    return _cached(
+        f"scaling_predicate_{DIALECT}_{BUDGET_24H}_{SEED}",
+        lambda: run_campaign(
+            DIALECT,
+            config=CampaignConfig(
+                dialect=DIALECT,
+                budget=BUDGET_24H,
+                seed=SEED,
+                oracles=("crash", "tlp", "norec"),
+                statement_family="predicate",
+            ),
+        ),
     )
 
 
@@ -194,13 +223,14 @@ def test_parallel_scaling(benchmark):
             _serial(cached=True, compiled=True),
             _serial(cached=False, compiled=True),
             _serial(cached=True, compiled=False),
+            _predicate_serial(),
             {jobs: _parallel(jobs) for jobs in JOBS},
             _cached(f"scaling_stream_{DIALECT}_{SEED}", _stream_hit_rate),
             _warm_stream(True),
             _warm_stream(False),
         )
 
-    (serial, uncached, interpreted, parallel, stream,
+    (serial, uncached, interpreted, predicate, parallel, stream,
      warm_compiled, warm_interpreted) = benchmark.pedantic(
         run_all, rounds=1, iterations=1
     )
@@ -241,6 +271,23 @@ def test_parallel_scaling(benchmark):
             ),
             "compiled_vs_serial_campaign": (
                 warm_compiled_qps / serial.statements_per_second
+            ),
+        },
+        "predicate_family": {
+            "wall_seconds": predicate.wall_seconds,
+            "qps": predicate.statements_per_second,
+            "findings": len(predicate.findings),
+            "compiled_executions": predicate.compiled_executions,
+            "compile_fallbacks": predicate.compile_fallbacks,
+            # share of all executions that ran through a compiled closure:
+            # every predicate statement carries a literal fold site, so the
+            # table workload is interpreter-bound by design and the share
+            # measures how little of it the closure compiler can carry
+            # (counted declines land in compile_fallbacks)
+            "compiled_share": (
+                predicate.compiled_executions / predicate.queries_executed
+                if predicate.queries_executed
+                else 0.0
             ),
         },
         "parallel": {
@@ -307,6 +354,14 @@ def test_parallel_scaling(benchmark):
                 f"({transport['warm_reduction_vs_pickle']:.1f}x)",
                 transport["warm_reduction_vs_pickle"] >= 5.0,
             ))
+    pred = payload["predicate_family"]
+    lines.append(shape_line(
+        "predicate family (table workload + TLP/NoREC)",
+        "reported",
+        f"{pred['qps']:,.0f} qps, {pred['findings']} findings, "
+        f"compiled share {pred['compiled_share']:.1%}",
+        pred["findings"] > 0,
+    ))
     lines.append(shape_line(
         "pattern-stream cache hit rate",
         "> 50%", f"{stream['hit_rate']:.1%}", stream["hit_rate"] > 0.5,
@@ -328,6 +383,12 @@ def test_parallel_scaling(benchmark):
     assert warm_vs_campaign >= 3.0
     # hard acceptance: the cache hits on more than half the pattern stream
     assert stream["hit_rate"] > 0.5
+    # hard acceptance: the table workload actually ran, found the seeded
+    # predicate flaws, and is interpreter-bound (fold sites on every
+    # statement keep the closure share near zero — see DESIGN.md §5i)
+    assert predicate.findings, "predicate campaign found no seeded flaws"
+    assert predicate.queries_executed > 0
+    assert pred["compiled_share"] < 0.5
     # speedup needs physical parallelism; a 1-CPU container cannot show it —
     # there the transport byte guard substitutes (bytes don't need cores)
     if cores >= 4:

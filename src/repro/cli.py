@@ -47,6 +47,7 @@ _FIELD_FLAGS = {
     "faults": "--faults",
     "budgets": "--budgets",
     "oracles": "--oracles",
+    "statement_family": "--statement-family",
     "budget": "--budget",
     "jobs": "--jobs",
     "seed": "--seed",
@@ -105,7 +106,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                        "and signatures are identical either way)")
     p_run.add_argument("--oracles", metavar="NAMES", default="crash",
                        help="comma-separated detection oracles: "
-                       "crash,differential,conformance (default: crash)")
+                       "crash,differential,conformance,tlp,norec "
+                       "(default: crash)")
+    p_run.add_argument("--statement-family", metavar="FAMILY",
+                       default="expression", choices=("expression", "predicate"),
+                       help="what the pattern engine emits: 'expression' "
+                       "(bare SELECT f(args); — the default) or 'predicate' "
+                       "(SELECT ... FROM fuzz_t WHERE f(args) <cmp> ... over "
+                       "a seeded table, the metamorphic oracles' workload)")
     p_run.add_argument("--sandbox", action="store_true",
                        help="execute statements in a SIGKILL-able "
                        "subprocess worker with crash-loop containment "
@@ -232,6 +240,7 @@ def _cmd_run(args) -> int:
             statement_cache=not args.no_stmt_cache,
             compile=not args.no_compile,
             oracles=args.oracles,
+            statement_family=args.statement_family,
             budgets=args.budgets,
             sandbox=args.sandbox,
             jobs=args.jobs,

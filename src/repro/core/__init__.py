@@ -2,8 +2,8 @@
 
 Seed collection from docs and regression suites, the ten
 boundary-value-generation patterns, the execution runner, the pluggable
-oracle pipeline (crash, differential, error-conformance), and campaign
-orchestration.
+oracle pipeline (crash, differential, error-conformance, and the
+metamorphic TLP/NoREC pair), and campaign orchestration.
 """
 
 from .campaign import (
@@ -23,6 +23,7 @@ from .logic import LogicCheckResult, LogicOracle, LogicViolation, check_norec, c
 from .minimize import (
     CrashProbe,
     DivergenceProbe,
+    MetamorphicProbe,
     MinimizationResult,
     Minimizer,
     Probe,
@@ -34,12 +35,16 @@ from .oracles import (
     DiscoveredBug,
     DivergenceFinding,
     Finding,
+    MetamorphicFinding,
+    NoRECOracle,
     OraclePipeline,
     OracleStateError,
+    TLPOracle,
     build_pipeline,
     parse_oracle_names,
 )
 from .patterns import CAST_TARGETS, GeneratedCase, PatternEngine
+from .tables import BASE_QUERY, PREDICATE_PREFIX, TABLE_NAME, TABLE_SETUP
 from .report import (
     Table4Row,
     feedback_summary,
@@ -54,14 +59,16 @@ from .report import (
 from .runner import Outcome, Runner
 
 __all__ = [
-    "BUDGET_24_HOURS", "BUDGET_TWO_WEEKS", "CAST_TARGETS", "Campaign",
-    "CampaignConfig", "CampaignResult", "ClauseBoundaryGenerator",
+    "BASE_QUERY", "BUDGET_24_HOURS", "BUDGET_TWO_WEEKS", "CAST_TARGETS",
+    "Campaign", "CampaignConfig", "CampaignResult", "ClauseBoundaryGenerator",
     "ConformanceFinding", "fault_spec",
     "CrashOracle", "CrashProbe", "DEFAULT_CHECKPOINT_EVERY",
     "DiscoveredBug", "DivergenceFinding", "DivergenceProbe", "Finding",
     "GeneratedCase", "LogicCheckResult", "LogicOracle", "LogicViolation",
-    "MinimizationResult", "Minimizer", "OraclePipeline", "OracleStateError",
-    "Outcome", "PatternEngine", "Probe", "Runner", "Seed", "SeedCollector",
+    "MetamorphicFinding", "MetamorphicProbe", "MinimizationResult",
+    "Minimizer", "NoRECOracle", "OraclePipeline", "OracleStateError",
+    "Outcome", "PREDICATE_PREFIX", "PatternEngine", "Probe", "Runner",
+    "Seed", "SeedCollector", "TABLE_NAME", "TABLE_SETUP", "TLPOracle",
     "Table4Row", "boundary_literals", "boundary_repeat_counts",
     "build_pipeline", "check_norec", "check_tlp", "feedback_summary",
     "format_findings", "format_resilience", "format_table4", "minimize_poc",

@@ -77,6 +77,7 @@ from .oracles.base import OracleSpec
 from .oracles.crash import DiscoveredBug
 from .patterns import GeneratedCase, PatternEngine
 from .runner import Outcome, Runner
+from .tables import TABLE_SETUP
 
 # BUDGET_24_HOURS / BUDGET_TWO_WEEKS / DEFAULT_CHECKPOINT_EVERY now live in
 # :mod:`repro.core.config`; re-imported above for their historical home here.
@@ -311,6 +312,9 @@ class Campaign:
         # the pipeline comes first: non-crash oracles install the dialect's
         # logic flaws, which must be patched in before the server is built
         pipeline = build_pipeline(self.dialect, self.oracle_names)
+        bootstrap_sql: Tuple[str, ...] = ()
+        if self.config.statement_family == "predicate":
+            bootstrap_sql = TABLE_SETUP
         runner = Runner(
             self.dialect,
             enable_coverage=self.enable_coverage,
@@ -322,6 +326,7 @@ class Campaign:
             compile_plans=self.config.compile,
             budgets=self.budgets,
             sandbox=self.sandbox_config,
+            bootstrap_sql=bootstrap_sql,
         )
         runner.capture_fingerprints = pipeline.needs_fingerprints
         crash_oracle = pipeline.get("crash")
@@ -377,6 +382,7 @@ class Campaign:
                 rng=self.rng,
                 max_partners=self.max_partners,
                 return_types=return_types,
+                statement_family=self.config.statement_family,
             )
             for case in engine.generate_all():
                 if position < skip:

@@ -40,6 +40,25 @@ _SKELETONS = (
 )
 
 
+def comparison_bound_texts() -> List[str]:
+    """Pattern 1.1 pool texts valid in comparison positions.
+
+    The shared value vocabulary for every clause-position consumer: this
+    module's skeletons and the predicate statement family
+    (``PatternEngine(statement_family="predicate")``).  ``*`` is excluded
+    (not an expression); ``NULL`` stays in — NULL-bearing comparisons are
+    what separate two- from three-valued logic, and the metamorphic
+    oracles depend on them appearing in generated predicates.
+    """
+    out: List[str] = []
+    for literal in boundary_literals():
+        text = to_sql(literal)
+        if text == "*":
+            continue  # '*' is not valid in comparison positions
+        out.append(text)
+    return out
+
+
 @dataclass
 class ClauseBoundaryGenerator:
     """Fill clause-position value slots with the boundary pool."""
@@ -49,13 +68,7 @@ class ClauseBoundaryGenerator:
     max_cases: int = 2_000
 
     def boundary_texts(self) -> List[str]:
-        out: List[str] = []
-        for literal in boundary_literals():
-            text = to_sql(literal)
-            if text == "*":
-                continue  # '*' is not valid in comparison positions
-            out.append(text)
-        return out
+        return comparison_bound_texts()
 
     def generate(self) -> Iterator[str]:
         """Yield boundary-filled clause statements (round-robin over

@@ -94,6 +94,11 @@ class CampaignConfig:
     compile: bool = True
     #: normalized to a validated name tuple at construction
     oracles: Any = None
+    #: which statement stream the generator emits: ``"expression"`` (the
+    #: paper's bare ``SELECT f(args);`` calls, the default) or
+    #: ``"predicate"`` (``SELECT … FROM fuzz_t WHERE …`` over the seeded
+    #: table — the workload the metamorphic oracles partition)
+    statement_family: str = "expression"
     #: normalized to ``Optional[ResourceBudgets]`` at construction
     budgets: Any = None
     #: normalized to ``Optional[SandboxConfig]`` at construction
@@ -153,6 +158,17 @@ class CampaignConfig:
                 "the 'sandbox' option does not support 'enable_coverage' "
                 "(arc sets do not cross the process boundary)"
             )
+        if self.statement_family not in ("expression", "predicate"):
+            raise ValueError(
+                f"the 'statement_family' option must be 'expression' or "
+                f"'predicate' (got {self.statement_family!r})"
+            )
+        if self.sandbox is not None and self.statement_family != "expression":
+            raise ValueError(
+                "the 'sandbox' option only supports the 'expression' "
+                "statement family: sandbox workers do not replay the "
+                "seeded-table bootstrap"
+            )
         if self.jobs > 1:
             if isinstance(self.faults, FaultInjector):
                 raise TypeError(
@@ -208,6 +224,7 @@ class CampaignConfig:
             "statement_cache": self.statement_cache,
             "compile": self.compile,
             "oracles": list(self.oracles),
+            "statement_family": self.statement_family,
             "budgets": self.budgets.to_spec() if self.budgets is not None else None,
             "sandbox": sandbox,
             "jobs": self.jobs,

@@ -47,6 +47,12 @@ from ..sqlast import (
     to_sql,
 )
 from ..sqlast.visitor import clone, replace_node, walk
+from .oracles.metamorphic import (
+    SUPPRESS_PASSES,
+    norec_divergence,
+    tlp_divergence,
+)
+from .tables import TABLE_SETUP
 
 
 @dataclass
@@ -141,6 +147,52 @@ class DivergenceProbe(Probe):
         return (
             f"statement does not diverge between {self.dialect.name} "
             f"and {self.peer.name}: {sql!r}"
+        )
+
+
+class MetamorphicProbe(Probe):
+    """Preserve a violated metamorphic law (TLP/NoREC findings).
+
+    Identity is the divergence class of the law check re-run on fresh
+    bootstrapped servers built from *dialect* (with whatever flaws the
+    campaign installed).  The predicate is re-extracted from each
+    candidate's AST — reductions rewrite the statement text, so nothing
+    here may rely on the generator's exact rendering.  A candidate that
+    stops parsing as a WHERE-bearing SELECT, errors, or crashes no longer
+    reproduces the finding and is rejected.
+    """
+
+    def __init__(self, dialect: Dialect, kind: str) -> None:
+        if kind not in ("tlp", "norec"):
+            raise ValueError(f"unknown metamorphic probe kind {kind!r}")
+        self.dialect = dialect
+        self.kind = kind
+
+    def identity(self, sql: str) -> Optional[str]:
+        try:
+            if self.kind == "tlp":
+                return tlp_divergence(self._connect(), sql)
+            return norec_divergence(
+                self._connect(), self._connect(suppress=True), sql
+            )
+        except (SQLError, ServerCrashed, RecursionError):
+            return None
+
+    def _connect(self, suppress: bool = False):
+        server = self.dialect.create_server()
+        server.stmt_cache = None
+        if suppress:
+            server.ctx.set_config("optimizer_passes", SUPPRESS_PASSES)
+        connection = server.connect()
+        for ddl in TABLE_SETUP:
+            connection.execute(ddl)
+        return connection
+
+    def no_reproduce_message(self, sql: str) -> str:
+        law = "partition law" if self.kind == "tlp" else "optimization identity"
+        return (
+            f"statement does not break the {law} on "
+            f"{self.dialect.name}: {sql!r}"
         )
 
 

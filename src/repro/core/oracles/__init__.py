@@ -2,12 +2,14 @@
 
 ``crash`` is the paper's oracle (SOFT detects bugs by crashing the
 server); ``differential`` and ``conformance`` extend detection to
-non-crashing logic bugs.  See :mod:`.base` for the protocol and
-:func:`build_pipeline` for the ``--oracles`` entry point.
+non-crashing logic bugs; ``tlp`` and ``norec`` are metamorphic oracles
+over the predicate statement family.  See :mod:`.base` for the protocol
+and :func:`build_pipeline` for the ``--oracles`` entry point.
 """
 
 from .base import (
     DEFAULT_ORACLES,
+    METAMORPHIC_ORACLES,
     ORACLE_NAMES,
     CaseInfo,
     Finding,
@@ -20,6 +22,7 @@ from .base import (
 from .conformance import ConformanceFinding, ErrorConformanceOracle
 from .crash import CrashOracle, DiscoveredBug
 from .differential import DifferentialOracle, DivergenceFinding
+from .metamorphic import MetamorphicFinding, NoRECOracle, TLPOracle
 
 __all__ = [
     "CaseInfo",
@@ -31,10 +34,14 @@ __all__ = [
     "DivergenceFinding",
     "ErrorConformanceOracle",
     "Finding",
+    "METAMORPHIC_ORACLES",
+    "MetamorphicFinding",
+    "NoRECOracle",
     "ORACLE_NAMES",
     "Oracle",
     "OraclePipeline",
     "OracleStateError",
+    "TLPOracle",
     "build_pipeline",
     "parse_oracle_names",
 ]

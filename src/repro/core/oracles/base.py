@@ -265,7 +265,11 @@ class OraclePipeline:
 # ---------------------------------------------------------------------------
 # registry: --oracles spec -> pipeline
 # ---------------------------------------------------------------------------
-ORACLE_NAMES = ("crash", "differential", "conformance")
+ORACLE_NAMES = ("crash", "differential", "conformance", "tlp", "norec")
+
+#: oracle names that double as predicate-level flaw kinds — requesting one
+#: installs the matching engine-knob defect as its ground truth
+METAMORPHIC_ORACLES = ("tlp", "norec")
 
 #: the historical default — byte-identical behaviour to the pre-pipeline code
 DEFAULT_ORACLES = ("crash",)
@@ -305,10 +309,16 @@ def build_pipeline(dialect: Dialect, spec: OracleSpec = None) -> OraclePipeline:
     from .conformance import ErrorConformanceOracle
     from .crash import CrashOracle
     from .differential import DifferentialOracle
+    from .metamorphic import NoRECOracle, TLPOracle
 
     names = parse_oracle_names(spec)
     if any(name != "crash" for name in names):
-        dialect.install_logic_flaws()
+        # predicate-level flaw knobs install only for the metamorphic
+        # oracles that hunt them — a differential/conformance campaign
+        # keeps clause evaluation pristine
+        dialect.install_logic_flaws(
+            predicate_kinds=tuple(n for n in names if n in METAMORPHIC_ORACLES)
+        )
     oracles: List[Oracle] = []
     for name in names:
         if name == "crash":
@@ -317,4 +327,8 @@ def build_pipeline(dialect: Dialect, spec: OracleSpec = None) -> OraclePipeline:
             oracles.append(DifferentialOracle(dialect))
         elif name == "conformance":
             oracles.append(ErrorConformanceOracle(dialect))
+        elif name == "tlp":
+            oracles.append(TLPOracle(dialect))
+        elif name == "norec":
+            oracles.append(NoRECOracle(dialect))
     return OraclePipeline(oracles)

@@ -28,13 +28,14 @@ from ...sqlast import FuncCall, ParseError, parse_expression, to_sql
 from ...sqlast.lexer import LexError
 from ..runner import Outcome
 from .base import CaseInfo, Finding, Oracle, check_state_version
+from .guards import INCOMPARABLE_FAMILIES
 
 #: collapse counters/limits inside error messages so "beyond 10" and
 #: "beyond 20" dedupe as one defect
 _DIGIT_RE = re.compile(r"\d+")
 
 #: families whose documented examples may error for environmental reasons
-_EXEMPT_FAMILIES = frozenset({"system", "sequence"})
+_EXEMPT_FAMILIES = INCOMPARABLE_FAMILIES
 
 
 def _normalize_message(message: str) -> str:

@@ -50,13 +50,7 @@ from ...engine.fingerprint import (
 )
 from ..runner import Outcome
 from .base import CaseInfo, Finding, Oracle, check_state_version
-
-#: ``name(`` shapes — how the oracle learns which functions a statement calls
-_CALL_RE = re.compile(r"([A-Za-z_][A-Za-z0-9_]*)\s*\(")
-
-#: families whose results legitimately differ across dialects even when the
-#: documentation matches word for word
-_INCOMPARABLE_FAMILIES = frozenset({"system", "sequence"})
+from .guards import INCOMPARABLE_FAMILIES, called_functions
 
 #: report labels per divergence class (most blatant first)
 _LABELS = {"cardinality": "WRONGCARD", "type": "WRONGTYPE", "value": "WRONG"}
@@ -184,14 +178,7 @@ class DifferentialOracle(Oracle):
     # ------------------------------------------------------------------
     def _called_functions(self, sql: str) -> List[str]:
         """Called names that exist in the campaign dialect's registry."""
-        out: List[str] = []
-        for raw in _CALL_RE.findall(sql):
-            name = raw.lower()
-            if name in out:
-                continue
-            if self.dialect.registry.contains(name):
-                out.append(name)
-        return out
+        return called_functions(sql, self.dialect.registry)
 
     def _comparable(self, function: str, peer_name: str, peer: Dialect) -> bool:
         cached = self._comparable_cache.get((function, peer_name))
@@ -206,7 +193,7 @@ class DifferentialOracle(Oracle):
             return False
         own = self.dialect.registry.lookup(function)
         other = peer.registry.lookup(function)
-        if not own.pure or own.family in _INCOMPARABLE_FAMILIES:
+        if not own.pure or own.family in INCOMPARABLE_FAMILIES:
             return False
         return (
             own.doc == other.doc

@@ -44,8 +44,10 @@ from ..sqlast import (
     to_sql,
 )
 from ..sqlast.visitor import clone, count_function_calls, replace_node
+from .clauses import comparison_bound_texts
 from .collect import Seed
 from .literals import boundary_literals, boundary_repeat_counts
+from .tables import PREDICATE_COLUMNS, predicate_statement
 
 #: cast targets enumerated by Pattern 2.1 — chosen to cross every internal
 #: type family boundary (numeric width, binary, temporal, document)
@@ -71,6 +73,10 @@ DIGIT_RUNS = ("99999", "9" * 25)
 
 #: duplication factors used by P1.4
 DUPLICATION_FACTORS = (2, 4)
+
+#: comparison operators cycled by the predicate statement family when it
+#: anchors a boundary expression against a seeded-table column
+PREDICATE_OPS = ("=", "<", ">", "<=", ">=", "<>")
 
 
 class GeneratedCase:
@@ -145,10 +151,22 @@ class PatternEngine:
         rng: Optional[random.Random] = None,
         max_partners: int = 48,
         return_types: Optional[Dict[str, str]] = None,
+        statement_family: str = "expression",
     ) -> None:
+        if statement_family not in ("expression", "predicate"):
+            raise ValueError(
+                f"unknown statement family {statement_family!r} "
+                f"(expected 'expression' or 'predicate')"
+            )
         self.seeds = list(seeds)
         self.rng = rng or random.Random(0)
         self.max_partners = max_partners
+        self.statement_family = statement_family
+        #: comparison-position boundary texts cycled by the predicate
+        #: decoration (shared vocabulary with core.clauses)
+        self._bound_texts = (
+            comparison_bound_texts() if statement_family == "predicate" else []
+        )
         #: function → result type observed when the seed corpus was replayed
         #: (SOFT sees every seed's result; the ordering below uses it)
         self.return_types = dict(return_types or {})
@@ -285,6 +303,21 @@ class PatternEngine:
             pending = still
 
     def generate_all(self) -> Iterator[GeneratedCase]:
+        """The engine's statement stream, in the configured family.
+
+        The default ``expression`` family is the raw interleaved pattern
+        stream (byte-identical to every pre-family release).  The
+        ``predicate`` family decorates each case into a seeded-table
+        query — see :meth:`_as_predicate`.
+        """
+        cases = self._generate_expressions()
+        if self.statement_family != "predicate":
+            yield from cases
+            return
+        for ordinal, case in enumerate(cases):
+            yield self._as_predicate(case, ordinal)
+
+    def _generate_expressions(self) -> Iterator[GeneratedCase]:
         """Interleave generation across seeds (round-robin), so early budget
         spreads over the whole function inventory instead of exhausting the
         alphabet's first functions."""
@@ -298,6 +331,38 @@ class PatternEngine:
                     still.append(iterator)
                     yield from batch
             pending = still
+
+    def _as_predicate(self, case: GeneratedCase, ordinal: int) -> GeneratedCase:
+        """Wrap an expression case into the predicate statement family::
+
+            SELECT k, i, s, d FROM fuzz_t
+            WHERE (<expr>) <cmp> <column> AND NOT (<bound> = <bound2>);
+
+        The boundary expression is anchored against a seeded-table column
+        (row-varying, NULL-able — what TLP partitions), and the conjoined
+        ``NOT (<bound> = <bound2>)`` term places pool literals in a
+        constant comparison the optimizer folds (what NoREC compares
+        across optimizer modes).  All decoration choices cycle on the
+        case's stream *ordinal*, fixed here eagerly: the wrapped SQL stays
+        lazily built, and shard workers that skip rendering non-owned
+        cases never touch shared RNG state, so serial and ``--jobs`` runs
+        decorate identically.
+        """
+        op = PREDICATE_OPS[ordinal % len(PREDICATE_OPS)]
+        column = PREDICATE_COLUMNS[ordinal % len(PREDICATE_COLUMNS)]
+        bounds = self._bound_texts
+        left = bounds[ordinal % len(bounds)]
+        right = bounds[(ordinal + 1 + ordinal // len(bounds)) % len(bounds)]
+
+        def build(case=case, op=op, column=column, left=left, right=right):
+            expr = case.sql[len("SELECT "):].rstrip().rstrip(";")
+            return predicate_statement(
+                f"({expr}) {op} {column} AND NOT ({left} = {right})"
+            )
+
+        return GeneratedCase.deferred(
+            build, case.pattern, case.seed_function, case.seed_family
+        )
 
     # ------------------------------------------------------------------
     # P1.2 — boundary pool substitution

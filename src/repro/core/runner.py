@@ -40,7 +40,7 @@ from __future__ import annotations
 
 from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
 from ..dialects.base import Dialect
 from ..engine.connection import (
@@ -106,8 +106,10 @@ class Runner:
         compile_plans: bool = True,
         budgets: Optional[object] = None,
         sandbox: Optional[object] = None,
+        bootstrap_sql: Sequence[str] = (),
     ) -> None:
         self.dialect = dialect
+        self.bootstrap_sql = tuple(bootstrap_sql)
         if isinstance(budgets, str):
             budgets = ResourceBudgets.parse(budgets)
         self.budgets: Optional[ResourceBudgets] = budgets
@@ -124,6 +126,11 @@ class Runner:
             raise ValueError(
                 "the 'sandbox' option does not support 'enable_coverage' "
                 "(arc sets do not cross the worker boundary)"
+            )
+        if sandbox_config is not None and self.bootstrap_sql:
+            raise ValueError(
+                "the 'sandbox' option does not support 'bootstrap_sql' "
+                "(the seeded-table workload runs in-process)"
             )
         self.server: Server = dialect.create_server()
         if not statement_cache:
@@ -172,6 +179,26 @@ class Runner:
         self.flaky_crashes = 0
         #: runner-level resilience event counts (injector keeps its own)
         self.fault_counters: Dict[str, int] = {}
+        self._apply_bootstrap()
+
+    # ------------------------------------------------------------------
+    def _apply_bootstrap(self) -> None:
+        """Replay the bootstrap DDL/DML (seeded tables) on a fresh server.
+
+        The base relation is infrastructure, not workload: it runs outside
+        the executed-statement accounting and with the fault hook detached,
+        so every server — first boot or post-crash restart, with or without
+        ``--faults`` — starts from the identical row set and campaign
+        signatures depend only on generated statements.
+        """
+        if not self.bootstrap_sql:
+            return
+        hook, self.server.fault_hook = self.server.fault_hook, None
+        try:
+            for sql in self.bootstrap_sql:
+                self.connection.execute(sql)
+        finally:
+            self.server.fault_hook = hook
 
     # ------------------------------------------------------------------
     def run(self, sql: str, position: Optional[int] = None) -> Outcome:
@@ -383,6 +410,7 @@ class Runner:
         if self.coverage is not None:
             self.server.ctx.coverage = self.coverage
         self.connection = self.server.connect()
+        self._apply_bootstrap()
 
     # ------------------------------------------------------------------
     @property

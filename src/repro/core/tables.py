@@ -1,0 +1,67 @@
+"""Deterministic seeded tables for the predicate statement family.
+
+The metamorphic oracles (TLP / NoREC, ``core.oracles.metamorphic``) need
+boundary functions to appear *inside real predicates over real rows* —
+bare ``SELECT f(args);`` statements have no row set to partition.  This
+module owns the workload's single seeded table:
+
+* ``TABLE_SETUP`` — the bootstrap DDL/DML every server executing the
+  predicate family runs first (the :class:`~repro.core.runner.Runner`
+  replays it after crash restarts, outside the executed-statement
+  accounting, so signatures depend only on generated statements);
+* ``predicate_statement`` — wraps a boundary predicate into the family's
+  canonical shape, ``SELECT k, i, s, d FROM fuzz_t WHERE <p>;``.
+
+The row set is fixed and NULL-rich on purpose: every non-key column holds
+NULLs so three-valued logic is exercised on every comparison, and the
+values sit on the same integer/decimal/string boundaries the paper's
+argument pool targets.  Determinism is load-bearing — serial and sharded
+campaigns must fingerprint identical base relations.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+#: the seeded relation every predicate-family statement ranges over
+TABLE_NAME = "fuzz_t"
+
+#: projected columns, in on-disk order (k is the NOT NULL row key)
+TABLE_COLUMNS: Tuple[str, ...] = ("k", "i", "s", "d")
+
+#: columns a generated comparison may reference (k included: always
+#: non-NULL, so predicates over it separate the executor's NULL handling
+#: from plain row filtering)
+PREDICATE_COLUMNS: Tuple[str, ...] = ("i", "s", "d", "k")
+
+#: bootstrap statements; executed in order on every fresh server
+TABLE_SETUP: Tuple[str, ...] = (
+    f"DROP TABLE IF EXISTS {TABLE_NAME};",
+    f"CREATE TABLE {TABLE_NAME} "
+    "(k INT, i INT, s VARCHAR(24), d DECIMAL(10, 4));",
+    f"INSERT INTO {TABLE_NAME} VALUES "
+    "(1, 0, '', 0.0), "
+    "(2, 1, 'a', 1.5), "
+    "(3, -1, NULL, -2.25), "
+    "(4, NULL, 'bb', NULL), "
+    "(5, 127, 'boundary', 9999.9999), "
+    "(6, -128, 'x', -0.0001), "
+    "(7, NULL, NULL, NULL), "
+    "(8, 32767, 'yz', 123.45);",
+)
+
+#: number of rows TABLE_SETUP inserts (oracles sanity-check against it)
+TABLE_ROWS = 8
+
+#: the family's statement shape, minus the predicate and terminator
+PREDICATE_PREFIX = (
+    f"SELECT {', '.join(TABLE_COLUMNS)} FROM {TABLE_NAME} WHERE "
+)
+
+#: the unfiltered base query the TLP oracle partitions
+BASE_QUERY = f"SELECT {', '.join(TABLE_COLUMNS)} FROM {TABLE_NAME};"
+
+
+def predicate_statement(predicate: str) -> str:
+    """The canonical predicate-family statement for *predicate*."""
+    return f"{PREDICATE_PREFIX}{predicate};"

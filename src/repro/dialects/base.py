@@ -10,7 +10,7 @@ consumes the last two, exactly as the paper scans real docs and test suites.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from ..engine.casting import TypeLimits
 from ..engine.connection import Server
@@ -74,6 +74,7 @@ class Dialect:
             self.name, self.declare_logic_flaws()
         )
         self._logic_flaws_installed = False
+        self._predicate_flaws_installed: set = set()
 
     # -- extension points ---------------------------------------------------
     def make_limits(self) -> TypeLimits:
@@ -94,26 +95,41 @@ class Dialect:
         oracle asks for them."""
         return []
 
-    def install_logic_flaws(self) -> None:
+    def install_logic_flaws(self, predicate_kinds: Sequence[str] = ()) -> None:
         """Patch the declared logic flaws into this instance's registry.
 
         Idempotent, and scoped to this instance: other instances of the
         same dialect (differential-oracle peers, minimizer probes) stay
         clean unless they install explicitly.
-        """
-        if self._logic_flaws_installed:
-            return
-        from .bugs import make_trigger
-        from .flaws import install_logic_flaw
 
-        for flaw in self.logic_flaws:
-            install_logic_flaw(
-                self.registry,
-                flaw.function,
-                make_trigger(flaw.trigger_spec),
-                flaw.kind,
-            )
-        self._logic_flaws_installed = True
+        Function-level flaws (kinds ``wrong``/``strict``) always install.
+        Predicate-level flaws (kinds ``tlp``/``norec``) are engine knobs,
+        not function patches, and only the kinds listed in
+        *predicate_kinds* are switched on — the knob lands in
+        ``config_defaults`` so every server subsequently created from this
+        instance (campaign runner, oracle arms, minimizer probes) carries
+        the defect.
+        """
+        from .bugs import make_trigger
+        from .flaws import PREDICATE_KINDS, PREDICATE_KNOBS, install_logic_flaw
+
+        if not self._logic_flaws_installed:
+            for flaw in self.logic_flaws:
+                if flaw.kind in PREDICATE_KINDS:
+                    continue
+                install_logic_flaw(
+                    self.registry,
+                    flaw.function,
+                    make_trigger(flaw.trigger_spec),
+                    flaw.kind,
+                )
+            self._logic_flaws_installed = True
+        for kind in predicate_kinds:
+            if kind in self._predicate_flaws_installed:
+                continue
+            if any(flaw.kind == kind for flaw in self.logic_flaws):
+                self.config_defaults[PREDICATE_KNOBS[kind]] = "1"
+            self._predicate_flaws_installed.add(kind)
 
     def install_context_hooks(self, ctx: ExecutionContext) -> None:
         """Install cast overrides and other per-process hooks."""

@@ -224,7 +224,7 @@ def register_logic_flaws(dbms: str, rows: Sequence[Tuple]) -> List[LogicFlaw]:
     declared: List[LogicFlaw] = []
     for index, row in enumerate(rows, start=1):
         function, family, kind, pattern, trigger_spec, poc, description = row
-        if kind not in flaws.LOGIC_KINDS:
+        if kind not in flaws.LOGIC_KINDS + flaws.PREDICATE_KINDS:
             raise ValueError(f"unknown logic-flaw kind {kind!r}")
         flaw = LogicFlaw(
             flaw_id=f"{dbms.upper()}-LOGIC-{index:03d}",
@@ -263,6 +263,19 @@ def find_logic_flaw(
         if flaw.dbms != dbms or flaw.function != function.lower():
             continue
         if kind is None or flaw.kind == kind:
+            return flaw
+    return None
+
+
+def find_predicate_flaw(dbms: str, kind: str) -> Optional[LogicFlaw]:
+    """The dialect's seeded predicate-level flaw of *kind* ("tlp"/"norec").
+
+    Predicate flaws are engine-wide knobs, not per-function patches, so a
+    metamorphic finding attributes by (dialect, kind) alone — whatever
+    statement exposed the broken law, the root cause is the same defect.
+    """
+    for flaw in all_logic_flaws():
+        if flaw.dbms == dbms and flaw.kind == kind:
             return flaw
     return None
 

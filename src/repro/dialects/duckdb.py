@@ -112,6 +112,16 @@ _LOGIC_FLAW_ROWS = [
      "SELECT SPACE(4);",
      "the padding-length validation reuses the negative-count error path "
      "for every positive count"),
+    ("is_null_test", "predicate", "tlp", "P1.1", (),
+     "SELECT k, i, s, d FROM fuzz_t WHERE d < 1.5;",
+     "the IS NULL test propagates the unknown instead of deciding it, so "
+     "the three-way predicate partition loses every row whose predicate "
+     "is NULL"),
+    ("null_compare_fold", "predicate", "norec", "P1.1", (),
+     "SELECT k, i, s, d FROM fuzz_t WHERE d = d AND NOT (NULL = 1);",
+     "the constant folder rewrites comparisons against NULL to FALSE "
+     "instead of NULL, so optimized plans flip NOT (... = NULL) from "
+     "unknown to true"),
 ]
 
 

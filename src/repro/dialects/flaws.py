@@ -377,6 +377,21 @@ CRASH_ACTIONS = {
 #: result, "strict" rejects documented-valid arguments with an SQL error
 LOGIC_KINDS = ("wrong", "strict")
 
+#: predicate-level defect kinds — seeded as engine config knobs rather
+#: than function wrappers, because the defect lives in clause evaluation
+#: (the executor's null test, the optimizer's constant folder), not in any
+#: one built-in.  "tlp" breaks the three-valued IS NULL test; "norec"
+#: breaks the optimizer's NULL-comparison fold.  Each is ground truth for
+#: the same-named metamorphic oracle (:mod:`repro.core.oracles.metamorphic`)
+#: and invisible to the other one.
+PREDICATE_KINDS = ("tlp", "norec")
+
+#: engine knob flipped on (via Dialect.config_defaults) per predicate kind
+PREDICATE_KNOBS = {
+    "tlp": "faulty_is_null_propagates",
+    "norec": "faulty_fold_null_compare",
+}
+
 
 def miscompute(value: SQLValue) -> SQLValue:
     """Deterministically corrupt a correct scalar result.

@@ -104,6 +104,16 @@ _LOGIC_FLAW_ROWS = [
      "SELECT CHR(65);",
      "the code-point range check compares against the wrong constant and "
      "rejects every documented positive code point"),
+    ("is_null_test", "predicate", "tlp", "P1.1", (),
+     "SELECT k, i, s, d FROM fuzz_t WHERE i > 0;",
+     "the IS NULL test propagates the unknown instead of deciding it, so "
+     "the three-way predicate partition loses every row whose predicate "
+     "is NULL"),
+    ("null_compare_fold", "predicate", "norec", "P1.1", (),
+     "SELECT k, i, s, d FROM fuzz_t WHERE i = i AND NOT (NULL = 0);",
+     "the constant folder rewrites comparisons against NULL to FALSE "
+     "instead of NULL, so optimized plans flip NOT (... = NULL) from "
+     "unknown to true"),
 ]
 
 

@@ -382,6 +382,13 @@ class Evaluator:
 
     def _isnull(self, expr: n.IsNullExpr) -> SQLValue:
         value = self.eval(expr.expr)
+        if value.is_null and self.ctx.get_config("faulty_is_null_propagates") == "1":
+            # seeded predicate-level defect (dialects/flaws.py kind "tlp"):
+            # the null check propagates the unknown instead of deciding it,
+            # so IS [NOT] NULL answers NULL exactly when the operand is NULL.
+            # Statements without an IS NULL test never notice; the TLP
+            # partition's third arm loses its rows.
+            return NULL
         result = value.is_null
         if expr.negated:
             result = not result
@@ -746,6 +753,12 @@ def compare_values(ctx: ExecutionContext, left: SQLValue, right: SQLValue) -> in
     """Three-way comparison; raises ``TypeError_`` for incomparable types."""
     if is_numeric(left) and is_numeric(right):
         a, b = numeric_as_decimal(left), numeric_as_decimal(right)
+        if a.is_nan() or b.is_nan():
+            # NaN orders like PostgreSQL: equal to itself, after every
+            # number (a plain Decimal comparison signals InvalidOperation)
+            if a.is_nan() and b.is_nan():
+                return 0
+            return 1 if a.is_nan() else -1
         return (a > b) - (a < b)
     if is_numeric(left) and isinstance(right, SQLString):
         a, b = float(numeric_as_decimal(left)), _as_double(right)

@@ -55,7 +55,17 @@ def _value_to_literal(value: SQLValue) -> Optional[n.Expr]:
 
 
 def optimize_statement(ctx: ExecutionContext, stmt: n.Statement) -> n.Statement:
-    """Run the rewrite pipeline over *stmt* (returns a rewritten tree)."""
+    """Run the rewrite pipeline over *stmt* (returns a rewritten tree).
+
+    The ``optimizer_passes`` config knob selects the pass subset: the
+    default (unset or ``"all"``) runs every rewrite; ``"none"``/``"off"``
+    suppresses optimization entirely and executes the parsed tree as-is.
+    Suppressed execution is the NoREC oracle's reference arm — the same
+    statement evaluated without any rewrite the optimizer could get wrong.
+    """
+    passes = ctx.get_config("optimizer_passes")
+    if passes in ("none", "off"):
+        return stmt
     previous_stage = ctx.stage
     ctx.stage = "optimize"
     rewritten = transform(stmt, lambda node: _fold(ctx, node))
@@ -72,6 +82,16 @@ def _fold(ctx: ExecutionContext, node: n.Node) -> Optional[n.Node]:
     if isinstance(node, n.BinaryOp) and _is_literal(node.left) and _is_literal(node.right):
         if node.op.upper() in ("AND", "OR"):
             return None  # keep three-valued logic to the executor
+        if (
+            node.op in ("=", "<>", "!=", "<", ">", "<=", ">=")
+            and (isinstance(node.left, n.NullLit) or isinstance(node.right, n.NullLit))
+            and ctx.get_config("faulty_fold_null_compare") == "1"
+        ):
+            # seeded predicate-level defect (dialects/flaws.py kind "norec"):
+            # the constant folder rewrites NULL comparisons to FALSE instead
+            # of NULL — invisible to execution-stage oracles, but optimized
+            # and optimization-suppressed runs of the same statement diverge
+            return n.BooleanLit(False)
         return _try_eval(ctx, node)
     if isinstance(node, n.UnaryOp) and _is_literal(node.operand) and node.op != "NOT":
         return _try_eval(ctx, node)

@@ -70,6 +70,7 @@ from ..core.oracles import CaseInfo, OraclePipeline, OracleStateError, build_pip
 from ..core.oracles.base import OracleSpec
 from ..core.patterns import PatternEngine
 from ..core.runner import Outcome, Runner
+from ..core.tables import TABLE_SETUP
 from ..dialects import dialect_by_name
 from ..dialects.base import Dialect
 from ..robustness.checkpoint import CHECKPOINT_VERSION, CheckpointError
@@ -122,6 +123,7 @@ def _run_shard(
     compile_plans: bool = True,
     warm_corpus_path: Optional[str] = None,
     transport_dir: Optional[str] = None,
+    statement_family: str = "expression",
 ) -> Dict[str, Any]:
     """Execute one worker's share of the generated stream.
 
@@ -150,6 +152,7 @@ def _run_shard(
         budgets=budgets_spec,
         sandbox=sandbox_config,
         compile_plans=compile_plans,
+        bootstrap_sql=TABLE_SETUP if statement_family == "predicate" else (),
     )
     runner.capture_fingerprints = pipeline.needs_fingerprints
     cache = runner.server.stmt_cache
@@ -181,6 +184,7 @@ def _run_shard(
         rng=random.Random(seed),
         max_partners=max_partners,
         return_types=dict(return_types),
+        statement_family=statement_family,
     )
 
     skip_in_shard = 0
@@ -193,6 +197,7 @@ def _run_shard(
             enable_coverage, jobs, worker, oracle_names,
             budgets_spec, sandbox_config,
             compile_plans=compile_plans,
+            statement_family=statement_family,
         )
         if state is not None:
             # processed counts containment skips too; sidecars written
@@ -246,6 +251,7 @@ def _run_shard(
             outcome_counts, runner, shard_processed, sandbox_report(),
             budgets_spec, sandbox_config,
             compile_plans=compile_plans,
+            statement_family=statement_family,
         )
 
     try:
@@ -325,6 +331,7 @@ def _run_shard(
             outcome_counts, runner, shard_processed, sandbox_report(),
             budgets_spec, sandbox_config,
             compile_plans=compile_plans,
+            statement_family=statement_family,
         )
     runner.close()
     if transport_dir is not None:
@@ -346,6 +353,7 @@ def _shard_spec(
     budgets_spec: Optional[str] = None,
     sandbox_config: Optional[SandboxConfig] = None,
     compile_plans: bool = True,
+    statement_family: str = "expression",
 ) -> Dict[str, Any]:
     spec = {
         "version": CHECKPOINT_VERSION,
@@ -372,6 +380,8 @@ def _shard_spec(
         }
     if not compile_plans:
         spec["compile"] = False
+    if statement_family != "expression":
+        spec["statement_family"] = statement_family
     return spec
 
 
@@ -389,12 +399,13 @@ def _save_shard_checkpoint(
     budgets_spec: Optional[str] = None,
     sandbox_config: Optional[SandboxConfig] = None,
     compile_plans: bool = True,
+    statement_family: str = "expression",
 ) -> None:
     payload = {
         "spec": _shard_spec(
             dialect, seed, budget, max_partners, enable_coverage, jobs,
             worker, oracle_names, budgets_spec, sandbox_config,
-            compile_plans,
+            compile_plans, statement_family,
         ),
         "shard_executed": shard_executed,
         "shard_processed": (
@@ -426,6 +437,7 @@ def _load_shard_checkpoint(
     budgets_spec: Optional[str] = None,
     sandbox_config: Optional[SandboxConfig] = None,
     compile_plans: bool = True,
+    statement_family: str = "expression",
 ) -> Optional[Dict[str, Any]]:
     if not os.path.exists(path):
         return None
@@ -434,6 +446,7 @@ def _load_shard_checkpoint(
     expected = _shard_spec(
         dialect, seed, budget, max_partners, enable_coverage, jobs, worker,
         oracle_names, budgets_spec, sandbox_config, compile_plans,
+        statement_family,
     )
     if payload.get("spec") != expected:
         raise CheckpointError(
@@ -532,6 +545,7 @@ class ParallelCampaign:
         self.statement_cache = config.statement_cache
         self.compile_plans = config.compile
         self.oracle_names = config.oracles
+        self.statement_family = config.statement_family
         #: statement-transport measurement from the last run's warm-corpus
         #: handoff (None when nothing was shipped)
         self.last_transport: Optional[TransportStats] = None
@@ -559,6 +573,9 @@ class ParallelCampaign:
             budgets=self.budgets_spec,
             sandbox=self.sandbox_config,
             compile_plans=self.compile_plans,
+            bootstrap_sql=(
+                TABLE_SETUP if self.statement_family == "predicate" else ()
+            ),
         )
         runner.capture_fingerprints = pipeline.needs_fingerprints
         containment: Optional[ContainmentState] = (
@@ -643,6 +660,7 @@ class ParallelCampaign:
                         self.oracle_names, self._stop_after,
                         self.budgets_spec, self.sandbox_config, containment_seed,
                         self.compile_plans, warm_corpus_path, tdir,
+                        self.statement_family,
                     )
                     for worker in range(self.jobs)
                 ]

@@ -437,14 +437,20 @@ class StatementCache:
             except Exception:
                 compiled = None
             entry.compiled = compiled
-        if compiled is not None:
-            if entry.plan is None:
-                # memoized so warm hits skip Plan construction *and* this
-                # resolver entirely; the closure re-reads the literal cells
-                # on every call, so one Plan is sound across rebindings
-                entry.plan = Plan(entry.stmt, needs_optimize=False,
-                                  compiled=compiled)
-            self.compiled_executions += 1
+        if compiled is None:
+            # the compiler declined this statement shape (or raised): every
+            # execution that wanted a closure but takes the interpreter is a
+            # fallback, so the compiled-vs-fallback share divides executions,
+            # not statement shapes
+            self.compile_fallbacks += 1
+            return None
+        if entry.plan is None:
+            # memoized so warm hits skip Plan construction *and* this
+            # resolver entirely; the closure re-reads the literal cells
+            # on every call, so one Plan is sound across rebindings
+            entry.plan = Plan(entry.stmt, needs_optimize=False,
+                              compiled=compiled)
+        self.compiled_executions += 1
         return compiled
 
     def probe_tokens(self, sql: str) -> Optional[List[Token]]:

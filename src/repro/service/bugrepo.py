@@ -47,7 +47,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..core.minimize import CrashProbe, DivergenceProbe, minimize_poc
+from ..core.minimize import (
+    CrashProbe,
+    DivergenceProbe,
+    MetamorphicProbe,
+    minimize_poc,
+)
 from ..dialects import dialect_by_name, dialect_names
 from ..engine.connection import ServerCrashed
 from ..engine.errors import SQLError
@@ -130,6 +135,10 @@ class BugRecord:
             return "divergence"
         if "conformance" in self.kinds:
             return "error"
+        if "tlp" in self.kinds:
+            return "tlp"
+        if "norec" in self.kinds:
+            return "norec"
         return "crash"
 
     def to_dict(self) -> Dict[str, Any]:
@@ -344,6 +353,12 @@ class BugRepository:
                     probe = DivergenceProbe(
                         subject, dialect_by_name(info["peer"])
                     )
+                elif info["kind"] in ("tlp", "norec"):
+                    subject = dialect_by_name(info["dialect"])
+                    subject.install_logic_flaws(
+                        predicate_kinds=(info["kind"],)
+                    )
+                    probe = MetamorphicProbe(subject, info["kind"])
             except KeyError:
                 probe = None  # unknown dialect: store the raw statement
             if probe is not None:
@@ -520,14 +535,23 @@ def _observe_trigger(record: BugRecord, target_name: str) -> str:
     """
     sql = record.statement + ";"
     dialect = dialect_by_name(target_name)
-    if record.expected_signal != "crash":
-        dialect.install_logic_flaws()
-    if record.expected_signal == "divergence" and record.peer:
+    signal = record.expected_signal
+    if signal != "crash":
+        dialect.install_logic_flaws(
+            predicate_kinds=(signal,) if signal in ("tlp", "norec") else ()
+        )
+    if signal == "divergence" and record.peer:
         probe = DivergenceProbe(dialect, dialect_by_name(record.peer))
         divergence = probe.identity(sql)
         if divergence is None:
             return "ok"
         return f"divergence:{divergence}"
+    if signal in ("tlp", "norec"):
+        meta_probe = MetamorphicProbe(dialect, signal)
+        divergence = meta_probe.identity(sql)
+        if divergence is None:
+            return "ok"
+        return f"{signal}:{divergence}"
     connection = dialect.create_server().connect()
     try:
         connection.execute(sql)

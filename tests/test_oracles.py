@@ -59,7 +59,7 @@ class TestOracleSpec:
 
     def test_rejects_unknown_names(self):
         with pytest.raises(ValueError, match="unknown oracle"):
-            parse_oracle_names("crash,norec")
+            parse_oracle_names("crash,qpg")
 
     def test_build_pipeline_installs_flaws_only_when_needed(self):
         crash_only = dialect_by_name("mysql")
@@ -248,7 +248,10 @@ class TestLogicFlawDiscovery:
         result = run_campaign(dbms, budget=2_000, seed=3, oracles=ALL_ORACLES)
         found = {f.attribution.flaw_id for f in result.findings
                  if f.attribution is not None}
-        expected = {flaw.flaw_id for flaw in logic_flaws_for(dbms)}
+        # function-level flaws only: predicate-level kinds (tlp/norec) need
+        # the predicate statement family and their own metamorphic oracles
+        expected = {flaw.flaw_id for flaw in logic_flaws_for(dbms)
+                    if flaw.kind in ("wrong", "strict")}
         assert expected, "dialect should seed logic flaws"
         assert expected <= found
 
