@@ -14,6 +14,9 @@ Commands:
   the HTTP/JSON scheduler plus persistent bug repository.
 * ``repro bugs list|show|replay|triage`` — browse, replay, and triage
   the persistent bug repository without booting the server.
+* ``repro audit [--data-dir DIR] [--repair]`` — check (and optionally
+  repair) the service's durable invariants: journal transition chains,
+  leases, checkpoint sidecars, bug-repository dedup keys.
 * ``repro dialects`` — list the simulated DBMSs and their inventories.
 * ``repro study`` — print the bug-study summary (Findings 1-4).
 * ``repro compare [--budget N]`` — the Tables 5/6 tool comparison.
@@ -151,6 +154,34 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_serve.add_argument("--lease-seconds", type=float, default=30.0,
                          help="worker lease duration; an expired lease "
                          "makes a running job reclaimable (default: 30)")
+    p_serve.add_argument("--no-preempt", action="store_true",
+                         help="disable priority preemption (by default a "
+                         "strictly higher-priority queued job may "
+                         "checkpoint-and-requeue a running one)")
+    p_serve.add_argument("--tenant-budget", metavar="SPEC", default=None,
+                         help="per-submitter resource budgets, e.g. "
+                         "'statements=10000,rows=5000,wall_ms=100': "
+                         "'statements' caps each submitter's cumulative "
+                         "statement allowance; the rest is a per-statement "
+                         "ceiling overriding submitted budgets")
+    p_serve.add_argument("--chaos", metavar="SPEC", default=None,
+                         help="storage fault-injection spec, e.g. 'default' "
+                         "or 'locked=0.05,enospc=0.01,corrupt=0.001' "
+                         "(testing only; REPRO_CHAOS env var also works)")
+    p_serve.add_argument("--chaos-seed", type=int, default=0,
+                         help="deterministic seed for --chaos draws")
+
+    p_audit = sub.add_parser(
+        "audit", help="check (and repair) the service's durable invariants"
+    )
+    p_audit.add_argument("--data-dir", default=_DEFAULT_DATA_DIR,
+                         help="the service data directory to audit "
+                         f"(default: {_DEFAULT_DATA_DIR})")
+    p_audit.add_argument("--repair", action="store_true",
+                         help="repair what can be repaired: re-enqueue "
+                         "stale leases, strip unloadable resume pointers, "
+                         "quarantine-and-rebuild corrupt databases, merge "
+                         "duplicate dedup keys, delete orphaned sidecars")
 
     p_bugs = sub.add_parser("bugs", help="browse the persistent bug repository")
     p_bugs.add_argument("--data-dir", default=_DEFAULT_DATA_DIR,
@@ -197,6 +228,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "audit":
+        return _cmd_audit(args)
     if args.command == "bugs":
         return _cmd_bugs(args)
     if args.command == "dialects":
@@ -286,19 +319,36 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_serve(args) -> int:
+    from .robustness.chaos import StorageFaultInjector, StorageFaultPlan
     from .service import BugService
 
-    service = BugService(
-        data_dir=args.data_dir,
-        host=args.host,
-        port=args.port,
-        minimize=not args.no_minimize,
-        default_budgets=args.budgets,
-        workers=args.workers,
-        queue_depth=args.queue_depth,
-        submitter_quota=args.quota,
-        lease_seconds=args.lease_seconds,
-    )
+    chaos = None
+    if args.chaos:
+        try:
+            chaos = StorageFaultInjector(
+                StorageFaultPlan.parse(args.chaos), seed=args.chaos_seed
+            )
+        except ValueError as exc:
+            print(f"error: {exc}")
+            return 1
+    try:
+        service = BugService(
+            data_dir=args.data_dir,
+            host=args.host,
+            port=args.port,
+            minimize=not args.no_minimize,
+            default_budgets=args.budgets,
+            workers=args.workers,
+            queue_depth=args.queue_depth,
+            submitter_quota=args.quota,
+            lease_seconds=args.lease_seconds,
+            preemption=not args.no_preempt,
+            tenant_budget=args.tenant_budget,
+            chaos=chaos,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 1
     print(f"repro service listening on {service.url}")
     print(f"bug repository: {os.path.join(args.data_dir, 'bugs.sqlite')}")
     print(f"job journal:    {os.path.join(args.data_dir, 'jobs.sqlite')} "
@@ -307,8 +357,38 @@ def _cmd_serve(args) -> int:
     if recovered["requeued"] or recovered["failed"]:
         print(f"crash recovery: requeued {len(recovered['requeued'])}, "
               f"abandoned {len(recovered['failed'])}")
+    for name, event in service.rebuilds.items():
+        print(f"storage rebuild: {name} quarantined to "
+              f"{event['quarantined']} ({event['salvaged']} rows salvaged)")
+    if service.audit_report is not None and not service.audit_report.ok:
+        print("warning: startup audit found unrepaired errors "
+              "(see /health or run 'repro audit')")
     service.serve_forever()
     return 0
+
+
+def _cmd_audit(args) -> int:
+    from .service import ServiceAuditor
+
+    if not os.path.isdir(args.data_dir):
+        print(f"error: no service data directory at {args.data_dir}")
+        return 1
+    report = ServiceAuditor(data_dir=args.data_dir).run(repair=args.repair)
+    for finding in report.findings:
+        marker = "repaired" if finding.repaired else finding.severity
+        line = f"  [{marker}] {finding.check} {finding.subject}: {finding.detail}"
+        if finding.repair:
+            line += f" -> {finding.repair}"
+        print(line)
+    summary = report.to_dict()
+    print(f"audit: {len(report.checks)} checks, {summary['errors']} errors "
+          f"({summary['repaired']} repaired), {summary['warnings']} warnings")
+    if report.ok:
+        print("audit passed")
+        return 0
+    print("audit FAILED: unrepaired errors remain"
+          + ("" if args.repair else " (re-run with --repair?)"))
+    return 1
 
 
 def _cmd_bugs(args) -> int:

@@ -109,6 +109,10 @@ class CampaignConfig:
     submitter: str = ""
     #: scheduling priority (higher claims first); no effect on results
     priority: int = 0
+    #: may the service checkpoint-and-requeue this campaign to make room
+    #: for a higher-priority job?  (resume is signature-identical, so the
+    #: default is on; no effect on results either way)
+    preemptible: bool = True
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "oracles", parse_oracle_names(self.oracles))
@@ -146,6 +150,11 @@ class CampaignConfig:
             raise TypeError(
                 f"the 'priority' option must be an integer "
                 f"(got {self.priority!r})"
+            )
+        if not isinstance(self.preemptible, bool):
+            raise TypeError(
+                f"the 'preemptible' option must be a boolean "
+                f"(got {self.preemptible!r})"
             )
         if self.sandbox is not None and self.faults is not None:
             raise ValueError(
@@ -230,6 +239,7 @@ class CampaignConfig:
             "jobs": self.jobs,
             "submitter": self.submitter,
             "priority": self.priority,
+            "preemptible": self.preemptible,
         }
 
     @classmethod

@@ -14,6 +14,12 @@ SIGKILL-able subprocess workers with :class:`ContainmentState` crash-loop
 protection on top.
 """
 
+from .chaos import (
+    SimulatedCrash,
+    StorageFaultInjector,
+    StorageFaultPlan,
+    make_storage_injector,
+)
 from .checkpoint import (
     CHECKPOINT_VERSION,
     CampaignCheckpoint,
@@ -21,7 +27,13 @@ from .checkpoint import (
     rng_state_from_json,
     rng_state_to_json,
 )
-from .faults import DEFAULT_RATES, FaultInjector, FaultPlan, make_fault_injector
+from .faults import (
+    DEFAULT_RATES,
+    FaultInjector,
+    FaultPlan,
+    make_fault_injector,
+    parse_rate_spec,
+)
 from .governor import ResourceBudgets, ResourceGovernor, make_governor
 from .policy import CircuitBreaker, RetryPolicy, ServerQuarantined
 from .sandbox import (
@@ -66,6 +78,9 @@ __all__ = [
     "SandboxedConnection",
     "ServerQuarantined",
     "SimulatedClock",
+    "SimulatedCrash",
+    "StorageFaultInjector",
+    "StorageFaultPlan",
     "StatementHang",
     "StatementTimeout",
     "WallClock",
@@ -75,6 +90,8 @@ __all__ = [
     "make_fault_injector",
     "make_governor",
     "make_sandbox_config",
+    "make_storage_injector",
+    "parse_rate_spec",
     "rng_state_from_json",
     "rng_state_to_json",
 ]

@@ -1,0 +1,346 @@
+"""Deterministic storage chaos: fault injection for the service's sqlite I/O.
+
+:mod:`repro.robustness.faults` perturbs the *simulated DBMS* — hangs,
+dropped connections, flaky crashes.  This module points the same
+adversarial machinery at the service's **own** durability substrate: the
+job journal (``jobs.sqlite``) and the bug repository (``bugs.sqlite``)
+behind the :class:`~repro.service.storage.SqliteStorage` boundary.  The
+premise mirrors the paper's: boundary conditions (a full disk, a torn
+transaction, a locked database) expose latent flaws that the happy path
+never exercises.
+
+Injectable faults (drawn per storage operation, seeded, deterministic):
+
+=================  ====================================================
+fault class        behaviour
+=================  ====================================================
+``locked``         ``sqlite3.OperationalError("database is locked")`` —
+                   transient contention; the boundary's bounded jittered
+                   retry must absorb it
+``enospc``         ``OSError(ENOSPC)`` on write — the subsystem degrades
+                   to read-only until a probe write succeeds
+``corrupt``        ``sqlite3.DatabaseError("malformed")`` that *latches*:
+                   the database stays corrupt (``PRAGMA integrity_check``
+                   reports it) until quarantined and rebuilt
+=================  ====================================================
+
+Besides rate-based draws, faults can be **armed** deterministically
+(:meth:`StorageFaultInjector.arm_enospc`, :meth:`arm_corruption`) so
+tests script exact fault→degrade→recover sequences.
+
+**Crash points.**  Every journaled write transaction passes two named
+crash points — ``<db>.<op>.pre_commit`` (the torn-transaction case:
+everything since the last commit is lost) and ``<db>.<op>.post_commit``
+(the work is durable, the process still dies).  Arming
+:meth:`arm_crash` at a point raises :class:`SimulatedCrash` (a
+``BaseException``, so no ``except Exception`` job-isolation handler can
+accidentally absorb it) or, in ``process_exit`` mode, terminates the
+process with ``os._exit(137)`` — a real SIGKILL equivalent for
+subprocess CI harnesses.  :meth:`StorageFaultInjector.from_env` builds
+an injector from ``REPRO_CHAOS*`` environment variables so a spawned
+``repro serve`` can be killed at any chosen point from outside.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import sqlite3
+from dataclasses import dataclass, fields
+from random import Random
+from typing import Dict, Mapping, Optional, Set
+
+from .faults import parse_rate_spec
+
+#: rates used by the ``--chaos default`` preset: only the self-healing
+#: fault class — locked contention that the boundary's retry absorbs —
+#: so a default-chaos service still completes every job
+DEFAULT_STORAGE_RATES = {
+    "locked": 0.05,
+    "enospc": 0.0,
+    "corrupt": 0.0,
+}
+
+_FIELD_ALIASES = {
+    "locked": "locked_rate",
+    "busy": "locked_rate",
+    "enospc": "enospc_rate",
+    "disk_full": "enospc_rate",
+    "corrupt": "corrupt_rate",
+    "corruption": "corrupt_rate",
+}
+
+
+class SimulatedCrash(BaseException):
+    """The process "died" at a named storage crash point.
+
+    Deliberately a :class:`BaseException`: the scheduler's job-isolation
+    handler catches ``Exception`` so one bad campaign cannot kill a
+    worker, but a simulated kill must take the worker down exactly like
+    SIGKILL would — nothing in the service may handle it.
+    """
+
+    def __init__(self, point: str) -> None:
+        super().__init__(f"simulated process death at crash point {point!r}")
+        self.point = point
+
+
+@dataclass(frozen=True)
+class StorageFaultPlan:
+    """Per-class storage fault probabilities."""
+
+    locked_rate: float = 0.0
+    enospc_rate: float = 0.0
+    corrupt_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(
+                    f"{f.name} must be within [0, 1], got {value!r}"
+                )
+        total = self.locked_rate + self.enospc_rate + self.corrupt_rate
+        if total > 1.0:
+            raise ValueError(f"storage fault rates sum to {total:g} > 1")
+
+    @property
+    def any_enabled(self) -> bool:
+        return any(getattr(self, f.name) > 0 for f in fields(self))
+
+    @classmethod
+    def parse(cls, spec: str) -> "StorageFaultPlan":
+        """Parse a CLI chaos spec.
+
+        ``"default"`` (or ``"on"``) enables the preset rates; otherwise a
+        comma-separated ``name=value`` list, e.g.
+        ``"locked=0.1,enospc=0.01"``.  Accepted names: the dataclass
+        fields plus the short aliases ``locked``/``busy``,
+        ``enospc``/``disk_full``, ``corrupt``/``corruption``.
+        """
+        spec = spec.strip().lower()
+        if spec in ("default", "on", "1", "true"):
+            return cls(
+                locked_rate=DEFAULT_STORAGE_RATES["locked"],
+                enospc_rate=DEFAULT_STORAGE_RATES["enospc"],
+                corrupt_rate=DEFAULT_STORAGE_RATES["corrupt"],
+            )
+        if spec in ("off", "none", "0", "false", ""):
+            return cls()
+        known = {f.name for f in fields(cls)}
+        values = parse_rate_spec(
+            spec, known, aliases=_FIELD_ALIASES, noun="storage fault"
+        )
+        return cls(**values)
+
+
+class StorageFaultInjector:
+    """Seeded fault schedule for the service's sqlite I/O boundary.
+
+    One injector is shared by every :class:`~repro.service.storage.
+    SqliteStorage` of a service, so a single seed determines the full
+    fault schedule across the journal and the bug repository.  Draw
+    order is the storage operation order, which tests keep deterministic
+    by scripting the workload.
+    """
+
+    def __init__(
+        self,
+        plan: Optional[StorageFaultPlan] = None,
+        seed: int = 0,
+        crash_at: Optional[str] = None,
+        process_exit: bool = False,
+    ) -> None:
+        self.plan = plan if plan is not None else StorageFaultPlan()
+        self.seed = seed
+        self.rng = Random(seed)
+        self.counters: Dict[str, int] = {}
+        #: ``<db>.<op>.<edge>`` point that kills the process (or None)
+        self.crash_point: Optional[str] = None
+        #: which hit of the point fires (1 = the first)
+        self.crash_hit = 1
+        self._crash_seen = 0
+        self.process_exit = process_exit
+        if crash_at:
+            self.arm_crash(crash_at)
+        self._enospc_prefixes: Set[str] = set()
+        self._corrupted: Set[str] = set()
+        self.ops_seen = 0
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def from_env(
+        cls, environ: Optional[Mapping[str, str]] = None
+    ) -> Optional["StorageFaultInjector"]:
+        """Build an injector from ``REPRO_CHAOS*`` environment variables.
+
+        * ``REPRO_CHAOS`` — a :meth:`StorageFaultPlan.parse` spec
+        * ``REPRO_CHAOS_SEED`` — integer seed (default 0)
+        * ``REPRO_CHAOS_CRASH`` — ``point[:nth]`` to die at
+        * ``REPRO_CHAOS_EXIT`` — ``0`` to raise :class:`SimulatedCrash`
+          instead of ``os._exit`` (default for env-armed crashes is a
+          real process exit, since the variables exist to drive
+          subprocess kill-and-restart harnesses)
+
+        Returns ``None`` when no chaos variable is set, so services
+        outside a chaos harness pay nothing.
+        """
+        env = os.environ if environ is None else environ
+        spec = env.get("REPRO_CHAOS", "")
+        crash = env.get("REPRO_CHAOS_CRASH", "")
+        if not spec and not crash:
+            return None
+        plan = StorageFaultPlan.parse(spec) if spec else StorageFaultPlan()
+        return cls(
+            plan,
+            seed=int(env.get("REPRO_CHAOS_SEED", "0") or 0),
+            crash_at=crash or None,
+            process_exit=env.get("REPRO_CHAOS_EXIT", "1") != "0",
+        )
+
+    # -- scripted fault latches -----------------------------------------
+    def arm_crash(self, spec: str, hit: Optional[int] = None) -> None:
+        """Arm a crash at ``point`` or ``point:nth`` (1-based hit count)."""
+        point, _, nth = spec.partition(":")
+        point = point.strip()
+        if not point:
+            raise ValueError(f"bad crash point spec {spec!r}")
+        self.crash_point = point
+        self.crash_hit = hit if hit is not None else int(nth or 1)
+        if self.crash_hit < 1:
+            raise ValueError(f"crash hit count must be >= 1, got {self.crash_hit}")
+        self._crash_seen = 0
+
+    def disarm_crash(self) -> None:
+        self.crash_point = None
+        self._crash_seen = 0
+
+    def arm_enospc(self, prefix: str = "") -> None:
+        """Make writes to sites starting with *prefix* fail with ENOSPC.
+
+        The empty prefix matches every site — a full disk is usually a
+        whole-filesystem condition, but per-database arming (``prefix=
+        "journal"``) lets tests degrade one subsystem at a time.
+        """
+        self._enospc_prefixes.add(prefix)
+
+    def disarm_enospc(self, prefix: Optional[str] = None) -> None:
+        if prefix is None:
+            self._enospc_prefixes.clear()
+        else:
+            self._enospc_prefixes.discard(prefix)
+
+    def arm_corruption(self, name: str) -> None:
+        """Latch database *name* (e.g. ``"journal"``) as corrupt."""
+        self._corrupted.add(name)
+
+    def clear_corruption(self, name: str) -> None:
+        """A quarantine-and-rebuild replaced the corrupt file."""
+        self._corrupted.discard(name)
+
+    def is_corrupted(self, name: str) -> bool:
+        return name in self._corrupted
+
+    # -- hooks called by the storage boundary ---------------------------
+    def on_op(self, site: str, write: bool = True) -> None:
+        """One fault draw for storage operation *site* (``<db>.<op>``).
+
+        Raises the injected error, or returns normally.  Corruption
+        latches (the file stays bad until rebuilt); ENOSPC and locked
+        are transient per draw, mirroring a disk that frees up and a
+        writer that finishes.
+        """
+        self.ops_seen += 1
+        name = site.split(".", 1)[0]
+        if name in self._corrupted:
+            self._count("corrupt")
+            raise sqlite3.DatabaseError(
+                "database disk image is malformed (injected corruption)"
+            )
+        if write and any(site.startswith(p) for p in self._enospc_prefixes):
+            self._count("enospc")
+            raise OSError(errno.ENOSPC, "No space left on device (injected)")
+        plan = self.plan
+        if not plan.any_enabled:
+            return
+        draw = self.rng.random()  # exactly one draw per operation
+        edge = plan.locked_rate
+        if draw < edge:
+            self._count("locked")
+            raise sqlite3.OperationalError("database is locked (injected)")
+        if not write:
+            return  # reads cannot run out of disk or tear a write
+        edge += plan.enospc_rate
+        if draw < edge:
+            self._count("enospc")
+            raise OSError(errno.ENOSPC, "No space left on device (injected)")
+        edge += plan.corrupt_rate
+        if draw < edge:
+            self._count("corrupt")
+            self._corrupted.add(name)
+            raise sqlite3.DatabaseError(
+                "database disk image is malformed (injected corruption)"
+            )
+
+    def on_crash_point(self, point: str) -> None:
+        """Die here if armed: :class:`SimulatedCrash` or a real exit."""
+        if point != self.crash_point:
+            return
+        self._crash_seen += 1
+        if self._crash_seen < self.crash_hit:
+            return
+        self._count("crash")
+        self.disarm_crash()  # one death per arming
+        if self.process_exit:
+            os._exit(137)  # SIGKILL-equivalent: no atexit, no flush
+        raise SimulatedCrash(point)
+
+    # ------------------------------------------------------------------
+    def _count(self, kind: str) -> None:
+        self.counters[kind] = self.counters.get(kind, 0) + 1
+
+    def snapshot(self) -> Dict[str, object]:
+        """Health-endpoint view of the injected-fault tally."""
+        return {
+            "seed": self.seed,
+            "ops": self.ops_seen,
+            "counters": dict(self.counters),
+            "crash_point": self.crash_point,
+            "corrupted": sorted(self._corrupted),
+        }
+
+
+ChaosLike = Optional[object]
+
+
+def make_storage_injector(
+    chaos: "ChaosLike", seed: int = 0
+) -> Optional[StorageFaultInjector]:
+    """Coerce a ``chaos`` argument into an injector (or ``None``).
+
+    Accepts ``None``, a spec string, a :class:`StorageFaultPlan`, or a
+    ready-made :class:`StorageFaultInjector`.
+    """
+    if chaos is None:
+        return None
+    if isinstance(chaos, StorageFaultInjector):
+        return chaos
+    if isinstance(chaos, str):
+        plan = StorageFaultPlan.parse(chaos)
+        if not plan.any_enabled:
+            return None
+        return StorageFaultInjector(plan, seed=seed)
+    if isinstance(chaos, StorageFaultPlan):
+        if not chaos.any_enabled:
+            return None
+        return StorageFaultInjector(chaos, seed=seed)
+    raise TypeError(f"cannot build a StorageFaultInjector from {chaos!r}")
+
+
+__all__ = [
+    "DEFAULT_STORAGE_RATES",
+    "SimulatedCrash",
+    "StorageFaultInjector",
+    "StorageFaultPlan",
+    "make_storage_injector",
+]

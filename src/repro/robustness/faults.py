@@ -77,6 +77,54 @@ _FIELD_ALIASES = {
 }
 
 
+def parse_rate_spec(
+    spec: str,
+    known: "set[str]",
+    aliases: Optional[Dict[str, str]] = None,
+    noun: str = "fault",
+) -> Dict[str, float]:
+    """Parse a ``name=value,name=value`` rate spec into a field dict.
+
+    The shared grammar behind :meth:`FaultPlan.parse` and
+    :meth:`~repro.robustness.chaos.StorageFaultPlan.parse`: *aliases*
+    map short CLI names onto dataclass field names, duplicates are
+    caught **after** alias resolution (two spellings of one field are
+    still a duplicate), and values must be non-NaN and >= 0.  *noun*
+    names the spec family in error messages (``"fault"``,
+    ``"storage fault"``).
+    """
+    aliases = aliases or {}
+    values: Dict[str, float] = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise ValueError(f"bad {noun} spec item {part!r}: expected name=value")
+        name, _, raw = part.partition("=")
+        given = name.strip()
+        name = aliases.get(given, given)
+        if name not in known:
+            raise ValueError(f"unknown {noun} class {given!r}")
+        if name in values:
+            raise ValueError(
+                f"duplicate {noun} spec key {given!r}: "
+                f"{name} was already set"
+            )
+        try:
+            value = float(raw)
+        except ValueError:
+            raise ValueError(f"bad {noun} rate {raw!r} for {name}") from None
+        if math.isnan(value):
+            raise ValueError(f"{noun} spec value for {name} must not be NaN")
+        if value < 0:
+            raise ValueError(
+                f"{noun} spec value for {name} must be >= 0, got {raw.strip()}"
+            )
+        values[name] = value
+    return values
+
+
 @dataclass(frozen=True)
 class FaultPlan:
     """Per-class fault probabilities plus fault magnitudes."""
@@ -135,36 +183,7 @@ class FaultPlan:
         if spec in ("off", "none", "0", "false", ""):
             return cls()
         known = {f.name for f in fields(cls)}
-        values: Dict[str, float] = {}
-        for part in spec.split(","):
-            part = part.strip()
-            if not part:
-                continue
-            if "=" not in part:
-                raise ValueError(f"bad fault spec item {part!r}: expected name=value")
-            name, _, raw = part.partition("=")
-            given = name.strip()
-            name = _FIELD_ALIASES.get(given, given)
-            if name not in known:
-                raise ValueError(f"unknown fault class {given!r}")
-            if name in values:
-                # checked after alias resolution so "flaky=...,flaky_crash=..."
-                # is caught too — both names set flaky_crash_rate
-                raise ValueError(
-                    f"duplicate fault spec key {given!r}: "
-                    f"{name} was already set"
-                )
-            try:
-                value = float(raw)
-            except ValueError:
-                raise ValueError(f"bad fault rate {raw!r} for {name}") from None
-            if math.isnan(value):
-                raise ValueError(f"fault spec value for {name} must not be NaN")
-            if value < 0:
-                raise ValueError(
-                    f"fault spec value for {name} must be >= 0, got {raw.strip()}"
-                )
-            values[name] = value
+        values = parse_rate_spec(spec, known, aliases=_FIELD_ALIASES, noun="fault")
         return cls(**values)
 
 

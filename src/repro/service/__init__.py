@@ -18,12 +18,25 @@ service:
 * :mod:`repro.service.bugrepo` — the persistent, deduplicating bug
   repository (sqlite): findings from every campaign collapse onto
   canonical records with triage status and regression replay.
+* :mod:`repro.service.storage` — the sqlite I/O boundary every byte of
+  service state crosses: named crash points for the chaos harness,
+  classified failures (:class:`~repro.service.storage.StorageUnavailable`
+  vs :class:`~repro.service.storage.CorruptionDetected`), per-subsystem
+  :class:`~repro.service.storage.StorageHealth`, and
+  quarantine-and-rebuild for corrupt files.
+* :mod:`repro.service.audit` — the invariant auditor (``repro audit``
+  and the service's startup hook): transition-chain legality, live
+  leases, checkpoint sidecar existence, dedup uniqueness, orphan
+  sidecars; violations are repaired or fail loudly.
 * :mod:`repro.service.server` — the threaded HTTP/JSON front end
   (``repro serve``): submit jobs, poll streamed findings and supervisor
   health, browse/triage/replay the repository, with overload
-  protection (HTTP 429 load shedding, HTTP 413 body caps).
+  protection (HTTP 429 load shedding, HTTP 413 body caps) and a
+  degraded read-only mode while storage is unwritable (HTTP 503 on
+  mutations, reads keep answering).
 """
 
+from .audit import AuditFinding, AuditReport, ServiceAuditor, rebuild_journal
 from .bugrepo import BugRecord, BugRepository, ReplayOutcome, ReplayReport
 from .jobs import (
     JOB_STATES,
@@ -31,6 +44,8 @@ from .jobs import (
     Job,
     JobStore,
     QueueFull,
+    TenantBudget,
+    TenantBudgetExceeded,
     finding_to_dict,
     result_to_summary,
     signature_digest,
@@ -44,12 +59,23 @@ from .scheduler import (
     run_scheduled,
 )
 from .server import BugService
+from .storage import (
+    CorruptionDetected,
+    SqliteStorage,
+    StorageError,
+    StorageHealth,
+    StorageUnavailable,
+    crash_points,
+)
 
 __all__ = [
-    "BugRecord", "BugRepository", "BugService", "JOB_STATES", "Job",
+    "AuditFinding", "AuditReport", "BugRecord", "BugRepository",
+    "BugService", "CorruptionDetected", "JOB_STATES", "Job",
     "JobInterrupted", "JobJournal", "JobStore", "QueueFull",
     "ReplayOutcome", "ReplayReport", "SchedulerPool", "SchedulerWorker",
-    "TERMINAL_STATES", "build_campaign", "finding_to_dict",
-    "open_database", "result_to_summary", "run_scheduled",
-    "signature_digest",
+    "ServiceAuditor", "SqliteStorage", "StorageError", "StorageHealth",
+    "StorageUnavailable", "TERMINAL_STATES", "TenantBudget",
+    "TenantBudgetExceeded", "build_campaign", "crash_points",
+    "finding_to_dict", "open_database", "rebuild_journal",
+    "result_to_summary", "run_scheduled", "signature_digest",
 ]

@@ -29,8 +29,13 @@ free.  This module is that repository:
 
 Storage is a single sqlite database under the service data directory,
 opened in WAL mode through the shared
-:func:`~repro.service.journal.open_database` plumbing (same family as
-the job journal's ``jobs.sqlite``).  Connections are opened per
+:class:`~repro.service.storage.SqliteStorage` boundary (same family as
+the job journal's ``jobs.sqlite``): writes pass named crash points for
+the chaos harness, classified failures degrade the repository's health
+instead of leaking raw sqlite errors, and
+:meth:`BugRepository.quarantine_and_rebuild` recovers a corrupt file by
+moving it aside as ``bugs.sqlite.corrupt-<n>`` and salvaging every
+readable record into a fresh database.  Connections are opened per
 operation (sqlite serializes writers), so the repository is safe to
 share between scheduler workers and HTTP handler threads — and, unlike
 the journal's single-writer connection, across processes (the CLI's
@@ -56,7 +61,8 @@ from ..core.minimize import (
 from ..dialects import dialect_by_name, dialect_names
 from ..engine.connection import ServerCrashed
 from ..engine.errors import SQLError
-from .journal import open_database
+from ..robustness.chaos import StorageFaultInjector
+from .storage import CorruptionDetected, SqliteStorage
 
 #: triage workflow states
 TRIAGE_STATES = ("new", "confirmed", "reported", "fixed", "wontfix", "invalid")
@@ -224,18 +230,85 @@ class BugRepository:
         path: str,
         minimize: bool = True,
         minimize_attempts: int = DEFAULT_MINIMIZE_ATTEMPTS,
+        chaos: Optional[StorageFaultInjector] = None,
     ) -> None:
         self.path = path
         self.minimize = minimize
         self.minimize_attempts = minimize_attempts
+        self.storage = SqliteStorage("bugrepo", path, chaos=chaos)
         parent = os.path.dirname(os.path.abspath(path))
         os.makedirs(parent, exist_ok=True)
-        with self._connect() as db:
+        failure = self.storage.integrity_failure()
+        if failure is not None:
+            self.storage.health.degrade(
+                f"bugrepo failed integrity check: {failure}",
+                needs_rebuild=True,
+            )
+            raise CorruptionDetected(
+                "bugrepo",
+                f"bug repository {path!r} failed integrity check: {failure}",
+            )
+        with self.storage.write("setup") as db:
             db.executescript(_SCHEMA)
 
     # ------------------------------------------------------------------
-    def _connect(self) -> sqlite3.Connection:
-        return open_database(self.path)
+    def probe(self) -> bool:
+        """Try a real write; clears degraded health on success."""
+        return self.storage.probe()
+
+    def integrity_failure(self) -> Optional[str]:
+        return self.storage.integrity_failure()
+
+    def quarantine_and_rebuild(self) -> Tuple[str, int]:
+        """Move the corrupt database aside and salvage readable records.
+
+        Returns ``(quarantine_path, salvaged_record_count)``.  Replay
+        history is not salvaged (it is derived data; the records
+        themselves are the asset) — that is the repository's documented
+        data-loss bound under corruption.
+        """
+        quarantined = self.storage.quarantine()
+        with self.storage.write("rebuild") as db:
+            db.executescript(_SCHEMA)
+        return quarantined, self.salvage_from(quarantined)
+
+    def salvage_from(self, quarantined: str) -> int:
+        """Copy every readable record out of a quarantined database.
+
+        Rows whose JSON columns no longer parse (the page they lived on
+        was damaged) are skipped individually; everything else lands in
+        this repository's fresh ``bugs`` table.  Marks health recovered
+        and returns the salvage count.
+        """
+        salvaged = 0
+        try:
+            old = sqlite3.connect(quarantined)
+            old.row_factory = sqlite3.Row
+            try:
+                rows = old.execute("SELECT * FROM bugs ORDER BY id").fetchall()
+            finally:
+                old.close()
+        except sqlite3.Error:
+            rows = []
+        for row in rows:
+            try:
+                # validate the JSON columns parse before accepting the row
+                json.loads(row["kinds"])
+                json.loads(row["labels"])
+                json.loads(row["campaigns"])
+                with self.storage.write("rebuild") as db:
+                    data = dict(row)
+                    columns = sorted(data)
+                    db.execute(
+                        f"INSERT INTO bugs ({', '.join(columns)}) "
+                        f"VALUES ({', '.join('?' for _ in columns)})",
+                        [data[c] for c in columns],
+                    )
+                salvaged += 1
+            except (sqlite3.Error, ValueError, KeyError, IndexError):
+                continue  # the page this row lived on was damaged
+        self.storage.health.recover()
+        return salvaged
 
     @staticmethod
     def _row_to_record(row: sqlite3.Row) -> BugRecord:
@@ -279,7 +352,7 @@ class BugRepository:
         do_minimize = self.minimize if minimize is None else minimize
         statement = self._canonicalize(info, do_minimize)
         now = time.time()
-        with self._connect() as db:
+        with self.storage.write("ingest") as db:
             row = db.execute(
                 "SELECT * FROM bugs WHERE dialect=? AND function=? AND statement=?",
                 (info["dialect"], info["function"], statement),
@@ -377,7 +450,7 @@ class BugRepository:
     # browse / triage
     # ------------------------------------------------------------------
     def get(self, record_id: int) -> Optional[BugRecord]:
-        with self._connect() as db:
+        with self.storage.read("browse") as db:
             row = db.execute(
                 "SELECT * FROM bugs WHERE id=?", (record_id,)
             ).fetchone()
@@ -400,12 +473,12 @@ class BugRepository:
         if clauses:
             query += " WHERE " + " AND ".join(clauses)
         query += " ORDER BY id"
-        with self._connect() as db:
+        with self.storage.read("browse") as db:
             rows = db.execute(query, params).fetchall()
         return [self._row_to_record(row) for row in rows]
 
     def count(self) -> int:
-        with self._connect() as db:
+        with self.storage.read("browse") as db:
             (n,) = db.execute("SELECT COUNT(*) FROM bugs").fetchone()
         return int(n)
 
@@ -415,7 +488,7 @@ class BugRepository:
                 f"unknown triage status {status!r} "
                 f"(known: {', '.join(TRIAGE_STATES)})"
             )
-        with self._connect() as db:
+        with self.storage.write("triage") as db:
             cursor = db.execute(
                 "UPDATE bugs SET triage=?, updated_at=? WHERE id=?",
                 (status, time.time(), record_id),
@@ -427,7 +500,7 @@ class BugRepository:
         return record
 
     def replay_history(self, record_id: int) -> List[Dict[str, Any]]:
-        with self._connect() as db:
+        with self.storage.read("browse") as db:
             rows = db.execute(
                 "SELECT * FROM replays WHERE bug_id=? ORDER BY id",
                 (record_id,),
@@ -476,7 +549,7 @@ class BugRepository:
                 flipped=flipped,
             )
             report.outcomes.append(outcome)
-            with self._connect() as db:
+            with self.storage.write("replay") as db:
                 db.execute(
                     "INSERT INTO replays (bug_id, dialect, observed, fires,"
                     " flipped, job_id, created_at) VALUES (?,?,?,?,?,?,?)",

@@ -36,16 +36,19 @@ OOMing the service, and cursors stay monotone across truncation.
 
 from __future__ import annotations
 
+import glob
 import hashlib
 import json
 import os
 import queue
 import threading
 import time
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.config import CampaignConfig
 from ..robustness.checkpoint import CampaignCheckpoint
+from ..robustness.governor import ResourceBudgets
 from .journal import JobJournal
 
 #: the job lifecycle
@@ -81,6 +84,92 @@ class QueueFull(Exception):
         self.depth = depth
         self.watermark = watermark
         self.retry_after = retry_after
+
+
+class TenantBudgetExceeded(Exception):
+    """A job would overrun its submitter's resource budget.
+
+    Terminal: the scheduler marks the job ``failed`` with a
+    ``resource_exhausted`` error and burns no retries — rerunning the
+    same job against the same exhausted budget can only fail again.
+    """
+
+
+@dataclass(frozen=True)
+class TenantBudget:
+    """Per-submitter resource limits (ROADMAP item 3, riding PR 5).
+
+    Two enforcement layers:
+
+    * ``statements`` — a cumulative statement allowance per submitter
+      for the service's lifetime: a campaign whose ``config.budget``
+      exceeds what the submitter has left is refused up front
+      (:class:`TenantBudgetExceeded` → terminal ``resource_exhausted``).
+    * ``budgets`` — a per-statement
+      :class:`~repro.robustness.governor.ResourceBudgets` ceiling
+      applied to **every** tenant campaign (overriding any submitted
+      spec: tenants must not be able to loosen their own cage).
+    """
+
+    statements: Optional[int] = None
+    budgets: Optional[ResourceBudgets] = None
+
+    def __post_init__(self) -> None:
+        if self.statements is not None and (
+            isinstance(self.statements, bool)
+            or not isinstance(self.statements, int)
+            or self.statements <= 0
+        ):
+            raise ValueError(
+                f"tenant budget 'statements' must be a positive integer, "
+                f"got {self.statements!r}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        return self.statements is not None or (
+            self.budgets is not None and self.budgets.enabled
+        )
+
+    @classmethod
+    def parse(cls, spec: str) -> "TenantBudget":
+        """Parse a CLI tenant-budget spec.
+
+        ``statements=N`` is the cumulative per-submitter allowance; any
+        other keys are a :meth:`ResourceBudgets.parse` per-statement
+        spec, e.g. ``"statements=10000,rows=5000,wall_ms=100"``.
+        """
+        spec = spec.strip().lower()
+        if spec in ("", "off", "none", "0", "false"):
+            return cls()
+        statements: Optional[int] = None
+        rest: List[str] = []
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            name, _, raw = part.partition("=")
+            if name.strip() == "statements":
+                if statements is not None:
+                    raise ValueError("duplicate tenant budget 'statements'")
+                try:
+                    value = float(raw)
+                except ValueError:
+                    raise ValueError(
+                        f"bad tenant budget value {raw!r} for statements"
+                    ) from None
+                if value != int(value) or int(value) <= 0:
+                    raise ValueError(
+                        f"tenant budget 'statements' must be a positive "
+                        f"integer, got {raw.strip()}"
+                    )
+                statements = int(value)
+            else:
+                rest.append(part)
+        budgets = ResourceBudgets.parse(",".join(rest)) if rest else None
+        if budgets is not None and not budgets.enabled:
+            budgets = None
+        return cls(statements=statements, budgets=budgets)
 
 
 def finding_to_dict(finding: Any) -> Dict[str, Any]:
@@ -194,6 +283,9 @@ class Job:
         self._findings_total = 0
         self._lock = threading.Lock()
         self._journal: Optional[JobJournal] = None
+        #: the store's checkpoint directory; sidecars under it are GC'd
+        #: when this job turns terminal (store-owned paths only)
+        self._sidecar_dir: Optional[str] = None
 
     # -- durability -----------------------------------------------------
     @property
@@ -265,6 +357,34 @@ class Job:
         if self._journal is not None:
             self._journal.update(self.to_row(), transition, at=time.time())
 
+    def row_snapshot(self) -> Dict[str, Any]:
+        """A journal row of the current state (takes the job lock)."""
+        with self._lock:
+            return self.to_row()
+
+    def _gc_sidecars(self) -> None:
+        """Delete checkpoint sidecars once the job is terminal.
+
+        Only store-owned paths (directly under the store's checkpoint
+        directory) are touched — a user-specified ``checkpoint_path``
+        outside it is the user's file to keep.  Removes the sidecar, its
+        ``.shardN`` companions (sharded campaigns), and any leftover
+        atomic-write temp file.  Caller holds ``_lock``.
+        """
+        path = self.checkpoint_path
+        if not path or not self._sidecar_dir:
+            return
+        owned = os.path.abspath(self._sidecar_dir)
+        if os.path.dirname(os.path.abspath(path)) != owned:
+            return
+        victims = [path, path + ".tmp"]
+        victims.extend(glob.glob(glob.escape(path) + ".shard*"))
+        for victim in victims:
+            try:
+                os.remove(victim)
+            except OSError:
+                pass
+
     # -- state transitions (all CAS) ------------------------------------
     def mark_running(
         self,
@@ -321,6 +441,7 @@ class Job:
                     findings_truncated=self._findings_total - len(self._findings),
                 )
             self._clear_lease()
+            self._gc_sidecars()
             self._persist("completed")
             return True
 
@@ -337,6 +458,7 @@ class Job:
             self.finished_at = time.time()
             self.error = error
             self._clear_lease()
+            self._gc_sidecars()
             self._persist("failed")
             return True
 
@@ -371,6 +493,7 @@ class Job:
                 self.finished_at = time.time()
                 self.error = error
                 self._clear_lease()
+                self._gc_sidecars()
                 self._persist("retries exhausted")
                 return self.state
             self.retries += 1
@@ -415,6 +538,7 @@ class Job:
             if self.state == "queued":
                 self.state = "cancelled"
                 self.finished_at = time.time()
+                self._gc_sidecars()
                 self._persist("cancelled while queued")
                 return "cancelled"
             if self.state == "running":
@@ -432,6 +556,7 @@ class Job:
             self.state = "cancelled"
             self.finished_at = time.time()
             self._clear_lease()
+            self._gc_sidecars()
             self._persist("cancelled while running")
             return True
 
@@ -553,6 +678,8 @@ class JobStore:
         backoff_base: float = DEFAULT_BACKOFF_BASE,
         backoff_cap: float = DEFAULT_BACKOFF_CAP,
         max_findings: int = DEFAULT_MAX_FINDINGS,
+        preemption: bool = True,
+        tenant_budget: Optional[TenantBudget] = None,
     ) -> None:
         self.journal = journal
         self.checkpoint_dir = checkpoint_dir
@@ -563,12 +690,20 @@ class JobStore:
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
         self.max_findings = max_findings
+        self.preemption = preemption
+        self.tenant_budget = tenant_budget
+        #: how many workers consume this store (set by the pool); 0 means
+        #: unknown, which disables the idle-capacity preemption guard
+        self.worker_count = 0
         self._jobs: Dict[str, Job] = {}
         self._order: List[str] = []
         self._wake: "queue.Queue[Optional[str]]" = queue.Queue()
         self._lock = threading.Lock()
         self._counter = 0
         self._shed = 0
+        self._preemptions = 0
+        #: cumulative statements executed per submitter (tenant budgets)
+        self._tenant_statements: Dict[str, int] = {}
         if journal is not None:
             self._load_journal(journal)
 
@@ -578,6 +713,7 @@ class JobStore:
             job = Job.from_row(row)
             job.max_findings = self.max_findings
             job._journal = journal
+            job._sidecar_dir = self.checkpoint_dir
             self._jobs[job.job_id] = job
             self._order.append(job.job_id)
         self._counter = journal.max_seq()
@@ -651,6 +787,7 @@ class JobStore:
                 seq=self._counter,
             )
             job._journal = self.journal
+            job._sidecar_dir = self.checkpoint_dir
             over_quota = (
                 self.submitter_quota is not None
                 and sum(
@@ -753,6 +890,104 @@ class JobStore:
                     if state == "queued":
                         self._wake.put(job.job_id)
         return reclaimed
+
+    def notify(self, job_id: str) -> None:
+        """Wake a worker for *job_id* (requeued outside :meth:`submit`)."""
+        self._wake.put(job_id)
+
+    # -- priority preemption --------------------------------------------
+    def should_preempt(self, job: Job) -> bool:
+        """Should running *job* yield its worker to a higher-priority
+        queued job?
+
+        Checked from the job's own progress hook (the same seam as
+        cancel/drain), so preemption rides the existing
+        ``JobInterrupted`` checkpoint-and-requeue path: no retry burned,
+        resume is signature-identical.  True only when **all** hold:
+
+        * preemption is enabled and the job's config allows it;
+        * a strictly higher-priority job is queued and past its backoff
+          (equal priority never preempts — FIFO within a priority band);
+        * no idle worker could absorb the queued job instead;
+        * *job* is the designated victim — the lowest-priority running
+          job, most recently started among ties (least work lost).
+        """
+        if not self.preemption:
+            return False
+        if job.config is not None and not job.config.preemptible:
+            return False
+        now = time.time()
+        with self._lock:
+            best_queued: Optional[int] = None
+            running: List[Job] = []
+            for candidate in self._jobs.values():
+                if candidate.state == "queued" and candidate.next_attempt_at <= now:
+                    if best_queued is None or candidate.priority > best_queued:
+                        best_queued = candidate.priority
+                elif candidate.state == "running":
+                    running.append(candidate)
+            if best_queued is None or best_queued <= job.priority:
+                return False
+            if self.worker_count and len(running) < self.worker_count:
+                return False  # an idle worker will claim the queued job
+            victim = min(
+                running,
+                key=lambda j: (j.priority, -(j.started_at or 0.0)),
+                default=None,
+            )
+            if victim is not job:
+                return False
+            self._preemptions += 1
+            return True
+
+    @property
+    def preemption_count(self) -> int:
+        with self._lock:
+            return self._preemptions
+
+    # -- tenant budgets --------------------------------------------------
+    def tenant_denial(self, job: Job) -> Optional[str]:
+        """Why *job* must not run under its submitter's statement
+        allowance (``None`` when it may run)."""
+        budget = self.tenant_budget
+        if budget is None or budget.statements is None or job.config is None:
+            return None
+        with self._lock:
+            used = self._tenant_statements.get(job.submitter, 0)
+        remaining = budget.statements - used
+        if job.config.budget > remaining:
+            return (
+                f"resource_exhausted: submitter "
+                f"{job.submitter or '(anonymous)'} has {max(0, remaining)} of "
+                f"{budget.statements} budgeted statements left; this "
+                f"campaign needs {job.config.budget}"
+            )
+        return None
+
+    def apply_tenant_budgets(self, config: CampaignConfig) -> CampaignConfig:
+        """Overlay the tenant's per-statement ceilings onto *config*.
+
+        The tenant spec **overrides** any submitted ``budgets`` — a
+        tenant must not be able to loosen its own cage by submitting a
+        more generous spec.
+        """
+        budget = self.tenant_budget
+        if budget is None or budget.budgets is None:
+            return config
+        return config.replace(budgets=budget.budgets)
+
+    def charge_tenant(self, submitter: str, statements: int) -> None:
+        """Record executed statements against *submitter*'s allowance."""
+        if self.tenant_budget is None or self.tenant_budget.statements is None:
+            return
+        with self._lock:
+            self._tenant_statements[submitter] = (
+                self._tenant_statements.get(submitter, 0) + max(0, statements)
+            )
+
+    def tenant_usage(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._tenant_statements)
 
     def _reclaim(self, job: Job, detail: str, expired_only: bool = False) -> str:
         """Shared requeue-with-resume path for recovery and expiry."""

@@ -25,46 +25,43 @@ Design notes:
   table there is a ``transitions`` audit table recording every state
   change with a timestamp and detail string — the raw material for
   post-mortems ("how often did this job retry, and why").
+* **The storage boundary.**  All I/O routes through
+  :class:`~repro.service.storage.SqliteStorage` (``name="journal"``):
+  writes pass named crash points for the chaos harness, ``database is
+  locked`` gets bounded jittered retry, and classified failures
+  (:class:`~repro.service.storage.StorageUnavailable`,
+  :class:`~repro.service.storage.CorruptionDetected`) **degrade** the
+  journal instead of crashing the worker thread that hit them: the
+  in-memory store stays the source of truth, dropped writes are counted
+  (``lost_writes`` in ``/health``), and :meth:`JobJournal.resync`
+  repairs the file from memory once a probe write succeeds.
 
-:func:`open_database` is the shared connection helper also used by
+:func:`~repro.service.storage.open_database` (re-exported here for
+compatibility) is the shared connection helper also used by
 :mod:`repro.service.bugrepo` so both databases get the same pragmas.
 """
 
 from __future__ import annotations
 
 import json
-import os
 import sqlite3
 import threading
 from typing import Any, Dict, List, Optional
 
+from ..robustness.chaos import StorageFaultInjector
+from .storage import (
+    CorruptionDetected,
+    SqliteStorage,
+    StorageError,
+    open_database,
+)
+
+__all__ = [
+    "JOURNAL_VERSION", "JobJournal", "JournalError", "open_database",
+]
+
 #: bump when the journal layout changes incompatibly
 JOURNAL_VERSION = 1
-
-
-def open_database(
-    path: str,
-    timeout: float = 30.0,
-    check_same_thread: bool = True,
-) -> sqlite3.Connection:
-    """Open a service sqlite database with the shared pragma set.
-
-    File-backed databases get WAL journaling (concurrent readers, crash
-    safety) and ``NORMAL`` synchronous mode (fsync at WAL checkpoints —
-    a power loss can drop the last transactions but never corrupt).
-    ``:memory:`` databases skip the pragmas (WAL is meaningless there).
-    """
-    if path != ":memory:":
-        parent = os.path.dirname(os.path.abspath(path))
-        os.makedirs(parent, exist_ok=True)
-    db = sqlite3.connect(
-        path, timeout=timeout, check_same_thread=check_same_thread
-    )
-    db.row_factory = sqlite3.Row
-    if path != ":memory:":
-        db.execute("PRAGMA journal_mode=WAL")
-        db.execute("PRAGMA synchronous=NORMAL")
-    return db
 
 
 _SCHEMA = """
@@ -119,37 +116,81 @@ class JobJournal:
     INSERT per transition — cheap next to running a campaign).  On
     startup the store calls :meth:`load_rows` to rebuild its registry
     and :meth:`max_seq` to continue the job-id sequence.
+
+    Classified storage failures on the write path are **absorbed**: the
+    write is dropped, counted against the subsystem's health, and the
+    journal waits for :meth:`resync` — a service whose disk fills up
+    keeps scheduling from memory rather than dying mid-campaign.
+    Corruption detected at construction raises
+    :class:`~repro.service.storage.CorruptionDetected` so the caller can
+    quarantine and rebuild.
     """
 
-    def __init__(self, path: str) -> None:
+    def __init__(
+        self,
+        path: str,
+        chaos: Optional[StorageFaultInjector] = None,
+    ) -> None:
         self.path = path
+        self.storage = SqliteStorage("journal", path, chaos=chaos)
         self._lock = threading.RLock()
-        self._db: Optional[sqlite3.Connection] = open_database(
-            path, check_same_thread=False
+        self._db: Optional[sqlite3.Connection] = self.storage.open(
+            check_same_thread=False
         )
         with self._lock:
-            self._db.executescript(_SCHEMA)
-            row = self._db.execute(
-                "SELECT value FROM meta WHERE key='version'"
-            ).fetchone()
-            if row is None:
-                self._db.execute(
-                    "INSERT INTO meta (key, value) VALUES ('version', ?)",
-                    (str(JOURNAL_VERSION),),
+            failure = self.storage.integrity_failure(self._db)
+            if failure is not None:
+                self.storage.health.degrade(
+                    f"journal failed integrity check: {failure}",
+                    needs_rebuild=True,
                 )
-            elif int(row["value"]) != JOURNAL_VERSION:
-                raise JournalError(
-                    f"job journal {path!r} has version {row['value']}, "
-                    f"expected {JOURNAL_VERSION}"
+                self.abandon()
+                raise CorruptionDetected(
+                    "journal", f"journal {path!r} failed integrity "
+                    f"check: {failure}"
                 )
-            self._db.commit()
+            with self.storage.write("setup", db=self._db) as db:
+                db.executescript(_SCHEMA)
+                row = db.execute(
+                    "SELECT value FROM meta WHERE key='version'"
+                ).fetchone()
+                if row is None:
+                    db.execute(
+                        "INSERT INTO meta (key, value) VALUES ('version', ?)",
+                        (str(JOURNAL_VERSION),),
+                    )
+                elif int(row["value"]) != JOURNAL_VERSION:
+                    raise JournalError(
+                        f"job journal {path!r} has version {row['value']}, "
+                        f"expected {JOURNAL_VERSION}"
+                    )
 
     # ------------------------------------------------------------------
     def close(self) -> None:
         with self._lock:
             if self._db is not None:
-                self._db.commit()
+                try:
+                    self._db.commit()
+                except sqlite3.Error:
+                    pass  # a degraded journal still closes cleanly
                 self._db.close()
+                self._db = None
+
+    def abandon(self) -> None:
+        """Drop the connection without committing (simulated death).
+
+        Test/teardown hook: after an in-process
+        :class:`~repro.robustness.chaos.SimulatedCrash` the old
+        incarnation must not flush a torn transaction on close — this is
+        the ``close()`` a SIGKILLed process never runs.
+        """
+        with self._lock:
+            if self._db is not None:
+                try:
+                    self._db.rollback()
+                    self._db.close()
+                except sqlite3.Error:
+                    pass
                 self._db = None
 
     @property
@@ -162,18 +203,24 @@ class JobJournal:
         with self._lock:
             if self._db is None:
                 return
-            columns = sorted(row)
-            self._db.execute(
-                f"INSERT INTO jobs ({', '.join(columns)}) "
-                f"VALUES ({', '.join('?' for _ in columns)})",
-                [_encode(row[c]) for c in columns],
-            )
-            self._db.execute(
-                "INSERT INTO transitions (job_id, state, detail, at)"
-                " VALUES (?,?,?,?)",
-                (row["job_id"], row["state"], "submitted", row["created_at"]),
-            )
-            self._db.commit()
+            try:
+                with self.storage.write("insert", db=self._db) as db:
+                    columns = sorted(row)
+                    db.execute(
+                        f"INSERT INTO jobs ({', '.join(columns)}) "
+                        f"VALUES ({', '.join('?' for _ in columns)})",
+                        [_encode(row[c]) for c in columns],
+                    )
+                    db.execute(
+                        "INSERT INTO transitions (job_id, state, detail, at)"
+                        " VALUES (?,?,?,?)",
+                        (
+                            row["job_id"], row["state"], "submitted",
+                            row["created_at"],
+                        ),
+                    )
+            except StorageError:
+                self.storage.health.note_lost_write()
 
     def update(
         self,
@@ -185,20 +232,80 @@ class JobJournal:
         with self._lock:
             if self._db is None:
                 return
-            job_id = row["job_id"]
-            columns = sorted(c for c in row if c != "job_id")
-            self._db.execute(
-                f"UPDATE jobs SET {', '.join(f'{c}=?' for c in columns)}"
-                f" WHERE job_id=?",
-                [_encode(row[c]) for c in columns] + [job_id],
+            try:
+                with self.storage.write("update", db=self._db) as db:
+                    self._write_row(db, row, transition, at)
+            except StorageError:
+                self.storage.health.note_lost_write()
+
+    @staticmethod
+    def _write_row(
+        db: sqlite3.Connection,
+        row: Dict[str, Any],
+        transition: Optional[str],
+        at: float,
+    ) -> None:
+        job_id = row["job_id"]
+        columns = sorted(c for c in row if c != "job_id")
+        db.execute(
+            f"UPDATE jobs SET {', '.join(f'{c}=?' for c in columns)}"
+            f" WHERE job_id=?",
+            [_encode(row[c]) for c in columns] + [job_id],
+        )
+        if transition is not None:
+            db.execute(
+                "INSERT INTO transitions (job_id, state, detail, at)"
+                " VALUES (?,?,?,?)",
+                (job_id, row["state"], transition, at),
             )
-            if transition is not None:
-                self._db.execute(
-                    "INSERT INTO transitions (job_id, state, detail, at)"
-                    " VALUES (?,?,?,?)",
-                    (job_id, row["state"], transition, at),
-                )
-            self._db.commit()
+
+    # ------------------------------------------------------------------
+    def resync(self, rows: List[Dict[str, Any]], at: float = 0.0) -> int:
+        """Force-write the store's current rows after a degraded spell.
+
+        Upserts every row; rows whose journaled state trails their
+        in-memory state get a ``resynced after degraded storage spell``
+        transition so the audit trail explains the jump (transitions
+        that happened *during* the spell are lost — that is the
+        journal's documented data-loss bound).  Returns the row count.
+        """
+        with self._lock:
+            if self._db is None:
+                return 0
+            with self.storage.write("resync", db=self._db) as db:
+                for row in rows:
+                    columns = sorted(row)
+                    db.execute(
+                        f"INSERT OR REPLACE INTO jobs ({', '.join(columns)}) "
+                        f"VALUES ({', '.join('?' for _ in columns)})",
+                        [_encode(row[c]) for c in columns],
+                    )
+                    last = db.execute(
+                        "SELECT state FROM transitions WHERE job_id=?"
+                        " ORDER BY id DESC LIMIT 1",
+                        (row["job_id"],),
+                    ).fetchone()
+                    if last is None or last["state"] != row["state"]:
+                        db.execute(
+                            "INSERT INTO transitions (job_id, state, detail,"
+                            " at) VALUES (?,?,?,?)",
+                            (
+                                row["job_id"], row["state"],
+                                "resynced after degraded storage spell", at,
+                            ),
+                        )
+            return len(rows)
+
+    def probe(self) -> bool:
+        """Try a real write; clears degraded health on success."""
+        with self._lock:
+            if self._db is None:
+                return False
+            return self.storage.probe(db=self._db)
+
+    def integrity_failure(self) -> Optional[str]:
+        with self._lock:
+            return self.storage.integrity_failure(self._db)
 
     # ------------------------------------------------------------------
     def load_rows(self) -> List[Dict[str, Any]]:
@@ -206,16 +313,18 @@ class JobJournal:
         with self._lock:
             if self._db is None:
                 return []
-            rows = self._db.execute("SELECT * FROM jobs ORDER BY seq").fetchall()
+            with self.storage.read("load", db=self._db) as db:
+                rows = db.execute("SELECT * FROM jobs ORDER BY seq").fetchall()
         return [dict(row) for row in rows]
 
     def max_seq(self) -> int:
         with self._lock:
             if self._db is None:
                 return 0
-            (value,) = self._db.execute(
-                "SELECT COALESCE(MAX(seq), 0) FROM jobs"
-            ).fetchone()
+            with self.storage.read("load", db=self._db) as db:
+                (value,) = db.execute(
+                    "SELECT COALESCE(MAX(seq), 0) FROM jobs"
+                ).fetchone()
         return int(value)
 
     def transitions(self, job_id: str) -> List[Dict[str, Any]]:
@@ -223,11 +332,12 @@ class JobJournal:
         with self._lock:
             if self._db is None:
                 return []
-            rows = self._db.execute(
-                "SELECT state, detail, at FROM transitions"
-                " WHERE job_id=? ORDER BY id",
-                (job_id,),
-            ).fetchall()
+            with self.storage.read("transitions", db=self._db) as db:
+                rows = db.execute(
+                    "SELECT state, detail, at FROM transitions"
+                    " WHERE job_id=? ORDER BY id",
+                    (job_id,),
+                ).fetchall()
         return [dict(row) for row in rows]
 
 

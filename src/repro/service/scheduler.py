@@ -38,9 +38,11 @@ from ..core.campaign import Campaign, CampaignResult
 from ..core.config import CampaignConfig
 from ..dialects import dialect_by_name
 from ..perf.parallel import ParallelCampaign
+from ..robustness.chaos import SimulatedCrash
 from ..robustness.checkpoint import CampaignCheckpoint
 from .bugrepo import BugRepository
-from .jobs import Job, JobStore, result_to_summary
+from .jobs import Job, JobStore, TenantBudgetExceeded, result_to_summary
+from .storage import StorageError
 
 #: lease floor for the non-heartbeating phases (ingest/minimization,
 #: replay jobs): generous enough that normal work never loses its lease
@@ -48,7 +50,8 @@ SLOW_PHASE_LEASE_SECONDS = 300.0
 
 
 class JobInterrupted(Exception):
-    """A cooperative stop fired mid-campaign (``cancel`` or ``drain``)."""
+    """A cooperative stop fired mid-campaign (``cancel``, ``drain``, or
+    ``preempt``)."""
 
     def __init__(self, reason: str) -> None:
         super().__init__(reason)
@@ -147,11 +150,19 @@ class SchedulerWorker:
                 break  # poison pill: one per worker
             if self._stop.is_set() or self._drain.is_set():
                 break
-            self.store.reclaim_expired()
-            claimed = self.store.claim(owner=self.name)
-            if claimed is None:
-                continue
-            self._run_job(*claimed)
+            try:
+                # the claim/reclaim transitions journal too, so a crash
+                # point can fire here as well as inside the job
+                self.store.reclaim_expired()
+                claimed = self.store.claim(owner=self.name)
+                if claimed is None:
+                    continue
+                self._run_job(*claimed)
+            except SimulatedCrash:
+                # the chaos harness "killed" this worker: die like a
+                # SIGKILLed thread would — silently, leaving the lease to
+                # expire and the journal exactly as the crash left it
+                return
 
     def _run_job(self, job: Job, lease_seq: int) -> None:
         try:
@@ -162,12 +173,25 @@ class SchedulerWorker:
         except JobInterrupted as interrupt:
             if interrupt.reason == "cancel":
                 job.finish_cancelled(lease_seq)
+            elif interrupt.reason == "preempt":
+                # yield the worker to a higher-priority job: requeue with
+                # a resume checkpoint, no retry burned, and wake a worker
+                # so both the preemptor and the victim get claimed
+                job.requeue(
+                    lease_seq,
+                    resume=self._resumable(job),
+                    detail="preempted by higher-priority job",
+                )
+                self.store.notify(job.job_id)
             else:  # drain: hand the job to the next service incarnation
                 job.requeue(
                     lease_seq,
                     resume=self._resumable(job),
                     detail="requeued by drain",
                 )
+        except TenantBudgetExceeded as exc:
+            # terminal, not retried: the budget cannot un-exhaust itself
+            job.mark_failed(str(exc), lease_seq)
         except Exception:  # noqa: BLE001 - job isolation: record, don't die
             error = traceback.format_exc(limit=8)
             job.mark_retrying(
@@ -196,26 +220,40 @@ class SchedulerWorker:
                 raise JobInterrupted("cancel")
             if self._drain.is_set() or job.drain_event.is_set():
                 raise JobInterrupted("drain")
+            if self.store.should_preempt(job):
+                raise JobInterrupted("preempt")
 
         return job.add_finding, on_progress
 
     def _run_campaign_job(self, job: Job, lease_seq: int) -> None:
         config = job.config
         assert config is not None
+        denial = self.store.tenant_denial(job)
+        if denial is not None:
+            raise TenantBudgetExceeded(denial)
+        run_config = self.store.apply_tenant_budgets(config)
         on_finding, on_progress = self._hooks(job, lease_seq)
         result = run_scheduled(
-            config,
+            run_config,
             resume=job.params.get("resume"),
             on_finding=on_finding,
             on_progress=on_progress,
         )
+        self.store.charge_tenant(job.submitter, result.queries_executed)
         # ingest can minimize hundreds of findings — too slow for the
         # normal heartbeat cadence, so take a long lease up front
         job.heartbeat(
             lease_seq,
             max(self.store.lease_seconds, SLOW_PHASE_LEASE_SECONDS),
         )
-        ingest = self.repo.record_result(result, campaign_id=job.job_id)
+        try:
+            ingest = self.repo.record_result(result, campaign_id=job.job_id)
+        except StorageError as exc:
+            # a degraded repository must not fail a finished campaign:
+            # the findings live on in the job's summary/stream, only the
+            # cross-campaign dedup record is lost (counted)
+            self.repo.storage.health.note_lost_write()
+            ingest = {"new_records": 0, "duplicates": 0, "error": str(exc)}
         job.set_ingest(ingest)
         job.mark_done(result_to_summary(result), lease_seq)
 
@@ -248,6 +286,9 @@ class SchedulerPool:
             raise ValueError(f"the worker pool needs >= 1 workers (got {workers})")
         self.store = store
         self.repo = repo
+        # the idle-capacity guard in JobStore.should_preempt needs to know
+        # how many consumers this store has
+        store.worker_count = workers
         self._drain = threading.Event()
         self.workers: List[SchedulerWorker] = [
             SchedulerWorker(

@@ -41,6 +41,27 @@ Robustness (the durable-service layer):
 * shutdown drains gracefully: stop admitting (503), interrupt running
   campaigns at their next progress beat, journal them as ``queued``
   with ``resume=<checkpoint>`` for the next incarnation.
+
+Storage failure handling (the chaos-harness layer):
+
+* both databases sit behind the
+  :class:`~repro.service.storage.SqliteStorage` boundary; a corrupt
+  file found at **boot** is quarantined (``<name>.corrupt-<n>``) and
+  rebuilt from whatever pages salvage, with the event reported under
+  ``rebuilds`` in ``/health``;
+* while a subsystem is **degraded** (ENOSPC, persistent lock
+  contention, detected corruption) the service keeps answering reads —
+  ``GET /jobs``, ``GET /health``, bug browsing — but mutations that
+  need that subsystem get **503** with ``Retry-After``.  Each gate
+  first *probes* (one cheap real write): if the spell has passed, the
+  journal is resynced from the in-memory store and the request
+  proceeds;
+* uncaught handler exceptions return a generic JSON 500 envelope —
+  exception class name only, never a message or traceback — and the
+  connection stays usable;
+* on startup (after crash recovery) the
+  :class:`~repro.service.audit.ServiceAuditor` checks the journal's
+  invariants with ``repair=True``; its summary rides in ``/health``.
 """
 
 from __future__ import annotations
@@ -49,15 +70,19 @@ import json
 import os
 import re
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple, Union
 from urllib.parse import parse_qs, urlparse
 
 from ..core.config import CampaignConfig
+from ..robustness.chaos import StorageFaultInjector
+from .audit import ServiceAuditor, rebuild_journal
 from .bugrepo import BugRepository
-from .jobs import JobStore, QueueFull
+from .jobs import JobStore, QueueFull, TenantBudget
 from .journal import JobJournal
 from .scheduler import SchedulerPool
+from .storage import CorruptionDetected, SqliteStorage, StorageError
 
 _JOB_RE = re.compile(
     r"^/jobs/(?P<id>[\w-]+)(?P<rest>/findings|/cancel|/transitions)?$"
@@ -99,17 +124,51 @@ class BugService:
         lease_seconds: float = 30.0,
         max_retries: int = 2,
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        preemption: bool = True,
+        tenant_budget: Optional[Union[str, TenantBudget]] = None,
+        chaos: Optional[StorageFaultInjector] = None,
+        audit_on_start: bool = True,
     ) -> None:
         self.data_dir = data_dir
         #: per-job ResourceGovernor quota applied to campaign submissions
         #: that don't carry their own 'budgets' (a submitted spec wins)
         self.default_budgets = default_budgets
         self.max_body_bytes = max_body_bytes
+        #: the shared storage fault injector (None in production; tests
+        #: pass one, ``repro serve`` honours REPRO_CHAOS et al.)
+        self.chaos = chaos if chaos is not None else StorageFaultInjector.from_env()
+        if isinstance(tenant_budget, str):
+            tenant_budget = TenantBudget.parse(tenant_budget)
+        if tenant_budget is not None and not tenant_budget.enabled:
+            tenant_budget = None
         os.makedirs(data_dir, exist_ok=True)
-        self.repo = BugRepository(
-            os.path.join(data_dir, "bugs.sqlite"), minimize=minimize
-        )
-        self.journal = JobJournal(os.path.join(data_dir, "jobs.sqlite"))
+        #: boot-time quarantine-and-rebuild events (surfaced in /health)
+        self.rebuilds: Dict[str, Dict[str, Any]] = {}
+        bug_path = os.path.join(data_dir, "bugs.sqlite")
+        try:
+            self.repo = BugRepository(
+                bug_path, minimize=minimize, chaos=self.chaos
+            )
+        except CorruptionDetected:
+            quarantined = SqliteStorage(
+                "bugrepo", bug_path, chaos=self.chaos
+            ).quarantine()
+            self.repo = BugRepository(
+                bug_path, minimize=minimize, chaos=self.chaos
+            )
+            salvaged = self.repo.salvage_from(quarantined)
+            self.rebuilds["bugrepo"] = {
+                "quarantined": quarantined, "salvaged": salvaged,
+            }
+        journal_path = os.path.join(data_dir, "jobs.sqlite")
+        try:
+            self.journal = JobJournal(journal_path, chaos=self.chaos)
+        except CorruptionDetected:
+            quarantined, salvaged = rebuild_journal(journal_path, self.chaos)
+            self.journal = JobJournal(journal_path, chaos=self.chaos)
+            self.rebuilds["journal"] = {
+                "quarantined": quarantined, "salvaged": salvaged,
+            }
         self.store = JobStore(
             journal=self.journal,
             checkpoint_dir=os.path.join(data_dir, "checkpoints"),
@@ -117,9 +176,22 @@ class BugService:
             submitter_quota=submitter_quota,
             max_retries=max_retries,
             lease_seconds=lease_seconds,
+            preemption=preemption,
+            tenant_budget=tenant_budget,
         )
         #: what crash recovery re-enqueued/abandoned at boot
         self.recovered = self.store.recover()
+        #: the startup invariant audit (None when audit_on_start=False)
+        self.audit_report = None
+        if audit_on_start:
+            auditor = ServiceAuditor(
+                journal=self.journal,
+                repo=self.repo,
+                store=self.store,
+                checkpoint_dir=self.store.checkpoint_dir,
+                chaos=self.chaos,
+            )
+            self.audit_report = auditor.run(repair=True)
         self.pool = SchedulerPool(self.store, self.repo, workers=workers)
         self._draining = threading.Event()
         self._httpd = ThreadingHTTPServer((host, port), _make_handler(self))
@@ -209,8 +281,19 @@ class BugService:
         raise ServiceError(404, f"no route for {method} {path}")
 
     def _health(self) -> Dict[str, Any]:
-        return {
-            "status": "draining" if self._draining.is_set() else "ok",
+        storage = {
+            "journal": self.journal.storage.health.snapshot(),
+            "bugrepo": self.repo.storage.health.snapshot(),
+        }
+        degraded = any(sub["state"] != "ok" for sub in storage.values())
+        if self._draining.is_set():
+            status = "draining"
+        elif degraded:
+            status = "degraded"
+        else:
+            status = "ok"
+        payload: Dict[str, Any] = {
+            "status": status,
             "worker_alive": self.pool.alive,
             "workers": len(self.pool.workers),
             "workers_alive": self.pool.alive_count,
@@ -218,9 +301,67 @@ class BugService:
             "shed": self.store.shed_count,
             "recovered": self.recovered,
             "jobs": self.store.state_counts(),
-            "bug_records": self.repo.count(),
+            "bug_records": self._bug_count(),
             "data_dir": self.data_dir,
+            "storage": storage,
+            "preemptions": self.store.preemption_count,
         }
+        if self.audit_report is not None:
+            summary = self.audit_report.to_dict()
+            summary.pop("findings", None)
+            payload["audit"] = summary
+        if self.rebuilds:
+            payload["rebuilds"] = self.rebuilds
+        if self.store.tenant_budget is not None:
+            payload["tenant_usage"] = self.store.tenant_usage()
+        if self.chaos is not None:
+            payload["chaos"] = self.chaos.snapshot()
+        return payload
+
+    def _bug_count(self) -> int:
+        """The repository count — health must answer even when the
+        repository cannot (degraded storage reports -1, not a 500)."""
+        try:
+            return self.repo.count()
+        except StorageError:
+            return -1
+
+    # -- degraded-mode gating -------------------------------------------
+    def _require_writable(self, *subsystems: str) -> None:
+        """Refuse a mutation while its storage subsystem is degraded.
+
+        Probe-first: one cheap real write per degraded subsystem — if it
+        succeeds the degraded spell is over (the journal additionally
+        resyncs from the in-memory store, which stayed the source of
+        truth through the spell) and the mutation proceeds.  Otherwise
+        **503** with ``Retry-After``, keeping reads untouched.
+        """
+        for name in subsystems:
+            subsystem = self.journal if name == "journal" else self.repo
+            health = subsystem.storage.health
+            if health.ok:
+                continue
+            if not health.snapshot()["needs_rebuild"] and subsystem.probe():
+                if name == "journal":
+                    self._resync_journal()
+                continue
+            raise ServiceError(
+                503,
+                f"{name} storage is degraded "
+                f"({health.snapshot()['reason'] or 'unwritable'}); "
+                f"mutations are refused until it recovers",
+                headers={"Retry-After": "30"},
+            )
+
+    def _resync_journal(self) -> None:
+        """Repair the journal from memory after a degraded spell ends."""
+        try:
+            self.journal.resync(
+                [job.row_snapshot() for job in self.store.list()],
+                at=time.time(),
+            )
+        except StorageError:
+            pass  # still flaky: the next probe-recovery tries again
 
     def _submit(self, body: Dict[str, Any]) -> Dict[str, Any]:
         if self._draining.is_set():
@@ -228,6 +369,9 @@ class BugService:
                 503, "service is draining; resubmit after restart",
                 headers={"Retry-After": "30"},
             )
+        # admission journals the job: an unwritable journal means the
+        # submission would be lost on restart, so degrade to read-only
+        self._require_writable("journal")
         kind = body.get("kind", "campaign")
         submitter = str(body.get("submitter", "") or "")
         try:
@@ -298,6 +442,7 @@ class BugService:
             cursor, findings = job.findings_since(since)
             return 200, {"next": cursor, "state": job.state, "findings": findings}
         if rest == "/cancel" and method == "POST":
+            self._require_writable("journal")
             outcome = job.mark_cancelled()
             data = job.to_dict()
             data["cancel"] = outcome or "noop"
@@ -324,6 +469,7 @@ class BugService:
             data["replays"] = self.repo.replay_history(record_id)
             return 200, data
         if rest == "/triage" and method == "POST":
+            self._require_writable("bugrepo")
             status = body.get("status", "")
             try:
                 updated = self.repo.set_triage(record_id, status)
@@ -387,8 +533,22 @@ def _make_handler(service: BugService):
             except ServiceError as exc:
                 self._reply(exc.status, {"error": exc.message}, exc.headers)
                 return
+            except StorageError as exc:
+                # a degraded subsystem surfaced mid-request: same
+                # contract as the mutation gate (retryable, not a crash)
+                self._reply(503, {
+                    "error": f"{exc.subsystem} storage is degraded; "
+                    "retry later"
+                }, {"Retry-After": "30"})
+                return
             except Exception as exc:  # noqa: BLE001 - keep the server alive
-                self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+                # generic envelope: the class name is diagnostic enough
+                # for a client; messages and tracebacks can carry paths,
+                # SQL, and internal state that must not leak on the wire
+                self._reply(500, {
+                    "error": "internal server error",
+                    "exception": type(exc).__name__,
+                })
                 return
             self._reply(status, payload)
 

@@ -11,7 +11,10 @@ Also pins the API-redesign acceptance bar: a default-config ``repro run``
 calling the library directly.
 """
 
+import functools
+import http.client
 import json
+import os
 import time
 import urllib.error
 import urllib.request
@@ -19,9 +22,18 @@ import urllib.request
 import pytest
 
 from repro.core import CampaignConfig, run_campaign
+from repro.robustness.chaos import SimulatedCrash, StorageFaultInjector
 from repro.service import BugService
+from repro.service.audit import ServiceAuditor
 from repro.service.bugrepo import BugRepository
-from repro.service.jobs import JOB_STATES, Job, JobStore, QueueFull
+from repro.service.jobs import (
+    JOB_STATES,
+    TERMINAL_STATES,
+    Job,
+    JobStore,
+    QueueFull,
+    signature_digest,
+)
 from repro.service.journal import JobJournal
 from repro.service.scheduler import (
     SchedulerPool,
@@ -29,6 +41,7 @@ from repro.service.scheduler import (
     build_campaign,
     run_scheduled,
 )
+from repro.service.storage import crash_points
 
 
 # ---------------------------------------------------------------------------
@@ -643,3 +656,232 @@ class TestRunSignatureParity:
             CampaignConfig(dialect="duckdb", budget=600, jobs=4)
         )
         assert direct.signature() == via_scheduler.signature()
+
+
+# ---------------------------------------------------------------------------
+# crash-point matrix: kill at every named storage crash point, restart,
+# audit, and demand a signature identical to an uninterrupted control
+# ---------------------------------------------------------------------------
+#: budget 500 is the smallest virtuoso workload that actually finds bugs
+#: (3 of them) — smaller budgets would leave the bugrepo crash points
+#: with nothing to fire on
+_MATRIX_CONFIG = CampaignConfig(dialect="virtuoso", budget=500)
+
+
+@functools.lru_cache(maxsize=1)
+def _matrix_control_digest():
+    """The signature an uninterrupted run of the matrix workload yields."""
+    return signature_digest(run_scheduled(_MATRIX_CONFIG))
+
+
+class TestCrashPointMatrix:
+    """Every named storage crash point, exercised as a process death.
+
+    One incarnation = journal + store + repo + worker pool over the same
+    on-disk files, running a scripted workload (campaign, replay, triage).
+    The armed crash point "kills" the incarnation mid-write — either the
+    worker thread dies silently or the main thread aborts the script —
+    and the next incarnation recovers from whatever the crash left on
+    disk.  After the workload finally completes: the auditor must pass,
+    and the campaign signature must match an uninterrupted control.
+    """
+
+    @staticmethod
+    def _await_terminal(pool, job, deadline=120.0):
+        """True when *job* went terminal; False when the worker died."""
+        end = time.monotonic() + deadline
+        while time.monotonic() < end:
+            if job.state in TERMINAL_STATES:
+                return True
+            if not pool.alive:
+                return False  # the simulated kill took the worker down
+            time.sleep(0.02)
+        raise AssertionError(f"job {job.job_id} stuck in {job.state!r}")
+
+    def _incarnation(self, base, chaos):
+        """One service-process lifetime; returns (crashed, summary)."""
+        journal = JobJournal(os.path.join(base, "jobs.sqlite"), chaos=chaos)
+        store = JobStore(
+            journal=journal,
+            checkpoint_dir=os.path.join(base, "checkpoints"),
+            backoff_base=0.0,
+        )
+        store.recover()
+        repo = BugRepository(
+            os.path.join(base, "bugs.sqlite"), minimize=False, chaos=chaos
+        )
+        pool = SchedulerPool(store, repo, workers=1).start()
+        crashed = False
+        summary = None
+        try:
+            # the workload is idempotent find-or-submit so a restarted
+            # incarnation continues the journaled jobs instead of
+            # duplicating them
+            campaign = next(
+                (j for j in store.list() if j.kind == "campaign"), None
+            )
+            if campaign is None:
+                campaign = store.submit("campaign", config=_MATRIX_CONFIG)
+            if not self._await_terminal(pool, campaign):
+                crashed = True
+            else:
+                assert campaign.state == "done", campaign.error
+                summary = dict(campaign.summary)
+                replay = next(
+                    (j for j in store.list() if j.kind == "replay"), None
+                )
+                if replay is None:
+                    replay = store.submit(
+                        "replay", params={"dialect": "virtuoso"}
+                    )
+                if not self._await_terminal(pool, replay):
+                    crashed = True
+                    summary = None
+                else:
+                    assert replay.state == "done", replay.error
+                    records = repo.list()
+                    assert records, "the campaign found no bugs to triage"
+                    if records[0].triage == "new":
+                        repo.set_triage(records[0].record_id, "confirmed")
+        except SimulatedCrash:
+            # a crash point fired on this thread (submit / triage writes)
+            crashed = True
+            summary = None
+        finally:
+            pool.stop(drain=False, timeout=30)
+            if crashed:
+                # die like SIGKILL: no close(), no final commit — leave
+                # the journal exactly as the torn write left it
+                journal.abandon()
+            else:
+                journal.close()
+        return crashed, summary
+
+    @pytest.mark.parametrize("point", crash_points())
+    def test_kill_restart_audit_signature(self, tmp_path, point):
+        chaos = StorageFaultInjector()
+        chaos.arm_crash(point)
+        base = str(tmp_path)
+        summary = None
+        for _ in range(4):  # the armed point fires once, then disarms
+            crashed, result = self._incarnation(base, chaos)
+            if not crashed:
+                summary = result
+                break
+        assert summary is not None, (
+            f"workload never completed after dying at {point}"
+        )
+        assert chaos.counters.get("crash") == 1, (
+            f"crash point {point} never fired"
+        )
+        # the survivors must satisfy every service invariant...
+        report = ServiceAuditor(data_dir=base).run(repair=True)
+        assert report.ok, report.to_dict()
+        # ...and the campaign must have computed exactly what an
+        # uninterrupted run computes
+        assert summary["signature_digest"] == _matrix_control_digest()
+
+
+# ---------------------------------------------------------------------------
+# internal-error envelope: a poisoned handler must not leak or wedge
+# ---------------------------------------------------------------------------
+class TestInternalErrorEnvelope:
+    def test_poisoned_handler_returns_json_500_and_keeps_serving(
+        self, tmp_path, monkeypatch
+    ):
+        svc = BugService(str(tmp_path / "data")).start()
+        try:
+            def poisoned():
+                raise ZeroDivisionError("secret internal detail")
+
+            # /health calls store.state_counts; poisoning it makes the
+            # handler itself blow up mid-request
+            monkeypatch.setattr(svc.store, "state_counts", poisoned)
+            connection = http.client.HTTPConnection(
+                svc.host, svc.port, timeout=30
+            )
+            try:
+                connection.request("GET", "/health")
+                response = connection.getresponse()
+                raw = response.read()
+                assert response.status == 500
+                payload = json.loads(raw)  # still a JSON envelope
+                assert payload == {
+                    "error": "internal server error",
+                    "exception": "ZeroDivisionError",
+                }
+                # no traceback, message, or path leaks on the wire
+                text = raw.decode()
+                assert "Traceback" not in text
+                assert "secret internal detail" not in text
+                assert str(tmp_path) not in text
+
+                # the same keep-alive connection serves the next request
+                connection.request("GET", "/jobs")
+                response = connection.getresponse()
+                assert response.status == 200
+                assert json.loads(response.read())["jobs"] == []
+            finally:
+                connection.close()
+            # and fresh connections are fine too: the service survived
+            status, health = _request(svc, "GET", "/health")
+            assert status == 500  # still poisoned, still enveloped
+            assert health["exception"] == "ZeroDivisionError"
+        finally:
+            svc.stop()
+
+
+# ---------------------------------------------------------------------------
+# checkpoint sidecar GC: terminal jobs leave no litter behind
+# ---------------------------------------------------------------------------
+class TestSidecarGC:
+    @staticmethod
+    def _litter(path):
+        """Create the sidecar plus every companion the writer can leave."""
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        for suffix in ("", ".tmp", ".shard0", ".shard1"):
+            with open(path + suffix, "w") as sidecar:
+                sidecar.write("{}")
+
+    def test_done_sweeps_store_owned_sidecars(self, tmp_path):
+        ckpt_dir = str(tmp_path / "checkpoints")
+        store = JobStore(checkpoint_dir=ckpt_dir)
+        job = store.submit(
+            "campaign", config=CampaignConfig(dialect="duckdb", budget=100)
+        )
+        path = job.checkpoint_path
+        assert os.path.dirname(os.path.abspath(path)) == os.path.abspath(
+            ckpt_dir
+        )
+        self._litter(path)
+        claimed, lease_seq = store.claim(owner="w0")
+        assert claimed is job
+        job.mark_done({"bug_count": 0}, lease_seq)
+        assert os.listdir(ckpt_dir) == []
+
+    def test_cancel_while_queued_sweeps_too(self, tmp_path):
+        ckpt_dir = str(tmp_path / "checkpoints")
+        store = JobStore(checkpoint_dir=ckpt_dir)
+        job = store.submit(
+            "campaign", config=CampaignConfig(dialect="duckdb", budget=100)
+        )
+        self._litter(job.checkpoint_path)
+        assert store.cancel(job.job_id) is job
+        assert job.state == "cancelled"
+        assert os.listdir(ckpt_dir) == []
+
+    def test_user_owned_checkpoint_survives(self, tmp_path):
+        # a checkpoint_path outside the store's directory is the user's
+        # file: terminal-state GC must not touch it
+        mine = tmp_path / "mine.ckpt"
+        mine.write_text("{}")
+        store = JobStore(checkpoint_dir=str(tmp_path / "checkpoints"))
+        job = store.submit(
+            "campaign",
+            config=CampaignConfig(
+                dialect="duckdb", budget=100, checkpoint_path=str(mine)
+            ),
+        )
+        _, lease_seq = store.claim(owner="w0")
+        job.mark_done({"bug_count": 0}, lease_seq)
+        assert mine.exists()
